@@ -1,0 +1,246 @@
+(* qopt — command-line driver for the reproduction.
+
+   Subcommands:
+     experiment   run one of E1..E15 (or "all") and report check results
+     explain      generate a query, optimize, print EXPLAIN-style plans
+     solve        decide a DIMACS CNF with the DPLL solver
+     optimize     build an f_N co-cluster instance and compare optimizers
+     chain        run the Theorem-9 chain on generated formulas
+     appendix     run PARTITION -> SPPCS -> SQO-CP on a number list *)
+
+open Cmdliner
+
+let exit_of_fails fails =
+  if fails = [] then 0
+  else begin
+    List.iter
+      (fun (e, c) ->
+        Printf.eprintf "FAIL %s: %s (%s)\n" e c.Harness.Experiments.label
+          c.Harness.Experiments.detail)
+      fails;
+    1
+  end
+
+(* ---------------- experiment ---------------- *)
+
+let experiment_cmd =
+  let id =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"ID" ~doc:"Experiment id: e1..e15 or 'all'.")
+  in
+  let run id =
+    let open Harness.Experiments in
+    let pick = function
+      | "e1" -> [ ("E1", e1_qon_gap ()) ]
+      | "e2" -> [ ("E2", e2_profile ()) ]
+      | "e3" -> [ ("E3", e3_qoh_gap ()) ]
+      | "e4" -> [ ("E4", e4_memory ()) ]
+      | "e5" -> [ ("E5", e5_sparse_qon ()) ]
+      | "e6" -> [ ("E6", e6_sparse_qoh ()) ]
+      | "e7" -> [ ("E7", e7_chain ()) ]
+      | "e8" -> [ ("E8", e8_appendix ()) ]
+      | "e9" -> [ ("E9", e9_competitive ()) ]
+      | "e10" -> [ ("E10", e10_crossval ()) ]
+      | "e11" -> [ ("E11", e11_alpha_sweep ()) ]
+      | "e12" -> [ ("E12", e12_memory_sweep ()) ]
+      | "e13" -> [ ("E13", e13_nu_sweep ()) ]
+      | "e14" -> [ ("E14", e14_tree_frontier ()) ]
+      | "e15" -> [ ("E15", e15_printed_vs_reconstructed ()) ]
+      | "all" -> all ()
+      | other ->
+          Printf.eprintf "unknown experiment %S\n" other;
+          exit 2
+    in
+    let results = pick (String.lowercase_ascii id) in
+    let total = List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 results in
+    let fails = failures results in
+    Printf.printf "\n%d checks, %d failures\n" total (List.length fails);
+    exit_of_fails fails
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run reproduction experiments (tables + checks)")
+    Term.(const run $ id)
+
+(* ---------------- solve ---------------- *)
+
+let solve_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF file.")
+  in
+  let run file =
+    let f = Sat.Dimacs.load_file file in
+    match Sat.Dpll.solve_with_stats f with
+    | Sat.Dpll.Sat a, decisions ->
+        Printf.printf "s SATISFIABLE (%d decisions)\nv " decisions;
+        for v = 1 to Sat.Cnf.nvars f do
+          Printf.printf "%d " (if a.(v) then v else -v)
+        done;
+        print_endline "0";
+        0
+    | Sat.Dpll.Unsat, decisions ->
+        Printf.printf "s UNSATISFIABLE (%d decisions)\n" decisions;
+        0
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Decide a DIMACS CNF with the built-in DPLL solver")
+    Term.(const run $ file)
+
+(* ---------------- optimize ---------------- *)
+
+let optimize_cmd =
+  let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Query-graph vertices.") in
+  let omega = Arg.(value & opt int 12 & info [ "omega" ] ~doc:"Planted clique number.") in
+  let log2a = Arg.(value & opt float 8.0 & info [ "log2a" ] ~doc:"log2 of the parameter a.") in
+  let run n omega log2a =
+    if omega < 1 || omega > n then begin
+      Printf.eprintf "omega must be in [1, n]\n";
+      exit 2
+    end;
+    let module OL = Qo.Instances.Opt_log in
+    let g = Graphlib.Gen.with_clique_number ~n ~omega in
+    let c = float_of_int omega /. float_of_int n in
+    let r = Reductions.Fn.reduce ~graph:g ~c ~d:(c /. 2.0) ~log2_a:log2a in
+    let inst = r.Reductions.Fn.instance in
+    let show name (p : OL.plan) =
+      Printf.printf "%-22s cost = 2^%.2f  seq = [%s]\n" name
+        (Logreal.to_log2 p.OL.cost)
+        (String.concat ";" (Array.to_list (Array.map string_of_int p.OL.seq)))
+    in
+    Printf.printf "f_N instance: n=%d omega=%d log2(t)=%.1f K_cd=2^%.1f\n" n omega
+      (Logreal.to_log2 r.Reductions.Fn.t_size)
+      (Logreal.to_log2 r.Reductions.Fn.k_cd);
+    if n <= 22 then show "exact (subset DP)" (OL.dp inst);
+    show "greedy (min cost)" (OL.greedy ~mode:OL.Min_cost inst);
+    show "greedy (min size)" (OL.greedy ~mode:OL.Min_size inst);
+    show "iterative improve" (OL.iterative_improvement inst);
+    show "simulated anneal" (OL.simulated_annealing inst);
+    0
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Build an f_N instance and compare the optimizer portfolio")
+    Term.(const run $ n $ omega $ log2a)
+
+(* ---------------- shared instance building ---------------- *)
+
+let shape_conv =
+  Arg.enum [ ("random", `Random); ("tree", `Tree); ("chain", `Chain); ("star", `Star) ]
+
+let build_instance n seed shape =
+  match shape with
+  | `Random -> Qo.Gen_inst.R.random ~seed ~n ~p:0.5 ()
+  | `Tree -> Qo.Gen_inst.R.tree ~seed ~n ()
+  | `Chain -> Qo.Gen_inst.R.chain ~seed ~n ()
+  | `Star -> Qo.Gen_inst.R.star ~seed ~satellites:(n - 1) ()
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of relations.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let shape = Arg.(value & opt shape_conv `Random & info [ "shape" ] ~doc:"Query graph shape.") in
+  let file =
+    Arg.(value & opt (some file) None & info [ "file"; "f" ] ~doc:"Load a QO_N instance file instead of generating.")
+  in
+  let run n seed shape file =
+    let module NR = Qo.Instances.Nl_rat in
+    let module Opt = Qo.Instances.Opt_rat in
+    let inst =
+      match file with
+      | Some path -> Qo.Io.load_rat path
+      | None -> build_instance n seed shape
+    in
+    let best = Opt.dp inst in
+    Printf.printf "Optimal plan (exact subset DP):\n\n%s\n"
+      (Qo.Explain.Rat.render inst best.Opt.seq);
+    let g = Opt.greedy inst in
+    Printf.printf "Greedy plan for comparison:\n\n%s"
+      (Qo.Explain.Rat.render inst g.Opt.seq);
+    0
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Generate (or load) a query, optimize it, and explain the plans")
+    Term.(const run $ n $ seed $ shape $ file)
+
+(* ---------------- gen ---------------- *)
+
+let gen_cmd =
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of relations.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let shape = Arg.(value & opt shape_conv `Random & info [ "shape" ] ~doc:"Graph shape.") in
+  let out = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file (stdout otherwise).") in
+  let run n seed shape out =
+    let inst = build_instance n seed shape in
+    let text = Qo.Io.dump_rat inst in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+        Qo.Io.save_rat path inst;
+        Printf.printf "wrote %s (%d relations, %d predicates)\n" path n
+          (Graphlib.Ugraph.edge_count inst.Qo.Instances.Nl_rat.graph));
+    0
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a QO_N instance file") Term.(const run $ n $ seed $ shape $ out)
+
+(* ---------------- chain ---------------- *)
+
+let chain_cmd =
+  let blocks = Arg.(value & opt int 4 & info [ "blocks" ] ~doc:"All-sign blocks (size scale).") in
+  let run blocks =
+    let sat_f = Sat.Gen.planted_blocks ~seed:blocks ~blocks in
+    let unsat_f = Sat.Gen.all_sign_blocks ~blocks in
+    let show name (ch : Reductions.Chain.qon_chain) =
+      Printf.printf "%s: v=%d m=%d sat=%b -> n=%d K_cd=2^%.1f no_lb=2^%.1f witness=%s\n" name
+        (Sat.Cnf.nvars ch.Reductions.Chain.formula)
+        (Sat.Cnf.nclauses ch.Reductions.Chain.formula)
+        ch.Reductions.Chain.satisfiable ch.Reductions.Chain.lemma3.Reductions.Lemma3.n
+        (Logreal.to_log2 ch.Reductions.Chain.fn.Reductions.Fn.k_cd)
+        (Logreal.to_log2 ch.Reductions.Chain.fn.Reductions.Fn.no_lower_bound)
+        (match ch.Reductions.Chain.witness_cost with
+        | Some c -> Printf.sprintf "2^%.1f" (Logreal.to_log2 c)
+        | None -> "-")
+    in
+    show "satisfiable " (Reductions.Chain.theorem9 sat_f);
+    show "unsatisfiable" (Reductions.Chain.theorem9 unsat_f);
+    0
+  in
+  Cmd.v (Cmd.info "chain" ~doc:"Run the Theorem-9 reduction chain on generated formulas")
+    Term.(const run $ blocks)
+
+(* ---------------- appendix ---------------- *)
+
+let appendix_cmd =
+  let numbers =
+    Arg.(
+      value
+      & opt (list int) [ 3; 1; 2; 2 ]
+      & info [ "numbers" ] ~doc:"Comma-separated PARTITION instance.")
+  in
+  let run numbers =
+    let ch = Reductions.Chain.appendix numbers in
+    Printf.printf "numbers      = [%s]\n" (String.concat ";" (List.map string_of_int numbers));
+    Printf.printf "PARTITION    = %b\n" ch.Reductions.Chain.partitionable;
+    Printf.printf "SPPCS        = %b (q=%d)\n" ch.Reductions.Chain.sppcs_yes
+      ch.Reductions.Chain.sppcs.Reductions.Partition_to_sppcs.q;
+    Printf.printf "SQO-CP       = %b (threshold ~2^%.1f)\n" ch.Reductions.Chain.sqocp_yes
+      (Bignum.Bignat.log2 ch.Reductions.Chain.sqocp.Reductions.Sppcs_to_sqocp.threshold);
+    if
+      ch.Reductions.Chain.partitionable = ch.Reductions.Chain.sppcs_yes
+      && ch.Reductions.Chain.sppcs_yes = ch.Reductions.Chain.sqocp_yes
+    then begin
+      print_endline "chain consistent";
+      0
+    end
+    else begin
+      print_endline "CHAIN INCONSISTENT";
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "appendix" ~doc:"Run PARTITION -> SPPCS -> SQO-CP on a number list")
+    Term.(const run $ numbers)
+
+let () =
+  let doc = "Executable reproduction of 'On the Complexity of Approximate Query Optimization'" in
+  let info = Cmd.info "qopt" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; solve_cmd; optimize_cmd; explain_cmd; gen_cmd; chain_cmd; appendix_cmd ]))

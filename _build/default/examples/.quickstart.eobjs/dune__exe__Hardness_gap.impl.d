@@ -1,0 +1,1 @@
+examples/hardness_gap.ml: Chain Fn Graphlib Lemma3 List Logreal Option Printf Qo Reductions Sat

@@ -1,0 +1,1 @@
+examples/pipeline_memory.ml: Array Fh Graphlib List Logreal Printf Qo Reductions String

@@ -1,0 +1,1 @@
+examples/sat_solving.ml: Cdcl Cnf Dpll Exact3 Gen List Maxsat Printf Sat Simplify String Unix

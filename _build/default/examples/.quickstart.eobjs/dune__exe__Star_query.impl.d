@@ -1,0 +1,1 @@
+examples/star_query.ml: Array Bigint Bignat Bignum Bigq Chain List Option Partition_to_sppcs Printf Reductions Sppcs Sppcs_to_sqocp Sqo Star String

@@ -1,0 +1,1 @@
+examples/tree_query.ml: Array Format Graphlib List Printf Qo Random String Unix

@@ -1,0 +1,72 @@
+(* The headline result, end to end: deciding whether a query plan
+   within a sub-polylogarithmic factor of optimal exists is as hard as
+   SAT (Theorem 9 of the paper).
+
+     dune exec examples/hardness_gap.exe
+
+   Part 1 feeds certified CLIQUE promise instances through the
+   reduction f_N and solves the produced QO_N instances exactly: the
+   optimal cost separates YES from NO by a factor a^{Theta(n)}.
+
+   Part 2 runs the entire published chain
+   3SAT -> VERTEX COVER -> CLIQUE -> QO_N on satisfiable vs
+   unsatisfiable formulas: the measured YES witness cost lands below
+   the certified NO lower bound once the instance is large enough. *)
+
+open Reductions
+module NL = Qo.Instances.Nl_log
+module Opt = Qo.Instances.Opt_log
+
+let l2 = Logreal.to_log2
+
+let () =
+  print_endline "=== Part 1: the QO_N gap on certified CLIQUE families ===\n";
+  let log2_a = 8.0 in
+  Printf.printf "%4s %6s %6s %14s %14s %14s %10s\n" "n" "w_yes" "w_no" "opt(YES)" "opt(NO)"
+    "K_{c,d}" "gap bits";
+  List.iter
+    (fun n ->
+      let omega_yes = 3 * n / 4 and omega_no = 3 * n / 5 in
+      let c = float_of_int omega_yes /. float_of_int n in
+      let d = float_of_int (omega_yes - omega_no) /. float_of_int n in
+      let g_yes = Graphlib.Gen.with_clique_number ~n ~omega:omega_yes in
+      let g_no = Graphlib.Gen.with_clique_number ~n ~omega:omega_no in
+      let ry = Fn.reduce ~graph:g_yes ~c ~d ~log2_a in
+      let rn = Fn.reduce ~graph:g_no ~c ~d ~log2_a in
+      let oy = (Opt.dp ry.Fn.instance).Opt.cost in
+      let on_ = (Opt.dp rn.Fn.instance).Opt.cost in
+      Printf.printf "%4d %6d %6d %14s %14s %14s %10.1f\n" n omega_yes omega_no
+        (Printf.sprintf "2^%.1f" (l2 oy))
+        (Printf.sprintf "2^%.1f" (l2 on_))
+        (Printf.sprintf "2^%.1f" (l2 ry.Fn.k_cd))
+        (l2 on_ -. l2 oy))
+    [ 12; 16; 20 ];
+  print_endline
+    "\n  YES optima sit below K_{c,d} (Lemma 6); NO optima above the Lemma-8 bound.\n\
+    \  An approximation algorithm beating the gap would decide CLIQUE.\n";
+
+  print_endline "=== Part 2: the full 3SAT chain (Theorem 9) ===\n";
+  Printf.printf "%7s %6s %6s %16s %16s %10s\n" "blocks" "n" "sat?" "witness(YES)" "no-bound(NO)"
+    "certified";
+  List.iter
+    (fun b ->
+      (* size-matched promise pair: satisfiable blocks vs the
+         all-sign-pattern family (MaxSAT fraction exactly 7/8), both
+         with 3b variables and 8b clauses *)
+      let sat_f = Sat.Gen.planted_blocks ~seed:b ~blocks:b in
+      let unsat_f = Sat.Gen.all_sign_blocks ~blocks:b in
+      let cs = Chain.theorem9 sat_f in
+      let cu = Chain.theorem9 unsat_f in
+      let wit = Option.get cs.Chain.witness_cost in
+      let lb = cu.Chain.fn.Fn.no_lower_bound in
+      Printf.printf "%7d %6d %6s %16s %16s %10s\n" b cs.Chain.lemma3.Lemma3.n
+        (Printf.sprintf "%b/%b" cs.Chain.satisfiable cu.Chain.satisfiable)
+        (Printf.sprintf "2^%.0f" (l2 wit))
+        (Printf.sprintf "2^%.0f" (l2 lb))
+        (if Logreal.compare wit lb < 0 then "YES" else "not yet"))
+    [ 1; 4; 10; 16 ];
+  print_endline
+    "\n  'certified' = the satisfiable formula's plan is provably cheaper than ANY plan\n\
+    \  of the unsatisfiable formula's instance — recovering satisfiability from\n\
+    \  approximate plan cost. The asymptotic bound kicks in around n ~ 300\n\
+    \  (d*n/2 must clear the degree defect of the clique instances)."

@@ -1,0 +1,81 @@
+(* Quickstart: build a QO_N instance by hand, cost join sequences, and
+   run the optimizer portfolio.
+
+     dune exec examples/quickstart.exe
+
+   The cost model is Section 2.1 of Chatterji et al. (PODS 2002):
+   nested-loops joins, access-path costs w_jk constrained to
+   [t_j * s_jk, t_j]. We use exact rational arithmetic here — log-domain
+   is only needed for the astronomically-sized hardness instances. *)
+
+module NL = Qo.Instances.Nl_rat
+module Opt = Qo.Instances.Opt_rat
+module C = Qo.Rat_cost
+
+let () =
+  (* A 5-relation query: R0 -- R1 -- R2 -- R3 with a shortcut R0 -- R3
+     and a dangling R4 joined to R2.
+
+        R0 --- R1 --- R2 --- R3
+         \____________/|
+              (0-3)    R4                                         *)
+  let graph =
+    Graphlib.Ugraph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (0, 3); (2, 4) ]
+  in
+  (* relation sizes in tuples (= pages in the paper's unit-cost model) *)
+  let sizes = Array.map C.of_int [| 1000; 200; 50; 400; 30 |] in
+  (* selectivities on the predicate edges; 1 elsewhere *)
+  let sel = Array.make_matrix 5 5 C.one in
+  List.iter
+    (fun (i, j, s) ->
+      sel.(i).(j) <- s;
+      sel.(j).(i) <- s)
+    [
+      (0, 1, C.of_ints 1 100);
+      (1, 2, C.of_ints 1 20);
+      (2, 3, C.of_ints 1 50);
+      (0, 3, C.of_ints 1 10);
+      (2, 4, C.of_ints 1 5);
+    ];
+  (* access-path costs: the cheapest allowed (index access, t_j * s_jk)
+     on edges; a full scan t_j without a predicate *)
+  let w =
+    Array.init 5 (fun j ->
+        Array.init 5 (fun k ->
+            if j <> k && Graphlib.Ugraph.has_edge graph j k then C.mul sizes.(j) sel.(j).(k)
+            else sizes.(j)))
+  in
+  let inst = NL.make ~graph ~sel ~sizes ~w in
+
+  (* Cost a couple of hand-written join sequences. *)
+  let show_seq z =
+    let h = NL.join_costs inst z in
+    Printf.printf "  sequence [%s]: cost = %s  (per-join: %s)\n"
+      (String.concat " " (Array.to_list (Array.map string_of_int z)))
+      (Format.asprintf "%a" C.pp (NL.cost inst z))
+      (String.concat ", " (Array.to_list (Array.map (Format.asprintf "%a" C.pp) h)))
+  in
+  print_endline "Hand-written sequences:";
+  show_seq [| 0; 1; 2; 3; 4 |];
+  show_seq [| 4; 2; 1; 0; 3 |];
+  show_seq [| 2; 4; 3; 0; 1 |];
+
+  (* The exact optimum (subset DP — provably the same as enumerating
+     all n! sequences) and the polynomial-time heuristics. *)
+  print_endline "\nOptimizer portfolio:";
+  let show name (p : Opt.plan) =
+    Printf.printf "  %-28s %-12s [%s]\n" name
+      (Format.asprintf "%a" C.pp p.Opt.cost)
+      (String.concat " " (Array.to_list (Array.map string_of_int p.Opt.seq)))
+  in
+  show "exact (subset DP)" (Opt.dp inst);
+  show "exact, no cartesian products" (Opt.dp_no_cartesian inst);
+  show "greedy (min next cost)" (Opt.greedy ~mode:Opt.Min_cost inst);
+  show "greedy (min intermediate)" (Opt.greedy ~mode:Opt.Min_size inst);
+  show "iterative improvement" (Opt.iterative_improvement inst);
+  show "simulated annealing" (Opt.simulated_annealing inst);
+  show "genetic algorithm" (Opt.genetic inst);
+
+  (* Why this problem is hard to approximate: see
+     examples/hardness_gap.exe for the paper's reduction in action. *)
+  print_endline "\nDone. Next: dune exec examples/hardness_gap.exe"

@@ -1,0 +1,52 @@
+(* Star queries with nested-loops and sort-merge joins (SQO-CP,
+   Appendix A of the paper), and the reduction chain that proves the
+   problem NP-complete:
+
+     PARTITION -> SPPCS -> SQO-CP
+
+     dune exec examples/star_query.exe *)
+
+open Sqo
+open Bignum
+open Reductions
+
+let () =
+  print_endline "=== Part 1: optimizing a star query ===\n";
+  (* central relation R0 and four satellites of varying size/selectivity *)
+  let nt = Array.map Bignat.of_int [| 500; 2000; 80; 10000; 300 |] in
+  let bp = Array.map (fun n -> Bignat.div n (Bignat.of_int 4)) nt in
+  let sc = Array.map (fun b -> Bignat.mul_int b 4) bp in
+  let sel = [| Bigq.one; Bigq.of_ints 1 100; Bigq.of_ints 1 2; Bigq.of_ints 1 500; Bigq.of_ints 1 10 |] in
+  let w = Array.map Bignat.of_int [| 0; 25; 3; 60; 8 |] in
+  let w0 = Array.make 5 (Bignat.of_int 500) in
+  w0.(0) <- Bignat.zero;
+  let star = Star.make ~ks:4 ~ntuples:nt ~bpages:bp ~sort_cost:sc ~sel ~w ~w0 in
+  let cost, plan = Star.optimal star in
+  print_string (Star.render star plan);
+  Printf.printf "optimal cost: %s I/Os\n"
+    (Bignat.to_string (Option.get (Bigint.to_nat_opt (Bigq.num cost))));
+  let c2, _ = Star.optimal_exhaustive star in
+  Printf.printf "cross-check (exhaustive enumeration): %s\n\n" (Bigq.to_string c2);
+
+  print_endline "=== Part 2: why SQO-CP is NP-complete ===\n";
+  List.iter
+    (fun bs ->
+      let ch = Chain.appendix bs in
+      Printf.printf "numbers [%s]:\n"
+        (String.concat "; " (List.map string_of_int bs));
+      Printf.printf "  PARTITION (subset-sum DP)        : %b\n" ch.Chain.partitionable;
+      Printf.printf "  SPPCS (branch & bound, %2d pairs) : %b  (fixed-point precision q=%d)\n"
+        (Array.length ch.Chain.sppcs.Partition_to_sppcs.sppcs.Sppcs.pairs)
+        ch.Chain.sppcs_yes ch.Chain.sppcs.Partition_to_sppcs.q;
+      Printf.printf "  SQO-CP (exact star optimizer)    : %b  (threshold ~ 2^%.0f I/Os)\n"
+        ch.Chain.sqocp_yes
+        (Bignat.log2 ch.Chain.sqocp.Sppcs_to_sqocp.threshold);
+      Printf.printf "  chain consistent                 : %b\n\n"
+        (ch.Chain.partitionable = ch.Chain.sppcs_yes && ch.Chain.sppcs_yes = ch.Chain.sqocp_yes))
+    [ [ 3; 1; 2; 2 ]; [ 2; 3; 7 ]; [ 5; 5; 4; 4; 2 ] ];
+  print_endline
+    "  The SQO-CP instances encode subset products in the intermediate sizes: a\n\
+    \  satellite joined before the huge relation R_{m+1} multiplies the stream by\n\
+    \  p_i (nested loops stays cheap); one joined after is only affordable by\n\
+    \  sort-merge at cost ~ c_i. The optimal plan therefore computes\n\
+    \  min_A [ prod_{A} p_i + sum_{not A} c_i ] - the SPPCS objective."

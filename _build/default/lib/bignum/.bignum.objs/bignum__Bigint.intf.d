@@ -1,0 +1,1 @@
+lib/bignum/bigint.mli: Bignat Format

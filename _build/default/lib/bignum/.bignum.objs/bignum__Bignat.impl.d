@@ -1,0 +1,1 @@
+lib/bignum/bignat.ml: Array Buffer Char Float Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/bignum/bignat.mli: Format

@@ -1,0 +1,1 @@
+lib/bignum/bigq.ml: Bigint Bignat Format Option String

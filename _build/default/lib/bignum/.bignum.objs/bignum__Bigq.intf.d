@@ -1,0 +1,1 @@
+lib/bignum/bigq.mli: Bigint Bignat Format

@@ -1,0 +1,1 @@
+lib/bignum/fixed.ml: Bignat

@@ -1,0 +1,80 @@
+(* Normalized rationals: num/den with den > 0 and gcd(|num|,den)=1. *)
+
+type t = { n : Bigint.t; d : Bignat.t (* > 0 *) }
+
+let zero = { n = Bigint.zero; d = Bignat.one }
+let one = { n = Bigint.one; d = Bignat.one }
+
+let normalize n d =
+  if Bignat.is_zero d then raise Division_by_zero
+  else if Bigint.is_zero n then zero
+  else begin
+    let g = Bignat.gcd (Bigint.abs n |> fun a -> Option.get (Bigint.to_nat_opt a)) d in
+    let mag = Option.get (Bigint.to_nat_opt (Bigint.abs n)) in
+    let n' = Bignat.div mag g and d' = Bignat.div d g in
+    let sg = Bigint.sign n in
+    { n = (if sg >= 0 then Bigint.of_nat n' else Bigint.neg (Bigint.of_nat n')); d = d' }
+  end
+
+let make num den =
+  match Bigint.sign den with
+  | 0 -> raise Division_by_zero
+  | s when s > 0 -> normalize num (Option.get (Bigint.to_nat_opt den))
+  | _ -> normalize (Bigint.neg num) (Option.get (Bigint.to_nat_opt (Bigint.abs den)))
+
+let of_int i = { n = Bigint.of_int i; d = Bignat.one }
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+let of_bigint n = { n; d = Bignat.one }
+let num t = t.n
+let den t = t.d
+let is_zero t = Bigint.is_zero t.n
+let sign t = Bigint.sign t.n
+let neg t = { t with n = Bigint.neg t.n }
+let abs t = { t with n = Bigint.abs t.n }
+
+let inv t =
+  match Bigint.sign t.n with
+  | 0 -> raise Division_by_zero
+  | s when s > 0 -> { n = Bigint.of_nat t.d; d = Option.get (Bigint.to_nat_opt t.n) }
+  | _ -> { n = Bigint.neg (Bigint.of_nat t.d); d = Option.get (Bigint.to_nat_opt (Bigint.abs t.n)) }
+
+let add a b =
+  let n = Bigint.add (Bigint.mul a.n (Bigint.of_nat b.d)) (Bigint.mul b.n (Bigint.of_nat a.d)) in
+  normalize n (Bignat.mul a.d b.d)
+
+let sub a b = add a (neg b)
+let mul a b = normalize (Bigint.mul a.n b.n) (Bignat.mul a.d b.d)
+let div a b = mul a (inv b)
+
+let pow t e =
+  if e >= 0 then { n = Bigint.pow t.n e; d = Bignat.pow t.d e }
+  else inv { n = Bigint.pow t.n (-e); d = Bignat.pow t.d (-e) }
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.n (Bigint.of_nat b.d)) (Bigint.mul b.n (Bigint.of_nat a.d))
+
+let equal a b = Bigint.equal a.n b.n && Bignat.equal a.d b.d
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let to_float t = Bigint.to_float t.n /. Bignat.to_float t.d
+
+let log2 t =
+  match Bigint.sign t.n with
+  | 0 -> neg_infinity
+  | s when s < 0 -> nan
+  | _ ->
+      let mag = Option.get (Bigint.to_nat_opt t.n) in
+      Bignat.log2 mag -. Bignat.log2 t.d
+
+let to_string t =
+  if Bignat.equal t.d Bignat.one then Bigint.to_string t.n
+  else Bigint.to_string t.n ^ "/" ^ Bignat.to_string t.d
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+      let a = String.sub s 0 i and b = String.sub s (i + 1) (String.length s - i - 1) in
+      make (Bigint.of_string a) (Bigint.of_string b)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,84 @@
+(* Directed-rounding fixed-point exponential.
+
+   Strategy: evaluate the Taylor series of e^r, r = num/den in [0,1],
+   with all intermediate values scaled by 2^(q+g) for g guard bits.
+
+     term_0 = 2^(q+g)
+     term_j = term_{j-1} * num / (den * j)
+
+   rounded down (for the lower bound) or up (for the upper bound).
+   The series is truncated once term_j = 0 (lower) / term_j <= 1
+   (upper); since r <= 1 the tail after a term T is at most
+   T * r/(1-r) bounded crudely by adding a small constant slack.
+   Finally the result is rescaled from q+g to q bits with the matching
+   rounding direction. *)
+
+let div_down a b = Bignat.div a b
+
+let div_up a b =
+  let q, r = Bignat.divmod a b in
+  if Bignat.is_zero r then q else Bignat.succ q
+
+(* Lower bound on 2^(q+g) * e^r: round every division down and drop the
+   tail. *)
+let exp_scaled_lo ~scale_bits ~num ~den =
+  let acc = ref (Bignat.shift_left Bignat.one scale_bits) in
+  let term = ref !acc in
+  let j = ref 1 in
+  while not (Bignat.is_zero !term) do
+    term := div_down (Bignat.mul !term num) (Bignat.mul_int den !j);
+    acc := Bignat.add !acc !term;
+    incr j
+  done;
+  !acc
+
+(* Upper bound: round every division up; once the term reaches <= 1 the
+   remaining tail is < term * r/(1-r); since r <= 1 we instead stop when
+   the term is 0 - with round-up the term sequence still reaches 0 only
+   when num = 0, so we stop at term <= 1 and add an explicit tail bound.
+   For r <= 1 the tail after a term t_J (J >= 2) is
+     sum_{j>J} t_J * prod r/(j') <= t_J * sum 1/(J+1)^k <= t_J,
+   so adding [term] once more is a valid bound; we add 2 for safety. *)
+let exp_scaled_hi ~scale_bits ~num ~den =
+  let acc = ref (Bignat.shift_left Bignat.one scale_bits) in
+  let term = ref !acc in
+  let j = ref 1 in
+  while Bignat.compare !term Bignat.one > 0 do
+    term := div_up (Bignat.mul !term num) (Bignat.mul_int den !j);
+    acc := Bignat.add !acc !term;
+    incr j
+  done;
+  Bignat.add !acc (Bignat.add !term Bignat.two)
+
+let exp_bounds ~q ~num ~den =
+  if Bignat.is_zero den then invalid_arg "Fixed.exp_bounds: zero denominator";
+  if Bignat.compare num den > 0 then invalid_arg "Fixed.exp_bounds: argument must be <= 1";
+  if q < 0 then invalid_arg "Fixed.exp_bounds: negative precision";
+  let g = 32 in
+  let lo = exp_scaled_lo ~scale_bits:(q + g) ~num ~den in
+  let hi = exp_scaled_hi ~scale_bits:(q + g) ~num ~den in
+  (* Rescale to q bits: lo rounds down, hi rounds up. *)
+  let lo_q = Bignat.shift_right lo g in
+  let hi_q = div_up hi (Bignat.shift_left Bignat.one g) in
+  (lo_q, hi_q)
+
+let exp_ceil ~q ~num ~den =
+  if Bignat.is_zero num then
+    (* e^0 = 1 exactly: ceil(2^q) = 2^q. *)
+    Bignat.shift_left Bignat.one q
+  else begin
+    let rec go g =
+      if g > 4096 then failwith "Fixed.exp_ceil: cannot certify ceiling";
+      let lo = exp_scaled_lo ~scale_bits:(q + g) ~num ~den in
+      let hi = exp_scaled_hi ~scale_bits:(q + g) ~num ~den in
+      let shift = Bignat.shift_left Bignat.one g in
+      let lo_ceil = div_up lo shift and hi_ceil = div_up hi shift in
+      if Bignat.equal lo_ceil hi_ceil then lo_ceil else go (2 * g)
+    in
+    go 32
+  end
+
+let g_q ~q ~x ~k =
+  let den = Bignat.mul_int k 2 in
+  if Bignat.compare x den > 0 then invalid_arg "Fixed.g_q: x must be <= 2K";
+  exp_ceil ~q ~num:x ~den

@@ -1,0 +1,26 @@
+(** Exact fixed-point evaluation of the exponential function.
+
+    The PARTITION -> SPPCS reduction (Appendix A.5 of the paper) defines
+    [f_q(x) = ceil(2^q x) / 2^q] and [g_q(x) = 2^q f_q(e^{x/2K})], i.e.
+    it needs the integer [ceil(2^q e^r)] for rationals [0 <= r <= 1].
+    Floating point cannot provide this (a float has 53 mantissa bits,
+    [q] grows with the instance), so we evaluate the Taylor series of
+    [e^r] in exact integer arithmetic with directed rounding and enough
+    guard bits to certify the ceiling. *)
+
+val exp_bounds : q:int -> num:Bignat.t -> den:Bignat.t -> Bignat.t * Bignat.t
+(** [exp_bounds ~q ~num ~den] returns [(lo, hi)] with
+    [lo <= 2^q * e^{num/den} <= hi] and [hi - lo <= 2].
+    Requires [num <= den] (argument in [0, 1]) and [den > 0].
+    @raise Invalid_argument otherwise. *)
+
+val exp_ceil : q:int -> num:Bignat.t -> den:Bignat.t -> Bignat.t
+(** [exp_ceil ~q ~num ~den] is exactly [ceil(2^q * e^{num/den})] for
+    [0 <= num/den <= 1]. Internally raises the number of guard bits
+    until the directed-rounding bounds agree on the ceiling. Note
+    [e^{num/den}] is irrational for [num/den <> 0] (Lindemann), so the
+    ceiling is always certifiable at finite precision. *)
+
+val g_q : q:int -> x:Bignat.t -> k:Bignat.t -> Bignat.t
+(** [g_q ~q ~x ~k] is the paper's [g_q(x) = 2^q f_q(e^{x/2K})]
+    [= ceil(2^q e^{x/2K})], for [0 <= x <= 2K]. *)

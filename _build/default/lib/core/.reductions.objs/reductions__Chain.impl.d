@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Fh Fhe Float Fn Fne Lemma3 Lemma4 Logreal Partition_to_sppcs Qo Sat Sppcs_to_sqocp Sqo Stdlib

@@ -1,0 +1,1 @@
+lib/core/chain.mli: Fh Fhe Fn Fne Lemma3 Lemma4 Logreal Partition_to_sppcs Sat Sppcs_to_sqocp

@@ -1,0 +1,1 @@
+lib/core/fh.ml: Array Graphlib Lemma4 List Logreal Qo

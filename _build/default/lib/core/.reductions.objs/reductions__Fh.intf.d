@@ -1,0 +1,1 @@
+lib/core/fh.mli: Graphlib Lemma4 Logreal Qo

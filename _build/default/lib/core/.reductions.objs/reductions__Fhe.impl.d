@@ -1,0 +1,1 @@
+lib/core/fhe.ml: Array Fh Float Graphlib List Logreal Printf Qo Queue

@@ -1,0 +1,1 @@
+lib/core/fhe.mli: Fh Graphlib Qo

@@ -1,0 +1,1 @@
+lib/core/fn.ml: Array Float Graphlib Lemma3 List Logreal Qo Stdlib

@@ -1,0 +1,1 @@
+lib/core/fn.mli: Graphlib Lemma3 Logreal Qo

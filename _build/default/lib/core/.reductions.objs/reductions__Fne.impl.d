@@ -1,0 +1,1 @@
+lib/core/fne.ml: Array Float Fn Graphlib List Logreal Printf Qo Queue

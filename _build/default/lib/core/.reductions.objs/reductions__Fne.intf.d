@@ -1,0 +1,1 @@
+lib/core/fne.mli: Graphlib Logreal Qo

@@ -1,0 +1,1 @@
+lib/core/lemma3.ml: Array Float Graphlib List Sat Sat_to_vc

@@ -1,0 +1,1 @@
+lib/core/lemma4.ml: Array Graphlib List Sat Sat_to_vc

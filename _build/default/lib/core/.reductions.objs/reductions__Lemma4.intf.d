@@ -1,0 +1,1 @@
+lib/core/lemma4.mli: Graphlib Sat Sat_to_vc

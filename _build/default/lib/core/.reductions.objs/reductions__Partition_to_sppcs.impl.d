@@ -1,0 +1,1 @@
+lib/core/partition_to_sppcs.ml: Bignat Bignum Fixed Float List Sqo Stdlib

@@ -1,0 +1,1 @@
+lib/core/partition_to_sppcs.mli: Bignum Sqo

@@ -1,0 +1,1 @@
+lib/core/sat_to_vc.ml: Array Graphlib List Sat Stdlib

@@ -1,0 +1,1 @@
+lib/core/sat_to_vc.mli: Graphlib Sat

@@ -1,0 +1,1 @@
+lib/core/sppcs_to_sqocp.ml: Array Bigint Bignat Bignum Bigq Sqo

@@ -1,0 +1,136 @@
+type qon_chain = {
+  formula : Sat.Cnf.t;
+  satisfiable : bool;
+  lemma3 : Lemma3.t;
+  fn : Fn.t;
+  witness_cost : Logreal.t option;
+}
+
+(* The paper's pipeline (Section 3) starts from 3SAT(13) with
+   exactly-3-literal clauses; formulas outside that form are normalized
+   first (occurrence bounding + padding), preserving satisfiability.
+   Unbounded occurrences would break the degree promise of the CLIQUE
+   instances (and with it the Lemma 5/11 decay). *)
+(* promise decision: CDCL (faster at the sizes where the composed
+   instances start certifying); tests cross-check it against DPLL *)
+let solve_sat f =
+  match Sat.Cdcl.solve f with
+  | Sat.Cdcl.Sat a -> Sat.Dpll.Sat a
+  | Sat.Cdcl.Unsat -> Sat.Dpll.Unsat
+
+let ensure_3sat13 f =
+  let exactly3 = Array.for_all (fun c -> Array.length c = 3) f.Sat.Cnf.clauses in
+  if exactly3 && Sat.Cnf.is_3sat13 f then f else Sat.Exact3.normalize13 f
+
+let theorem9 ?(theta = 1.0 /. 8.0) ?(log2_a = 8.0) formula =
+  let formula = ensure_3sat13 formula in
+  let result = solve_sat formula in
+  let satisfiable = match result with Sat.Dpll.Sat _ -> true | Sat.Dpll.Unsat -> false in
+  let lemma3 = Lemma3.reduce formula in
+  let fn = Fn.of_lemma3 lemma3 ~theta ~log2_a in
+  let witness_cost =
+    match result with
+    | Sat.Dpll.Unsat -> None
+    | Sat.Dpll.Sat a ->
+        let clique = Lemma3.clique_of_assignment lemma3 a in
+        let seq = Fn.clique_first_seq fn clique in
+        Some (Qo.Instances.Nl_log.cost fn.Fn.instance seq)
+  in
+  { formula; satisfiable; lemma3; fn; witness_cost }
+
+type qoh_chain = {
+  formula : Sat.Cnf.t;
+  satisfiable : bool;
+  lemma4 : Lemma4.t;
+  fh : Fh.t;
+  witness_cost : Logreal.t option;
+}
+
+let theorem15 ?(log2_a = 8.0) ?nu formula =
+  let formula = ensure_3sat13 formula in
+  let result = solve_sat formula in
+  let satisfiable = match result with Sat.Dpll.Sat _ -> true | Sat.Dpll.Unsat -> false in
+  let lemma4 = Lemma4.reduce formula in
+  let fh = Fh.of_lemma4 ?nu lemma4 ~log2_a in
+  let witness_cost =
+    match result with
+    | Sat.Dpll.Unsat -> None
+    | Sat.Dpll.Sat a ->
+        let clique = Lemma4.clique_of_assignment lemma4 a in
+        Some (Fh.lemma12_cost fh ~clique)
+  in
+  { formula; satisfiable; lemma4; fh; witness_cost }
+
+type sparse_qon_chain = {
+  formula : Sat.Cnf.t;
+  satisfiable : bool;
+  lemma3 : Lemma3.t;
+  fne : Fne.t;
+  witness_cost : Logreal.t option;
+}
+
+let theorem16 ?(theta = 1.0 /. 8.0) ?log2_alpha ~k ~tau formula =
+  let formula = ensure_3sat13 formula in
+  let result = solve_sat formula in
+  let satisfiable = match result with Sat.Dpll.Sat _ -> true | Sat.Dpll.Unsat -> false in
+  let lemma3 = Lemma3.reduce formula in
+  let g = lemma3.Lemma3.graph in
+  let lo, _ = Fne.edge_budget ~graph:g ~k in
+  let e m = Stdlib.max lo (m + int_of_float (Float.pow (float_of_int m) tau)) in
+  let fne =
+    Fne.reduce ~graph:g ~c:lemma3.Lemma3.c ~d:(lemma3.Lemma3.d_of_theta theta) ~k ~e
+      ?log2_alpha ()
+  in
+  let witness_cost =
+    match result with
+    | Sat.Dpll.Unsat -> None
+    | Sat.Dpll.Sat a ->
+        let clique = Lemma3.clique_of_assignment lemma3 a in
+        let seq = Fne.witness_seq fne ~clique in
+        Some (Qo.Instances.Nl_log.cost fne.Fne.instance seq)
+  in
+  { formula; satisfiable; lemma3; fne; witness_cost }
+
+type sparse_qoh_chain = {
+  formula : Sat.Cnf.t;
+  satisfiable : bool;
+  lemma4 : Lemma4.t;
+  fhe : Fhe.t;
+  witness_cost : Logreal.t option;
+}
+
+let theorem17 ?log2_a ?nu ~k ~tau formula =
+  let formula = ensure_3sat13 formula in
+  let result = solve_sat formula in
+  let satisfiable = match result with Sat.Dpll.Sat _ -> true | Sat.Dpll.Unsat -> false in
+  let lemma4 = Lemma4.reduce formula in
+  let g = lemma4.Lemma4.graph in
+  let lo, _ = Fhe.edge_budget ~graph:g ~k in
+  let e m = Stdlib.max lo (m + int_of_float (Float.pow (float_of_int m) tau)) in
+  let fhe = Fhe.reduce ~graph:g ~k ~e ?log2_a ?nu () in
+  let witness_cost =
+    match result with
+    | Sat.Dpll.Unsat -> None
+    | Sat.Dpll.Sat a ->
+        let clique = Lemma4.clique_of_assignment lemma4 a in
+        let seq, decomp = Fhe.witness_plan fhe ~clique in
+        Some (Qo.Hash.cost_of_decomposition fhe.Fhe.instance seq decomp)
+  in
+  { formula; satisfiable; lemma4; fhe; witness_cost }
+
+type appendix_chain = {
+  numbers : int list;
+  partitionable : bool;
+  sppcs : Partition_to_sppcs.t;
+  sppcs_yes : bool;
+  sqocp : Sppcs_to_sqocp.t;
+  sqocp_yes : bool;
+}
+
+let appendix numbers =
+  let partitionable = Sqo.Partition.decide numbers in
+  let sppcs = Partition_to_sppcs.reduce numbers in
+  let sppcs_yes = Sqo.Sppcs.decide sppcs.Partition_to_sppcs.sppcs in
+  let sqocp = Sppcs_to_sqocp.reduce sppcs.Partition_to_sppcs.sppcs in
+  let sqocp_yes = Sppcs_to_sqocp.decide sqocp in
+  { numbers; partitionable; sppcs; sppcs_yes; sqocp; sqocp_yes }

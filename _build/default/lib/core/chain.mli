@@ -1,0 +1,79 @@
+(** End-to-end composed reduction pipelines (Theorems 9 and 15, and the
+    Appendix chain), with provenance at every stage.
+
+    These functions run the whole published chain on a concrete
+    formula / integer list and return every intermediate object, so
+    experiments can verify each link (and the test suite can check the
+    YES/NO answer is preserved across every hop). *)
+
+type qon_chain = {
+  formula : Sat.Cnf.t;
+      (** the formula actually reduced: inputs outside exactly-3 CNF
+          with occurrence bound 13 are normalized first
+          ({!Sat.Exact3.normalize13}), as Section 3 of the paper
+          assumes. *)
+  satisfiable : bool;  (** decided by DPLL. *)
+  lemma3 : Lemma3.t;
+  fn : Fn.t;
+  witness_cost : Logreal.t option;
+      (** cost of the clique-first sequence built from a satisfying
+          assignment (YES instances only). *)
+}
+
+val theorem9 : ?theta:float -> ?log2_a:float -> Sat.Cnf.t -> qon_chain
+(** 3SAT -> (Lemma 3) CLIQUE -> (f_N) [QO_N]. [theta] is the promise
+    gap used for the NO-side bound (default [1/8], the exact MaxSAT
+    deficit of the {!Sat.Gen.all_sign_blocks} family); [log2_a]
+    defaults to 8. *)
+
+type qoh_chain = {
+  formula : Sat.Cnf.t;
+  satisfiable : bool;
+  lemma4 : Lemma4.t;
+  fh : Fh.t;
+  witness_cost : Logreal.t option;
+      (** Lemma-12 witness-plan cost (YES instances only). *)
+}
+
+val theorem15 : ?log2_a:float -> ?nu:float -> Sat.Cnf.t -> qoh_chain
+(** 3SAT -> (Lemma 4) 2/3-CLIQUE -> (f_H) [QO_H]. *)
+
+type sparse_qon_chain = {
+  formula : Sat.Cnf.t;
+  satisfiable : bool;
+  lemma3 : Lemma3.t;
+  fne : Fne.t;
+  witness_cost : Logreal.t option;
+}
+
+val theorem16 :
+  ?theta:float -> ?log2_alpha:float -> k:int -> tau:float -> Sat.Cnf.t -> sparse_qon_chain
+(** 3SAT -> CLIQUE -> (f_{N,e}) sparse [QO_N] with
+    [e(m) = m + ceil(m^tau)] (raised to the achievable floor when the
+    embedded instance needs more). The query graph has [m = n^k]
+    vertices. *)
+
+type sparse_qoh_chain = {
+  formula : Sat.Cnf.t;
+  satisfiable : bool;
+  lemma4 : Lemma4.t;
+  fhe : Fhe.t;
+  witness_cost : Logreal.t option;
+}
+
+val theorem17 :
+  ?log2_a:float -> ?nu:float -> k:int -> tau:float -> Sat.Cnf.t -> sparse_qoh_chain
+(** 3SAT -> 2/3-CLIQUE -> (f_{H,e}) sparse [QO_H]. *)
+
+type appendix_chain = {
+  numbers : int list;
+  partitionable : bool;  (** decided by the subset-sum DP. *)
+  sppcs : Partition_to_sppcs.t;
+  sppcs_yes : bool;  (** decided by branch and bound. *)
+  sqocp : Sppcs_to_sqocp.t;
+  sqocp_yes : bool;  (** exact SQO-CP optimum vs threshold. *)
+}
+
+val appendix : int list -> appendix_chain
+(** PARTITION -> SPPCS -> SQO-CP, all three deciders run. Exponential
+    in the input length; intended for [n <= ~6]. *)

@@ -1,0 +1,73 @@
+type t = {
+  instance : Qo.Hash.t;
+  n : int;
+  v0 : int;
+  log2_a : float;
+  t_size : Logreal.t;
+  t0 : Logreal.t;
+  memory : Logreal.t;
+  l_bound : Logreal.t;
+}
+
+let reduce ?(nu = 0.5) ~graph ~log2_a () =
+  let n = Graphlib.Ugraph.vertex_count graph in
+  if n < 6 || n mod 3 <> 0 then invalid_arg "Fh.reduce: n must be >= 6 and divisible by 3";
+  if log2_a < 2.0 then invalid_arg "Fh.reduce: need a >= 4";
+  let nf = float_of_int n in
+  let t_size = Logreal.of_log2 ((nf -. 1.0) /. 2.0 *. log2_a) in
+  let hjmin_t = Logreal.pow t_size nu in
+  let memory =
+    Logreal.add
+      (Logreal.mul (Logreal.of_int ((n / 3) - 1)) t_size)
+      (Logreal.mul Logreal.two hjmin_t)
+  in
+  (* hub size: smallest with hjmin(t0) > M, i.e. t0 = M^{1/nu} * 2 *)
+  let t0 = Logreal.of_log2 ((Logreal.to_log2 memory /. nu) +. 1.0) in
+  assert (Logreal.compare (Logreal.pow t0 nu) memory > 0);
+  (* query graph: original plus hub connected to every original vertex *)
+  let q = Graphlib.Ugraph.create (n + 1) in
+  List.iter (fun (i, j) -> Graphlib.Ugraph.add_edge q i j) (Graphlib.Ugraph.edges graph);
+  for i = 0 to n - 1 do
+    Graphlib.Ugraph.add_edge q n i
+  done;
+  let half = Logreal.of_log2 (-1.0) in
+  let inv_a = Logreal.of_log2 (-.log2_a) in
+  let sel =
+    Array.init (n + 1) (fun i ->
+        Array.init (n + 1) (fun j ->
+            if i = j then Logreal.one
+            else if i = n || j = n then half
+            else if Graphlib.Ugraph.has_edge graph i j then inv_a
+            else Logreal.one))
+  in
+  let sizes = Array.init (n + 1) (fun i -> if i = n then t0 else t_size) in
+  let instance = Qo.Hash.make ~nu ~graph:q ~sel ~sizes ~memory () in
+  let l_bound = Logreal.mul t0 (Logreal.of_log2 (nf *. nf /. 9.0 *. log2_a)) in
+  { instance; n; v0 = n; log2_a; t_size; t0; memory; l_bound }
+
+let of_lemma4 ?nu (l : Lemma4.t) ~log2_a = reduce ?nu ~graph:l.Lemma4.graph ~log2_a ()
+
+let g_bound t ~eps =
+  let nf = float_of_int t.n in
+  Logreal.mul t.t0
+    (Logreal.of_log2 (((nf *. nf /. 9.0) +. (nf *. eps /. 3.0) -. 1.0) *. t.log2_a))
+
+let lemma12_plan t ~clique =
+  let n = t.n in
+  if List.length clique <> 2 * n / 3 then invalid_arg "Fh.lemma12_plan: clique must have 2n/3 vertices";
+  let g = t.instance.Qo.Hash.graph in
+  (* check pairwise adjacency in the original graph (hub is adjacent to
+     everyone anyway) *)
+  if not (Graphlib.Ugraph.is_clique g clique) then invalid_arg "Fh.lemma12_plan: not a clique";
+  let in_clique = Array.make (n + 1) false in
+  List.iter (fun v -> in_clique.(v) <- true) clique;
+  let rest = List.filter (fun v -> not in_clique.(v)) (List.init n (fun i -> i)) in
+  let seq = Array.of_list ((t.v0 :: clique) @ rest) in
+  let decomposition =
+    [ (1, 1); (2, n / 3); ((n / 3) + 1, 2 * n / 3); ((2 * n / 3) + 1, n - 1); (n, n) ]
+  in
+  (seq, decomposition)
+
+let lemma12_cost t ~clique =
+  let seq, d = lemma12_plan t ~clique in
+  Qo.Hash.cost_of_decomposition t.instance seq d

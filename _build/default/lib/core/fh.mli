@@ -1,0 +1,50 @@
+(** The reduction [f_H]: 2/3-CLIQUE -> [QO_H] (Section 5 of the paper).
+
+    Given a 2/3-CLIQUE instance [G] on [n] vertices ([n] divisible by
+    3) and a parameter [a = Omega(4^n)], the produced [QO_H] instance
+    adds a hub relation [R_0] (vertex index [n]) joined to every
+    original vertex:
+    - sizes: [t = a^{(n-1)/2}] for original relations; [t_0] for the
+      hub, chosen as the least size with [hjmin(t_0) > M] — this forces
+      every feasible sequence to start with [v_0] (no hash table can be
+      built on [R_0]);
+    - selectivities: [1/a] on edges of [G], [1/2] on hub edges;
+    - memory [M = (n/3 - 1) t + 2 hjmin(t)]: enough for [n/3 - 1]
+      full-size hash tables plus two minimum allocations.
+
+    Certified bounds (Lemmas 12 and 14):
+    - YES ([omega(G) >= 2n/3]): the 5-pipeline decomposition of the
+      clique-first sequence costs [O(L(a,n))], [L = t_0 a^{n^2/9}];
+    - NO ([omega(G) <= (2-eps) n/3]): every sequence and decomposition
+      costs [Omega(G(a,n))], [G = t_0 a^{n^2/9 + n eps/3 - 1}] — a
+      multiplicative gap of [a^{Theta(n)}] (Theorem 15). *)
+
+type t = {
+  instance : Qo.Hash.t;
+  n : int;  (** original vertices; the instance has [n + 1]. *)
+  v0 : int;  (** index of the hub vertex ([= n]). *)
+  log2_a : float;
+  t_size : Logreal.t;
+  t0 : Logreal.t;
+  memory : Logreal.t;
+  l_bound : Logreal.t;  (** [L(a, n)]. *)
+}
+
+val reduce : ?nu:float -> graph:Graphlib.Ugraph.t -> log2_a:float -> unit -> t
+(** @raise Invalid_argument unless [n >= 6], [n] divisible by 3 and
+    [log2_a >= 2]. *)
+
+val of_lemma4 : ?nu:float -> Lemma4.t -> log2_a:float -> t
+
+val g_bound : t -> eps:float -> Logreal.t
+(** [G(a, n)] for the given promise slack [eps]. *)
+
+val lemma12_plan : t -> clique:int list -> int array * Qo.Hash.decomposition
+(** The Lemma-12 witness: sequence [v_0 :: clique :: rest] with the
+    5-pipeline decomposition
+    [(1,1); (2,n/3); (n/3+1,2n/3); (2n/3+1,n-1); (n,n)].
+    @raise Invalid_argument unless [clique] has exactly [2n/3]
+    vertices forming a clique of [G]. *)
+
+val lemma12_cost : t -> clique:int list -> Logreal.t
+(** Cost of the witness plan (to compare against [l_bound]). *)

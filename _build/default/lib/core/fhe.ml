@@ -1,0 +1,103 @@
+type t = {
+  instance : Qo.Hash.t;
+  fh : Fh.t;
+  n : int;
+  m : int;
+  k : int;
+  edges : int;
+  v0 : int;
+}
+
+let edge_budget ~graph ~k =
+  let n = Graphlib.Ugraph.vertex_count graph in
+  let e1 = Graphlib.Ugraph.edge_count graph in
+  let m = int_of_float (Float.pow (float_of_int n) (float_of_int k) +. 0.5) in
+  let v2 = m - n - 1 in
+  (* E1 + hub edges (n) + bridge (1) + G2 spanning tree .. G2 complete *)
+  (e1 + n + 1 + (v2 - 1), e1 + n + 1 + (v2 * (v2 - 1) / 2))
+
+let reduce ~graph ~k ~e ?log2_a ?(nu = 0.5) () =
+  let n = Graphlib.Ugraph.vertex_count graph in
+  if n < 6 || n mod 3 <> 0 then invalid_arg "Fhe.reduce: n must be >= 6 and divisible by 3";
+  if k < 2 then invalid_arg "Fhe.reduce: k must be >= 2";
+  let m = int_of_float (Float.pow (float_of_int n) (float_of_int k) +. 0.5) in
+  let e1 = Graphlib.Ugraph.edge_count graph in
+  let target_edges = e m in
+  let lo, hi = edge_budget ~graph ~k in
+  if target_edges < lo || target_edges > hi then
+    invalid_arg
+      (Printf.sprintf "Fhe.reduce: e(m)=%d outside achievable [%d,%d]" target_edges lo hi);
+  let log2_a =
+    match log2_a with
+    | Some a -> a
+    | None -> Float.min 1e12 (2.0 *. Float.pow (float_of_int n) (float_of_int (k + 1)))
+  in
+  (* embedded dense instance (vertices 0..n-1 original, n = hub) *)
+  let fh = Fh.reduce ~nu ~graph ~log2_a () in
+  let v2_count = m - n - 1 in
+  let e2_count = target_edges - e1 - n - 1 in
+  let g2 = Graphlib.Connect.connected_with_edges ~n:v2_count ~m:e2_count in
+  (* layout: [0..n-1] = V1, [n] = hub v0, [n+1..m-1] = V2 *)
+  let q = Graphlib.Ugraph.create m in
+  List.iter (fun (i, j) -> Graphlib.Ugraph.add_edge q i j) (Graphlib.Ugraph.edges graph);
+  for i = 0 to n - 1 do
+    Graphlib.Ugraph.add_edge q n i
+  done;
+  List.iter
+    (fun (i, j) -> Graphlib.Ugraph.add_edge q (n + 1 + i) (n + 1 + j))
+    (Graphlib.Ugraph.edges g2);
+  Graphlib.Ugraph.add_edge q 0 (n + 1);
+  assert (Graphlib.Ugraph.edge_count q = target_edges);
+  let u_size = Logreal.of_log2 (float_of_int n) (* 2^n *) in
+  let half = Logreal.of_log2 (-1.0) in
+  let inv_a = Logreal.of_log2 (-.log2_a) in
+  let sizes =
+    Array.init m (fun v -> if v < n then fh.Fh.t_size else if v = n then fh.Fh.t0 else u_size)
+  in
+  let sel =
+    Array.init m (fun i ->
+        Array.init m (fun j ->
+            if i = j || not (Graphlib.Ugraph.has_edge q i j) then Logreal.one
+            else if i < n && j < n then inv_a (* E1 *)
+            else if i = n || j = n then half (* hub edges *)
+            else half (* E2 and bridge *)))
+  in
+  let instance = Qo.Hash.make ~nu ~graph:q ~sel ~sizes ~memory:fh.Fh.memory () in
+  { instance; fh; n; m; k; edges = target_edges; v0 = n }
+
+let witness_plan t ~clique =
+  let n = t.n in
+  if List.length clique <> 2 * n / 3 then
+    invalid_arg "Fhe.witness_plan: clique must have 2n/3 vertices";
+  if not (Graphlib.Ugraph.is_clique t.instance.Qo.Hash.graph clique) then
+    invalid_arg "Fhe.witness_plan: not a clique";
+  if List.exists (fun v -> v >= n) clique then invalid_arg "Fhe.witness_plan: clique must lie in V1";
+  let in_clique = Array.make n false in
+  List.iter (fun v -> in_clique.(v) <- true) clique;
+  let rest_v1 = List.filter (fun v -> not in_clique.(v)) (List.init n (fun i -> i)) in
+  (* V2 in BFS order from the bridge endpoint n+1 *)
+  let q = t.instance.Qo.Hash.graph in
+  let placed = Array.make t.m false in
+  let v2_order = ref [] in
+  let bfs = Queue.create () in
+  Queue.add (n + 1) bfs;
+  placed.(n + 1) <- true;
+  while not (Queue.is_empty bfs) do
+    let v = Queue.pop bfs in
+    v2_order := v :: !v2_order;
+    Graphlib.Bitset.iter
+      (fun u ->
+        if u > n && not placed.(u) then begin
+          placed.(u) <- true;
+          Queue.add u bfs
+        end)
+      (Graphlib.Ugraph.neighbors q v)
+  done;
+  let v2_order = List.rev !v2_order in
+  if List.length v2_order <> t.m - n - 1 then invalid_arg "Fhe.witness_plan: G2 not connected";
+  let seq = Array.of_list (((t.v0 :: clique) @ rest_v1) @ v2_order) in
+  let dense =
+    [ (1, 1); (2, n / 3); ((n / 3) + 1, 2 * n / 3); ((2 * n / 3) + 1, n - 1); (n, n) ]
+  in
+  let decomposition = if t.m - 1 >= n + 1 then dense @ [ (n + 1, t.m - 1) ] else dense in
+  (seq, decomposition)

@@ -1,0 +1,41 @@
+(** The sparse reduction [f_{H,e}]: 2/3-CLIQUE -> [QO_H] with a
+    prescribed query-graph edge count (Section 6.2 of the paper).
+
+    The [f_H] construction ([G1] plus hub [v_0]) is embedded in a query
+    graph on [m = n^k] vertices: an auxiliary connected graph [G2] on
+    [m - n - 1] vertices carries exactly
+    [e(m) - |E1| - n - 1] edges, plus one bridge edge. [V2] relations
+    are tiny (size [2^n]) with selectivity [1/2] edges, so their joins
+    neither help nor hurt at the [alpha^{Theta(n)}] scale of the gap:
+    Theorem 17's [L]/[G] bounds are those of the embedded [f_H]
+    instance. (The printed Section 6.2 is ambiguous between hub
+    selectivities [1/2] and [1/2^n]; we keep [1/2] so Lemmas 11–14
+    apply verbatim — see DESIGN.md.) *)
+
+type t = {
+  instance : Qo.Hash.t;
+  fh : Fh.t;  (** the embedded dense instance (for its bounds). *)
+  n : int;
+  m : int;  (** total vertices, [n^k]. *)
+  k : int;
+  edges : int;  (** [e(m)], exactly. *)
+  v0 : int;  (** hub index ([= n], as in [f_H]). *)
+}
+
+val reduce :
+  graph:Graphlib.Ugraph.t ->
+  k:int ->
+  e:(int -> int) ->
+  ?log2_a:float ->
+  ?nu:float ->
+  unit ->
+  t
+(** [log2_a] defaults to the paper's [Omega(4^{n^{k+1}})] capped to
+    float range. @raise Invalid_argument on an unachievable edge
+    budget or [n] not a positive multiple of 3 (at least 6). *)
+
+val edge_budget : graph:Graphlib.Ugraph.t -> k:int -> int * int
+
+val witness_plan : t -> clique:int list -> int array * Qo.Hash.decomposition
+(** Lemma-12 witness extended with one pipeline over the (cheap) [V2]
+    joins. *)

@@ -1,0 +1,97 @@
+type t = {
+  instance : Qo.Instances.Nl_log.t;
+  n : int;
+  log2_a : float;
+  c : float;
+  d : float;
+  t_size : Logreal.t;
+  w_edge : Logreal.t;
+  k_cd : Logreal.t;
+  no_lower_bound : Logreal.t;
+}
+
+module NL = Qo.Instances.Nl_log
+
+(* Discrete peak of the clique-prefix cost curve: the exponent (in
+   powers of a, excluding the w factor) of the largest H_i along a
+   clique-first sequence is max_i (P i - i(i-1)/2) with P = (c-d/2) n.
+   The paper writes K_{c,d} with [(c-d/2)n] treated as an integer; for
+   fractional P the discrete maximum can exceed P(P+1)/2 by O(1), so we
+   use the exact discrete value (Lemma 6 then gives C <= a * H_peak,
+   i.e. one extra power of a). *)
+let clique_peak_exponent ~p_real ~n =
+  let best = ref 0.0 in
+  for i = 1 to n do
+    let fi = float_of_int i in
+    let v = (p_real *. fi) -. (fi *. (fi -. 1.0) /. 2.0) in
+    if v > !best then best := v
+  done;
+  !best
+
+(* Lemma 8 lower bound for NO instances, exactly as derived: with
+   m = floor(P) and every clique bounded by omega_no, any sequence has
+   D_m(Z) <= m(m-1)/2 - m + min(m, omega_no)  (Lemma 7), so
+   C(Z) >= H_m >= w * a^{P m - D_m}. *)
+let lemma8_exponent ~p_real ~omega_no =
+  let m = int_of_float (Float.floor p_real) in
+  let mf = float_of_int m in
+  let d_bound = (mf *. (mf -. 1.0) /. 2.0) -. mf +. float_of_int (Stdlib.min m omega_no) in
+  (p_real *. mf) -. d_bound
+
+let reduce ~graph ~c ~d ~log2_a =
+  if log2_a < 2.0 then invalid_arg "Fn.reduce: need a >= 4 (log2_a >= 2)";
+  if c <= 0.0 || c > 1.0 || d <= 0.0 || d >= c then invalid_arg "Fn.reduce: bad promise constants";
+  let n = Graphlib.Ugraph.vertex_count graph in
+  if n < 2 then invalid_arg "Fn.reduce: need at least two vertices";
+  let nf = float_of_int n in
+  (* t = a^{(c - d/2) n } *)
+  let t_exp = (c -. (d /. 2.0)) *. nf in
+  let t_size = Logreal.of_log2 (t_exp *. log2_a) in
+  let w_edge = Logreal.of_log2 ((t_exp -. 1.0) *. log2_a) in
+  let edge_sel = Logreal.of_log2 (-.log2_a) in
+  let instance = NL.uniform ~graph ~size:t_size ~edge_sel ~edge_w:w_edge in
+  (* K_{c,d}(a,n) = w * a^{peak + 1} — YES upper bound (Lemma 6) *)
+  let peak = clique_peak_exponent ~p_real:t_exp ~n in
+  let k_cd = Logreal.mul w_edge (Logreal.of_log2 ((peak +. 1.0) *. log2_a)) in
+  let omega_no = int_of_float (Float.floor ((c -. d) *. nf)) in
+  let no_lower_bound =
+    Logreal.mul w_edge (Logreal.of_log2 (lemma8_exponent ~p_real:t_exp ~omega_no *. log2_a))
+  in
+  { instance; n; log2_a; c; d; t_size; w_edge; k_cd; no_lower_bound }
+
+let of_lemma3 (l : Lemma3.t) ~theta ~log2_a =
+  reduce ~graph:l.Lemma3.graph ~c:l.Lemma3.c ~d:(l.Lemma3.d_of_theta theta) ~log2_a
+
+let alpha_for_delta ~delta ~n =
+  if delta <= 0.0 || delta > 1.0 then invalid_arg "Fn.alpha_for_delta: delta in (0,1]";
+  2.0 *. Float.pow (float_of_int n) (1.0 /. delta)
+
+let gap_exponent t = Logreal.to_log2 t.no_lower_bound -. Logreal.to_log2 t.k_cd
+
+let clique_first_seq t clique =
+  let g = t.instance.NL.graph in
+  let n = Graphlib.Ugraph.vertex_count g in
+  if not (Graphlib.Ugraph.is_clique g clique) then
+    invalid_arg "Fn.clique_first_seq: not a clique";
+  let seq = Array.make n (-1) in
+  let placed = Array.make n false in
+  (* touched.(v): v has an edge into the current prefix *)
+  let touched = Array.make n false in
+  let pos = ref 0 in
+  let put v =
+    seq.(!pos) <- v;
+    placed.(v) <- true;
+    incr pos;
+    Graphlib.Bitset.iter (fun u -> touched.(u) <- true) (Graphlib.Ugraph.neighbors g v)
+  in
+  List.iter put clique;
+  (* complete with vertices connected to the prefix: O(n^2) overall *)
+  while !pos < n do
+    let found = ref (-1) in
+    for v = n - 1 downto 0 do
+      if (not placed.(v)) && (touched.(v) || !pos = 0) then found := v
+    done;
+    if !found < 0 then invalid_arg "Fn.clique_first_seq: no connected completion";
+    put !found
+  done;
+  seq

@@ -1,0 +1,70 @@
+(** The reduction [f_N]: CLIQUE -> [QO_N] (Section 4 of the paper).
+
+    Given a CLIQUE instance [G] on [n] vertices (promise: either a
+    clique of size [>= c n] exists, or every clique has size
+    [<= (c - d) n]) and the parameter [a = alpha(n)], the produced
+    [QO_N] instance has:
+    - query graph [Q = G];
+    - all relation sizes [t = a^{(c - d/2) n}];
+    - edge selectivities [1/a];
+    - edge access costs [w = t / a], off-edge costs [t].
+
+    The instance lives in the log domain ({!Qo.Instances.Nl_log}):
+    with the paper's [a = 4^{n^{1/delta}}], [t] has [Theta(n^{1+1/delta})]
+    bits.
+
+    The certified bounds (Lemmas 6 and 8), computed with the exact
+    discrete peak instead of the paper's implicit assumption that
+    [(c - d/2) n] is an integer:
+    - YES: the clique-first sequence costs at most
+      [K_{c,d}(a,n) = w * a^{peak + 1}], where
+      [peak = max_i (P i - i(i-1)/2)], [P = (c - d/2) n];
+    - NO: {e every} sequence costs at least
+      [w * a^{P m - (m(m-1)/2 - m + min(m, omega_no))}] with
+      [m = floor P], [omega_no = floor((c-d) n)] (Lemmas 7 and 8).
+
+    The multiplicative gap is [a^{Theta(d n)}], which becomes
+    [2^{Theta(log^{1-delta} K)}] under the paper's choice of [a]
+    (Theorem 9). *)
+
+type t = {
+  instance : Qo.Instances.Nl_log.t;
+  n : int;
+  log2_a : float;
+  c : float;
+  d : float;
+  t_size : Logreal.t;  (** relation size [t]. *)
+  w_edge : Logreal.t;  (** edge access cost [w = t/a]. *)
+  k_cd : Logreal.t;  (** [K_{c,d}(a,n)] — the YES upper bound. *)
+  no_lower_bound : Logreal.t;  (** the Lemma-8 universal lower bound for NO instances. *)
+}
+
+val reduce : graph:Graphlib.Ugraph.t -> c:float -> d:float -> log2_a:float -> t
+(** @raise Invalid_argument when [log2_a < 2] (the paper assumes
+    [a >= 4]), [c <= 0], [d <= 0], [c > 1] or [d >= c]. *)
+
+val of_lemma3 : Lemma3.t -> theta:float -> log2_a:float -> t
+(** Compose with {!Lemma3}: [c] and [d] are read off the lemma
+    output. *)
+
+val alpha_for_delta : delta:float -> n:int -> float
+(** [log2 a] for the paper's [a(n) = 4^{n^{1/delta}}]. *)
+
+val clique_first_seq : t -> int list -> int array
+(** The Lemma-6 witness sequence: the given clique first, then the
+    remaining vertices in a connected (cartesian-product-free) order.
+    @raise Invalid_argument when the listed vertices are not a clique
+    of the query graph or no connected completion exists. *)
+
+val gap_exponent : t -> float
+(** [log2 (no_lower_bound / k_cd)]: the certified YES/NO gap in bits
+    (asymptotically [((d/2) n - O(1)) log2 a]; can be nonpositive for
+    tiny [n], where the experiments fall back on measured optima). *)
+
+val clique_peak_exponent : p_real:float -> n:int -> float
+(** [max_i (P i - i(i-1)/2)] over [1 <= i <= n] — shared with the
+    sparse reduction {!Fne}. *)
+
+val lemma8_exponent : p_real:float -> omega_no:int -> float
+(** The Lemma-8 lower-bound exponent (in powers of [a], excluding the
+    [w] factor). *)

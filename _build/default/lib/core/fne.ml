@@ -1,0 +1,157 @@
+module NL = Qo.Instances.Nl_log
+
+type t = {
+  instance : NL.t;
+  n : int;
+  m : int;
+  k : int;
+  edges : int;
+  log2_alpha : float;
+  log2_beta : float;
+  c : float;
+  d : float;
+  k_cd : Logreal.t;
+  no_lower_bound : Logreal.t;
+}
+
+let edge_budget ~graph ~k =
+  let n = Graphlib.Ugraph.vertex_count graph in
+  let e1 = Graphlib.Ugraph.edge_count graph in
+  let m = int_of_float (Float.pow (float_of_int n) (float_of_int k) +. 0.5) in
+  let v2 = m - n in
+  (e1 + 1 + (v2 - 1), e1 + 1 + (v2 * (v2 - 1) / 2))
+
+let reduce ~graph ~c ~d ~k ~e ?log2_alpha () =
+  let n = Graphlib.Ugraph.vertex_count graph in
+  if n < 2 then invalid_arg "Fne.reduce: need at least two vertices";
+  if k < 2 then invalid_arg "Fne.reduce: k must be >= 2";
+  let m = int_of_float (Float.pow (float_of_int n) (float_of_int k) +. 0.5) in
+  let e1 = Graphlib.Ugraph.edge_count graph in
+  let target_edges = e m in
+  let lo, hi = edge_budget ~graph ~k in
+  if target_edges < lo || target_edges > hi then
+    invalid_arg
+      (Printf.sprintf "Fne.reduce: e(m)=%d outside achievable [%d,%d]" target_edges lo hi);
+  (* auxiliary connected graph G2 *)
+  let v2_count = m - n in
+  let e2_count = target_edges - e1 - 1 in
+  let g2 = Graphlib.Connect.connected_with_edges ~n:v2_count ~m:e2_count in
+  (* query graph: G1 on [0..n-1], G2 on [n..m-1], bridge 0 -- n *)
+  let q = Graphlib.Ugraph.create m in
+  List.iter (fun (i, j) -> Graphlib.Ugraph.add_edge q i j) (Graphlib.Ugraph.edges graph);
+  List.iter (fun (i, j) -> Graphlib.Ugraph.add_edge q (n + i) (n + j)) (Graphlib.Ugraph.edges g2);
+  Graphlib.Ugraph.add_edge q 0 n;
+  assert (Graphlib.Ugraph.edge_count q = target_edges);
+  let log2_beta = 2.0 in
+  let log2_alpha =
+    match log2_alpha with
+    | Some a -> a
+    | None ->
+        (* the paper's alpha = beta^{n^{2k+2}}, kept inside float range *)
+        Float.min 1e12 (log2_beta *. Float.pow (float_of_int n) (float_of_int ((2 * k) + 2)))
+  in
+  if log2_alpha < 2.0 then invalid_arg "Fne.reduce: alpha too small";
+  let nf = float_of_int n in
+  let t_exp = (c -. (d /. 2.0)) *. nf in
+  let t_size = Logreal.of_log2 (t_exp *. log2_alpha) in
+  let u_size = Logreal.of_log2 (nf *. log2_beta) in
+  let inv_alpha = Logreal.of_log2 (-.log2_alpha) in
+  let inv_beta = Logreal.of_log2 (-.log2_beta) in
+  let size_of v = if v < n then t_size else u_size in
+  let sel_of i j =
+    if i < n && j < n then inv_alpha (* E1 edge *)
+    else inv_beta (* E2 or bridge *)
+  in
+  let sel =
+    Array.init m (fun i ->
+        Array.init m (fun j ->
+            if i <> j && Graphlib.Ugraph.has_edge q i j then sel_of i j else Logreal.one))
+  in
+  (* access costs at the constraint minimum t_j * s_jk on edges *)
+  let w =
+    Array.init m (fun i ->
+        Array.init m (fun j ->
+            if i <> j && Graphlib.Ugraph.has_edge q i j then Logreal.mul (size_of i) (sel_of i j)
+            else size_of i))
+  in
+  let sizes = Array.init m size_of in
+  let instance = NL.make ~graph:q ~sel ~sizes ~w in
+  let w_edge = Logreal.mul t_size inv_alpha in
+  let k_cd =
+    Logreal.mul w_edge
+      (Logreal.of_log2 ((Fn.clique_peak_exponent ~p_real:t_exp ~n +. 1.0) *. log2_alpha))
+  in
+  let omega_no = int_of_float (Float.floor ((c -. d) *. nf)) in
+  let no_lower_bound =
+    Logreal.mul w_edge
+      (Logreal.of_log2 (Fn.lemma8_exponent ~p_real:t_exp ~omega_no *. log2_alpha))
+  in
+  {
+    instance;
+    n;
+    m;
+    k;
+    edges = target_edges;
+    log2_alpha;
+    log2_beta;
+    c;
+    d;
+    k_cd;
+    no_lower_bound;
+  }
+
+let witness_seq t ~clique =
+  let q = t.instance.NL.graph in
+  if not (Graphlib.Ugraph.is_clique q clique) then invalid_arg "Fne.witness_seq: not a clique";
+  if List.exists (fun v -> v >= t.n) clique then
+    invalid_arg "Fne.witness_seq: clique must lie in V1";
+  let placed = Array.make t.m false in
+  let seq = Array.make t.m (-1) in
+  let pos = ref 0 in
+  let put v =
+    seq.(!pos) <- v;
+    placed.(v) <- true;
+    incr pos
+  in
+  List.iter put clique;
+  (* connected completion of V1 *)
+  let progress = ref true in
+  while !pos < t.n && !progress do
+    progress := false;
+    for v = 0 to t.n - 1 do
+      if (not placed.(v)) && !pos < t.n then begin
+        let connected =
+          !pos = 0
+          || Graphlib.Bitset.fold
+               (fun u acc -> acc || placed.(u))
+               (Graphlib.Ugraph.neighbors q v)
+               false
+        in
+        if connected then begin
+          put v;
+          progress := true
+        end
+      end
+    done
+  done;
+  if !pos < t.n then invalid_arg "Fne.witness_seq: V1 not connected";
+  (* G2 by BFS from the bridge endpoint n *)
+  let bfs = Queue.create () in
+  Queue.add t.n bfs;
+  placed.(t.n) <- true;
+  seq.(!pos) <- t.n;
+  incr pos;
+  while not (Queue.is_empty bfs) do
+    let v = Queue.pop bfs in
+    Graphlib.Bitset.iter
+      (fun u ->
+        if u >= t.n && not placed.(u) then begin
+          placed.(u) <- true;
+          seq.(!pos) <- u;
+          incr pos;
+          Queue.add u bfs
+        end)
+      (Graphlib.Ugraph.neighbors q v)
+  done;
+  if !pos < t.m then invalid_arg "Fne.witness_seq: G2 not connected";
+  seq

@@ -1,0 +1,59 @@
+(** The sparse reduction [f_{N,e}]: CLIQUE -> [QO_N] with a prescribed
+    query-graph edge count (Section 6.1 of the paper).
+
+    The CLIQUE instance [G1] ([n] vertices, [|E1|] edges) is embedded
+    in a query graph on [m = n^k] vertices ([k = Theta(2/tau)]): an
+    auxiliary {e connected} graph [G2] on [m - n] vertices carries
+    exactly [e(m) - |E1| - 1] edges, and a single bridge edge joins an
+    arbitrary vertex of each side, so [|E| = e(m)] exactly.
+
+    Parameters ([beta = 4], [alpha = beta^{n^{2k+2}}]):
+    - [V1] relations keep the [f_N] sizing [t = alpha^{(c-d/2) n}],
+      [E1] selectivities [1/alpha], access costs [t/alpha];
+    - [V2] relations have size [u = beta^n], [E2] selectivities
+      [1/beta], access costs [u/beta];
+    - the bridge has selectivity [1/beta]; we set its access costs to
+      the minimum the [QO_N] constraints allow ([t_j * s]) — the
+      paper's printed assignment ([t/alpha] from the [V1] side) would
+      violate its own constraint [w_jk >= t_j s_jk], see DESIGN.md.
+
+    Because [u^{|V2|} = beta^{n^{k+1}}] is [alpha^{o(1)}], the padding
+    perturbs every [H_i] by at most [alpha^{O(1)}] and the
+    [K_{c,d}(alpha, n)] gap of Theorem 16 survives verbatim. *)
+
+type t = {
+  instance : Qo.Instances.Nl_log.t;
+  n : int;  (** original CLIQUE vertices. *)
+  m : int;  (** total query-graph vertices, [n^k]. *)
+  k : int;
+  edges : int;  (** [e(m)], exactly. *)
+  log2_alpha : float;
+  log2_beta : float;
+  c : float;
+  d : float;
+  k_cd : Logreal.t;  (** [K_{c,d}(alpha, n)] — YES bound (Thm 16.2). *)
+  no_lower_bound : Logreal.t;  (** [K_{c,d} * alpha^{d n/2 - 1}] (Thm 16.3). *)
+}
+
+val reduce :
+  graph:Graphlib.Ugraph.t ->
+  c:float ->
+  d:float ->
+  k:int ->
+  e:(int -> int) ->
+  ?log2_alpha:float ->
+  unit ->
+  t
+(** [reduce ~graph ~c ~d ~k ~e ()]: [e m] must lie in
+    [[m + (m-n) - 1 + |E1| .. binom(m-n,2) + |E1| + 1]] so that [G2]
+    can be built connected with the exact residual edge count.
+    [log2_alpha] defaults to the paper's [2 n^{2k+2}] (capped to stay
+    within float range).
+    @raise Invalid_argument on an unachievable edge budget. *)
+
+val edge_budget : graph:Graphlib.Ugraph.t -> k:int -> int * int
+(** Achievable [[min, max]] for [e(m)] given the CLIQUE instance. *)
+
+val witness_seq : t -> clique:int list -> int array
+(** Theorem-16 YES witness: clique-first over [V1], connected
+    completion of [V1], bridge, then [G2] in BFS order. *)

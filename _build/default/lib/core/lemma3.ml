@@ -1,0 +1,44 @@
+type t = {
+  graph : Graphlib.Ugraph.t;
+  n : int;
+  vc : Sat_to_vc.t;
+  pad : int;
+  yes_clique : int;
+  no_clique_bound : int -> int;
+  c : float;
+  d_of_theta : float -> float;
+}
+
+let degree_defect g =
+  Graphlib.Ugraph.vertex_count g - 1 - Graphlib.Ugraph.min_degree g
+
+let reduce (f : Sat.Cnf.t) =
+  let vc = Sat_to_vc.reduce f in
+  let v = vc.Sat_to_vc.nvars and m = vc.Sat_to_vc.nclauses in
+  let comp = Graphlib.Ugraph.complement vc.Sat_to_vc.graph in
+  let pad = (4 * v) + (3 * m) in
+  let graph = Graphlib.Ugraph.add_universal comp pad in
+  let n = Graphlib.Ugraph.vertex_count graph in
+  assert (n = (6 * v) + (6 * m));
+  let yes_clique = (5 * v) + (4 * m) in
+  {
+    graph;
+    n;
+    vc;
+    pad;
+    yes_clique;
+    (* every unsatisfied clause grows the min cover by one, shrinking
+       the max independent set (= clique of the complement) by one *)
+    no_clique_bound = (fun unsat -> yes_clique - unsat);
+    c = float_of_int yes_clique /. float_of_int n;
+    d_of_theta =
+      (fun theta -> Float.of_int (int_of_float (Float.ceil (theta *. float_of_int m))) /. float_of_int n);
+  }
+
+let clique_of_assignment t (a : bool array) =
+  let cover = Sat_to_vc.cover_of_assignment t.vc a in
+  let nv = Graphlib.Ugraph.vertex_count t.vc.Sat_to_vc.graph in
+  let in_cover = Array.make nv false in
+  List.iter (fun v -> in_cover.(v) <- true) cover;
+  let independent = List.filter (fun v -> not in_cover.(v)) (List.init nv (fun i -> i)) in
+  independent @ List.init t.pad (fun i -> nv + i)

@@ -1,0 +1,45 @@
+(** Lemma 3: 3SAT -> CLIQUE with a constant promise gap.
+
+    Composition of the Garey–Johnson reduction (3SAT -> VERTEX COVER,
+    {!Sat_to_vc}), graph complementation (covers <-> independent sets
+    <-> cliques of the complement) and padding with a complete graph on
+    [4v + 3m] fresh vertices connected to everything.
+
+    For a formula with [v] variables and [m] clauses the result has
+    [n = 6v + 6m] vertices and:
+    - satisfiable => a clique of size [5v + 4m = c * n];
+    - at most a [1 - theta] fraction satisfiable => every clique has
+      size at most [5v + 4m - ceil(theta * m) = (c - d) * n];
+
+    with [c = (5v+4m)/n > 2/3] and [d = ceil(theta m)/n], matching the
+    lemma's claims ([c], [c - d] > 2/3) instance-exactly instead of via
+    existential constants.
+
+    Degree: when the source formula is 3SAT(13), every vertex of the
+    output misses at most [14] others (variable vertices have
+    Garey–Johnson degree at most [1 + 13]); for the all-sign-blocks
+    family of {!Sat.Gen} the defect is at most [5], comfortably inside
+    the paper's CLIQUE promise (degree [>= |V| - 14]). *)
+
+type t = {
+  graph : Graphlib.Ugraph.t;
+  n : int;
+  vc : Sat_to_vc.t;
+  pad : int;  (** number of universal padding vertices, [4v + 3m]. *)
+  yes_clique : int;  (** clique size guaranteed for satisfiable formulas. *)
+  no_clique_bound : int -> int;
+      (** [no_clique_bound unsat_count]: upper bound on any clique when
+          every assignment leaves at least [unsat_count] clauses
+          unsatisfied. *)
+  c : float;  (** [yes_clique / n]. *)
+  d_of_theta : float -> float;  (** [d = ceil(theta m) / n]. *)
+}
+
+val reduce : Sat.Cnf.t -> t
+
+val clique_of_assignment : t -> bool array -> int list
+(** For a satisfying assignment: a clique of size [yes_clique]
+    (independent set of the VC graph plus all padding vertices). *)
+
+val degree_defect : Graphlib.Ugraph.t -> int
+(** [n - 1 - min_degree]: how many vertices the worst vertex misses. *)

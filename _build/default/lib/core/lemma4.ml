@@ -1,0 +1,38 @@
+type t = {
+  graph : Graphlib.Ugraph.t;
+  n : int;
+  vc : Sat_to_vc.t;
+  pad : int;
+  yes_clique : int;
+  no_clique_bound : int -> int;
+  eps_of_unsat : int -> float;
+}
+
+let reduce (f : Sat.Cnf.t) =
+  let vc = Sat_to_vc.reduce f in
+  let v = vc.Sat_to_vc.nvars and m = vc.Sat_to_vc.nclauses in
+  let comp = Graphlib.Ugraph.complement vc.Sat_to_vc.graph in
+  let pad = v + (3 * m) in
+  let graph = Graphlib.Ugraph.add_universal comp pad in
+  let n = Graphlib.Ugraph.vertex_count graph in
+  assert (n = (3 * v) + (6 * m));
+  assert (n mod 3 = 0);
+  let yes_clique = (2 * v) + (4 * m) in
+  assert (yes_clique = 2 * n / 3);
+  {
+    graph;
+    n;
+    vc;
+    pad;
+    yes_clique;
+    no_clique_bound = (fun unsat -> yes_clique - unsat);
+    eps_of_unsat = (fun unsat -> 3.0 *. float_of_int unsat /. float_of_int n);
+  }
+
+let clique_of_assignment t (a : bool array) =
+  let cover = Sat_to_vc.cover_of_assignment t.vc a in
+  let nv = Graphlib.Ugraph.vertex_count t.vc.Sat_to_vc.graph in
+  let in_cover = Array.make nv false in
+  List.iter (fun v -> in_cover.(v) <- true) cover;
+  let independent = List.filter (fun v -> not in_cover.(v)) (List.init nv (fun i -> i)) in
+  independent @ List.init t.pad (fun i -> nv + i)

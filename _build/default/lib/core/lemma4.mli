@@ -1,0 +1,20 @@
+(** Lemma 4: 3SAT -> 2/3-CLIQUE.
+
+    Like {!Lemma3} but padding with [v + 3m] universal vertices, so
+    [n = 3v + 6m] (always divisible by 3) and a satisfiable formula
+    yields a clique of size exactly [2v + 4m = 2n/3], while a formula
+    with at least [u] never-satisfied clauses caps every clique at
+    [2n/3 - u = (2 - eps) n / 3] with [eps = 3u/n]. *)
+
+type t = {
+  graph : Graphlib.Ugraph.t;
+  n : int;
+  vc : Sat_to_vc.t;
+  pad : int;
+  yes_clique : int;  (** [2n/3]. *)
+  no_clique_bound : int -> int;
+  eps_of_unsat : int -> float;  (** [eps = 3 * unsat / n]. *)
+}
+
+val reduce : Sat.Cnf.t -> t
+val clique_of_assignment : t -> bool array -> int list

@@ -1,0 +1,117 @@
+open Bignum
+
+type t = {
+  sppcs : Sqo.Sppcs.t;
+  n : int;
+  k_total : int;
+  q : int;
+  s_scale : Bignat.t;
+}
+
+let reduce bs =
+  let n = List.length bs in
+  if n < 2 then invalid_arg "Partition_to_sppcs.reduce: need >= 2 elements";
+  if List.exists (fun b -> b < 0) bs then invalid_arg "Partition_to_sppcs.reduce: negative entry";
+  let k = List.fold_left ( + ) 0 bs in
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Partition_to_sppcs.reduce: total must be even and >= 2";
+  let p = (int_of_float (Float.log2 (float_of_int (2 * k))) |> fun x -> x) + 1 in
+  let q = (2 * p) + 7 + n in
+  let k_nat = Bignat.of_int k in
+  let two_k = Bignat.of_int (2 * k) in
+  (* S = ceil(2^{nq} e^{1/4}) = g_{nq}(K/2) *)
+  let s = Fixed.g_q ~q:(n * q) ~x:(Bignat.div k_nat Bignat.two) ~k:k_nat in
+  let sk3 = Bignat.mul_int (Bignat.mul s k_nat) 3 in
+  (* real pairs *)
+  let reals =
+    List.map
+      (fun b ->
+        let pi = Fixed.exp_ceil ~q ~num:(Bignat.of_int b) ~den:two_k in
+        let ci = Bignat.add sk3 (Bignat.mul_int s b) in
+        (pi, ci))
+      bs
+  in
+  (* dummy pairs *)
+  let two_q = Bignat.shift_left Bignat.one q in
+  let dummies = List.init (n - 1) (fun _ -> (two_q, sk3)) in
+  (* sentinel *)
+  let prod_rest =
+    List.fold_left (fun acc (pi, _) -> Bignat.mul acc pi) Bignat.one (reals @ dummies)
+  in
+  let sentinel = (two_k, Bignat.succ (Bignat.mul two_k prod_rest)) in
+  let pairs = reals @ dummies @ [ sentinel ] in
+  (* L = 2KS + Delta + 3SK(n-1) + S K/2,  Delta = ceil(8nKS / 2^q) *)
+  let delta =
+    let num = Bignat.mul_int (Bignat.mul s k_nat) (8 * n) in
+    let d, r = Bignat.divmod num two_q in
+    if Bignat.is_zero r then d else Bignat.succ d
+  in
+  let target =
+    Bignat.add
+      (Bignat.add (Bignat.mul two_k s) delta)
+      (Bignat.add (Bignat.mul_int sk3 (n - 1)) (Bignat.mul s (Bignat.of_int (k / 2))))
+  in
+  { sppcs = Sqo.Sppcs.make pairs ~target; n; k_total = k; q; s_scale = s }
+
+let witness_of_partition t subset =
+  let n = t.n in
+  let v = List.sort_uniq Stdlib.compare subset in
+  List.iter (fun i -> if i < 0 || i >= n then invalid_arg "witness_of_partition: bad index") v;
+  let dummies_needed = n - List.length v in
+  if dummies_needed > n - 1 then invalid_arg "witness_of_partition: empty subset cannot be padded";
+  let dummies = List.init dummies_needed (fun i -> n + i) in
+  let sentinel = (2 * n) - 1 in
+  v @ dummies @ [ sentinel ]
+
+(* ------------------------------------------------------------------ *)
+(* The construction as PRINTED in the extended abstract (Appendix A.5),
+   with the OCR-readable parts taken literally:
+
+     p = floor(log2 2K) + 1,  q = 2p + 7 + n
+     S = g_{2q}(K/2)                     (one reading of "5 = gug(K/2)")
+     reals    i <= n:      p_i = g_q(b_i),  c_i = 3SK + b_i S
+     dummies  n < i < 2n:  p_i = 2^{q+1},   c_i = (i - n) 3SK
+     sentinel i = 2n:      p = 2K,          c = 2K prod p_i + 1
+     L = 3KS/2 + n(n-1) 3KS/2 + 2K + SK
+
+   Experiment E15 runs this against the exact PARTITION decider: the
+   printed constants do NOT form a correct reduction (the S scale is
+   inconsistent with the 2^(q.|A|) product growth, and the increasing
+   dummy costs cannot cancel the subset-size dependence), which is why
+   {!reduce} uses the reconstruction derived in DESIGN.md. *)
+
+let paper_text bs =
+  let n = List.length bs in
+  if n < 2 then invalid_arg "Partition_to_sppcs.paper_text: need >= 2 elements";
+  if List.exists (fun b -> b < 0) bs then invalid_arg "Partition_to_sppcs.paper_text: negative";
+  let k = List.fold_left ( + ) 0 bs in
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Partition_to_sppcs.paper_text: total must be even and >= 2";
+  let p = int_of_float (Float.log2 (float_of_int (2 * k))) + 1 in
+  let q = (2 * p) + 7 + n in
+  let k_nat = Bignat.of_int k in
+  let two_k = Bignat.of_int (2 * k) in
+  let s = Fixed.g_q ~q:(2 * q) ~x:(Bignat.div k_nat Bignat.two) ~k:k_nat in
+  let sk3 = Bignat.mul_int (Bignat.mul s k_nat) 3 in
+  let reals =
+    List.map
+      (fun b ->
+        ( Fixed.exp_ceil ~q ~num:(Bignat.of_int b) ~den:two_k,
+          Bignat.add sk3 (Bignat.mul_int s b) ))
+      bs
+  in
+  let dummies =
+    List.init (n - 1) (fun i -> (Bignat.shift_left Bignat.one (q + 1), Bignat.mul_int sk3 (i + 1)))
+  in
+  let prod_rest =
+    List.fold_left (fun acc (pi, _) -> Bignat.mul acc pi) Bignat.one (reals @ dummies)
+  in
+  let sentinel = (two_k, Bignat.succ (Bignat.mul two_k prod_rest)) in
+  (* L = 3KS/2 + n(n-1) 3KS/2 + 2K + SK; 3KS is even times S... keep
+     exact with the /2 on the combined term *)
+  let sk3_half_times x = Bignat.div (Bignat.mul_int sk3 x) Bignat.two in
+  let target =
+    Bignat.add
+      (Bignat.add (sk3_half_times 1) (sk3_half_times (n * (n - 1))))
+      (Bignat.add two_k (Bignat.mul s k_nat))
+  in
+  { sppcs = Sqo.Sppcs.make (reals @ dummies @ [ sentinel ]) ~target; n; k_total = k; q; s_scale = s }

@@ -1,0 +1,55 @@
+(** PARTITION -> SPPCS (Appendix A.5 of the paper).
+
+    The printed construction is OCR-corrupted (several exponents and
+    the definition of [S] are unreadable) and its proof lives in an
+    unavailable technical report, so this module implements a
+    {e reconstruction in the paper's style}, derived and error-analysed
+    in DESIGN.md, using the same ingredients: the rounding functions
+    [f_q]/[g_q] (fixed-point exponentials, {!Bignum.Fixed}), precision
+    [q = 2p + 7 + n] with [p = floor(log2 2K) + 1], dummy pairs with
+    power-of-two products, and a sentinel pair forcing itself into
+    every candidate subset.
+
+    Instance ([b_1..b_n], [K = sum b_i] even, [n >= 2], [K >= 2]) maps
+    to [2n] pairs:
+    - reals [i <= n]: [p_i = g_q(b_i) = ceil(2^q e^{b_i / 2K})],
+      [c_i = 3SK + b_i S], with [S = g_{nq}(K/2) = ceil(2^{nq} e^{1/4})];
+    - dummies [n+1 .. 2n-1]: [p = 2^q], [c = 3SK];
+    - sentinel [2n]: [p = 2K], [c = 2K prod_{i<2n} p_i + 1];
+    - target [L = 2KS + Delta + 3SK(n-1) + SK/2], where
+      [Delta = ceil(8nKS / 2^q)] absorbs the rounding of the [p_i].
+
+    Soundness sketch: the sentinel must be taken; taking fewer than [n]
+    of the rest leaves [>= n] exclusions at [>= 3SK] each (over
+    budget); more than [n] blows the product by [2^q]; at exactly [n]
+    the objective is [2K * 2^{qn} e^{sigma/2K} (1 + rounding) +
+    3SK(n-1) + S(K - sigma)], strictly convex in [sigma] with integer
+    margin [~ 2^{qn}/4K] around [sigma = K/2] — far above both
+    [Delta] and the accumulated rounding because
+    [2^q >= 128 (2K)^2 2^n]. Verified exhaustively in the test suite
+    and by experiment E8. *)
+
+type t = {
+  sppcs : Sqo.Sppcs.t;
+  n : int;
+  k_total : int;  (** [K]. *)
+  q : int;  (** fixed-point precision. *)
+  s_scale : Bignum.Bignat.t;  (** [S]. *)
+}
+
+val reduce : int list -> t
+(** @raise Invalid_argument unless there are [>= 2] non-negative
+    entries with even sum [>= 2]. *)
+
+val witness_of_partition : t -> int list -> int list
+(** Map a PARTITION witness (0-based indices of a half-sum subset) to
+    an SPPCS witness: the subset itself, [n - |V|] dummies, and the
+    sentinel. *)
+
+val paper_text : int list -> t
+(** The construction with the constants {e as printed} in the scanned
+    extended abstract (where readable). Not a correct reduction — the
+    printed [S] scale is inconsistent with the [2^(q.|A|)] growth of
+    subset products — and kept precisely to document that: experiment
+    E15 measures its disagreement with the exact PARTITION decider,
+    motivating the reconstruction used by {!reduce}. *)

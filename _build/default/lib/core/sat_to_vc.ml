@@ -1,0 +1,71 @@
+type t = {
+  graph : Graphlib.Ugraph.t;
+  nvars : int;
+  nclauses : int;
+  cover_target : int;
+  pos_vertex : int array;
+  neg_vertex : int array;
+  clause_vertices : (int * int * int) array;
+  clauses : Sat.Cnf.clause array;
+}
+
+let reduce (f : Sat.Cnf.t) =
+  let v = Sat.Cnf.nvars f in
+  let clauses = f.Sat.Cnf.clauses in
+  let m = Array.length clauses in
+  Array.iter
+    (fun c -> if Array.length c <> 3 then invalid_arg "Sat_to_vc.reduce: clause must have 3 literals")
+    clauses;
+  let n = (2 * v) + (3 * m) in
+  let g = Graphlib.Ugraph.create n in
+  (* variable gadgets: vertex 2(i-1) = +i, 2(i-1)+1 = -i *)
+  let pos_vertex = Array.make (v + 1) (-1) and neg_vertex = Array.make (v + 1) (-1) in
+  for i = 1 to v do
+    pos_vertex.(i) <- 2 * (i - 1);
+    neg_vertex.(i) <- (2 * (i - 1)) + 1;
+    Graphlib.Ugraph.add_edge g pos_vertex.(i) neg_vertex.(i)
+  done;
+  (* clause triangles + cross edges *)
+  let lit_vertex l = if l > 0 then pos_vertex.(l) else neg_vertex.(-l) in
+  let clause_vertices =
+    Array.mapi
+      (fun ci c ->
+        let base = (2 * v) + (3 * ci) in
+        let a, b, cc = (base, base + 1, base + 2) in
+        Graphlib.Ugraph.add_edge g a b;
+        Graphlib.Ugraph.add_edge g b cc;
+        Graphlib.Ugraph.add_edge g a cc;
+        Graphlib.Ugraph.add_edge g a (lit_vertex c.(0));
+        Graphlib.Ugraph.add_edge g b (lit_vertex c.(1));
+        Graphlib.Ugraph.add_edge g cc (lit_vertex c.(2));
+        (a, b, cc))
+      clauses
+  in
+  {
+    graph = g;
+    nvars = v;
+    nclauses = m;
+    cover_target = v + (2 * m);
+    pos_vertex;
+    neg_vertex;
+    clause_vertices;
+    clauses;
+  }
+
+let cover_of_assignment t (a : bool array) =
+  let cover = ref [] in
+  for i = 1 to t.nvars do
+    cover := (if a.(i) then t.pos_vertex.(i) else t.neg_vertex.(i)) :: !cover
+  done;
+  let lit_true l = if l > 0 then a.(l) else not a.(-l) in
+  Array.iteri
+    (fun ci (x, y, z) ->
+      let c = t.clauses.(ci) in
+      let corners = [| x; y; z |] in
+      (* Leave out one corner whose literal is true (its cross edge is
+         covered by the variable vertex); all three if unsatisfied. *)
+      let spare = ref (-1) in
+      Array.iteri (fun k l -> if !spare < 0 && lit_true l then spare := k) c;
+      Array.iteri (fun k corner -> if k <> !spare then cover := corner :: !cover) corners)
+    t.clause_vertices;
+  List.sort Stdlib.compare !cover

@@ -1,0 +1,39 @@
+(** The Garey–Johnson reduction 3SAT -> VERTEX COVER (the vehicle of
+    Theorem 2 of the paper).
+
+    For a 3CNF formula with [v] variables and [m] clauses the graph
+    has:
+    - a {e variable gadget} per variable: vertices for [x] and [not x]
+      joined by an edge (one endpoint must be in any cover);
+    - a {e clause gadget} per clause: a triangle (two vertices must be
+      in any cover);
+    - a {e cross edge} from each triangle corner to the vertex of the
+      literal it represents.
+
+    Total [2v + 3m] vertices. The formula is satisfiable iff the graph
+    has a vertex cover of size [v + 2m]; if at most a [1 - theta]
+    fraction of clauses is satisfiable, every cover has size at least
+    [v + 2m + ceil(theta * m)] (each unsatisfied clause forces a third
+    triangle vertex or an extra variable vertex into the cover). *)
+
+type t = {
+  graph : Graphlib.Ugraph.t;
+  nvars : int;
+  nclauses : int;
+  cover_target : int;  (** [v + 2m]: achievable iff satisfiable. *)
+  pos_vertex : int array;  (** vertex of literal [+v], index [1..v]. *)
+  neg_vertex : int array;  (** vertex of literal [-v]. *)
+  clause_vertices : (int * int * int) array;  (** triangle corners. *)
+  clauses : Sat.Cnf.clause array;  (** the source clauses, for witness mapping. *)
+}
+
+val reduce : Sat.Cnf.t -> t
+(** @raise Invalid_argument unless every clause has exactly 3
+    literals. *)
+
+val cover_of_assignment : t -> bool array -> int list
+(** The canonical cover induced by a (total) assignment: the true
+    literal vertex of each variable plus, per clause, two triangle
+    corners (chosen so the cross edges of satisfied literals are
+    covered). Size [v + 2m] when the assignment satisfies the formula;
+    [v + 2m + #unsatisfied] otherwise. *)

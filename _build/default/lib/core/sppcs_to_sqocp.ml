@@ -1,0 +1,89 @@
+open Bignum
+
+type t = {
+  star : Sqo.Star.t;
+  threshold : Bignat.t;
+  j_const : Bignat.t;
+  u_const : Bignat.t;
+  source : Sqo.Sppcs.t;
+}
+
+let ks = 4
+
+let reduce (src : Sqo.Sppcs.t) =
+  let pairs = src.Sqo.Sppcs.pairs in
+  let m = Array.length pairs in
+  Array.iter
+    (fun pr ->
+      if Bignat.compare pr.Sqo.Sppcs.p Bignat.two < 0 then
+        invalid_arg "Sppcs_to_sqocp.reduce: need p_i >= 2";
+      if Bignat.is_zero pr.Sqo.Sppcs.c then invalid_arg "Sppcs_to_sqocp.reduce: need c_i >= 1")
+    pairs;
+  let prod_p = Array.fold_left (fun acc pr -> Bignat.mul acc pr.Sqo.Sppcs.p) Bignat.one pairs in
+  let sum_c = Array.fold_left (fun acc pr -> Bignat.add acc pr.Sqo.Sppcs.c) Bignat.zero pairs in
+  let j =
+    let base = Bignat.mul_int prod_p (4 * ks) in
+    Bignat.mul base base
+  in
+  let u = Bignat.succ (Bignat.add sum_c prod_p) in
+  (* L >= U is trivially YES; clamp so the thresholds stay ordered *)
+  let l = Bignat.min src.Sqo.Sppcs.target (Bignat.sub u Bignat.one) in
+  let j2 = Bignat.mul j j in
+  let j3 = Bignat.mul j2 j in
+  let j4 = Bignat.mul j2 j2 in
+  let n0 = Bignat.mul_int (Bignat.mul j4 u) 5 in
+  let n0_j2 = Bignat.mul n0 j2 in
+  let ntuples = Array.make (m + 2) Bignat.zero in
+  let bpages = Array.make (m + 2) Bignat.zero in
+  let sel = Array.make (m + 2) Bigq.one in
+  let w = Array.make (m + 2) Bignat.zero in
+  let w0 = Array.make (m + 2) Bignat.zero in
+  ntuples.(0) <- n0;
+  bpages.(0) <- n0;
+  for i = 1 to m do
+    let ci = pairs.(i - 1).Sqo.Sppcs.c and pi = pairs.(i - 1).Sqo.Sppcs.p in
+    bpages.(i) <- Bignat.mul n0_j2 ci;
+    ntuples.(i) <- Bignat.mul_int bpages.(i) (m + 1);
+    sel.(i) <- Bigq.make (Bigint.of_nat pi) (Bigint.of_nat ntuples.(i));
+    w.(i) <- Bignat.mul_int (Bignat.mul j pi) ks;
+    w0.(i) <- n0
+  done;
+  bpages.(m + 1) <- Bignat.mul (Bignat.mul n0 j3) u;
+  ntuples.(m + 1) <- Bignat.mul_int bpages.(m + 1) (m + 1);
+  sel.(m + 1) <- Bigq.make (Bigint.of_nat j) (Bigint.of_nat ntuples.(m + 1));
+  w.(m + 1) <- Bignat.mul_int j2 ks;
+  w0.(m + 1) <- n0;
+  let sort_cost = Array.map (fun b -> Bignat.mul_int b ks) bpages in
+  let star = Sqo.Star.make ~ks ~ntuples ~bpages ~sort_cost ~sel ~w ~w0 in
+  let threshold = Bignat.sub (Bignat.mul_int (Bignat.mul n0_j2 (Bignat.succ l)) ks) Bignat.one in
+  { star; threshold; j_const = j; u_const = u; source = { src with Sqo.Sppcs.target = l } }
+
+let check_invariants t =
+  let star = t.star in
+  let m = star.Sqo.Star.m - 1 in
+  let n0 = star.Sqo.Star.ntuples.(0) in
+  let j2 = Bignat.mul t.j_const t.j_const in
+  (* wrong starts dominated: n_i * w_{0,i} = n_i n_0 > M for every i *)
+  for i = 1 to m + 1 do
+    assert (Bignat.compare (Bignat.mul star.Sqo.Star.ntuples.(i) n0) t.threshold > 0)
+  done;
+  (* SM for R_{m+1} dominated: A_{m+1} > n_0 J^2 ks prod p  *)
+  let prod_p =
+    Array.fold_left (fun acc pr -> Bignat.mul acc pr.Sqo.Sppcs.p) Bignat.one t.source.Sqo.Sppcs.pairs
+  in
+  assert (
+    Bignat.compare star.Sqo.Star.sort_cost.(m + 1)
+      (Bignat.mul_int (Bignat.mul (Bignat.mul n0 j2) prod_p) ks)
+    > 0);
+  (* slack: first-join and streaming terms below one n_0 J^2 ks unit:
+     n_0 J ks (sum over satellites of p_i) * 2 prod_p < n_0 J^2 ks *)
+  let sum_p =
+    Array.fold_left (fun acc pr -> Bignat.add acc pr.Sqo.Sppcs.p) Bignat.zero t.source.Sqo.Sppcs.pairs
+  in
+  assert (
+    Bignat.compare
+      (Bignat.mul_int (Bignat.mul sum_p prod_p) 2)
+      t.j_const
+    < 0)
+
+let decide t = Sqo.Star.decide t.star ~threshold:t.threshold

@@ -1,0 +1,48 @@
+(** SPPCS -> SQO-CP (Appendix B of the paper).
+
+    Maps an SPPCS instance ([m] pairs [(p_i, c_i)], target [L], with
+    [p_i >= 2], [c_i >= 1] w.l.o.g.) to a star query over [m + 2]
+    relations [R_0 .. R_{m+1}] such that an optimal feasible plan has
+    cost at most [M = n_0 J^2 k_s (L + 1) - 1] iff the SPPCS instance
+    is a YES instance.
+
+    Constants (exponents marked {e reconstructed} where the scan is
+    unreadable; every condition they must satisfy is listed in
+    DESIGN.md and checked by {!check_invariants}):
+    - [k_s = 4], [J = (4 k_s prod p_i)^2], [U = sum c_i + prod p_i + 1];
+    - [n_0 = b_0 = 5 J^4 U] {e (reconstructed exponent)};
+    - [n_i = (m+1) n_0 J^2 c_i], [b_i = n_0 J^2 c_i];
+    - [n_{m+1} = (m+1) n_0 J^3 U], [b_{m+1} = n_0 J^3 U]
+      {e (reconstructed exponent)};
+    - [A_i = b_i k_s]; [s_i = p_i / n_i], [s_{m+1} = J / n_{m+1}];
+    - [w_i = J k_s p_i], [w_{m+1} = J^2 k_s]; [w_{0,i} = n_0].
+
+    Mechanism: joining satellite [i] multiplies the intermediate tuple
+    count by exactly [n_i s_i = p_i]; joining [R_{m+1}] multiplies by
+    [J] and costs [n(W) w_{m+1} = n_0 J^2 k_s prod_{i before} p_i] by
+    nested loops — the {e subset product}. A satellite placed after
+    [R_{m+1}] is only affordable by sort-merge, costing
+    [A_i = n_0 J^2 k_s c_i] — the {e complement sum}. All remaining
+    terms total below [n_0 J^2 k_s], the slack between [L] and [L+1]. *)
+
+type t = {
+  star : Sqo.Star.t;
+  threshold : Bignum.Bignat.t;  (** [M]. *)
+  j_const : Bignum.Bignat.t;  (** [J]. *)
+  u_const : Bignum.Bignat.t;  (** [U]. *)
+  source : Sqo.Sppcs.t;
+}
+
+val reduce : Sqo.Sppcs.t -> t
+(** @raise Invalid_argument when some [p_i < 2] or [c_i < 1]
+    (normalize the SPPCS instance first, as the paper assumes
+    w.l.o.g.). The target is clamped to [U - 1] (any [L >= U] is a
+    trivial YES: take everything). *)
+
+val check_invariants : t -> unit
+(** Asserts the side conditions the correctness argument uses
+    (threshold dominance of wrong starts, SM-dominance for [R_{m+1}],
+    slack accounting). @raise Assert_failure when violated. *)
+
+val decide : t -> bool
+(** Solve the produced SQO-CP instance exactly and compare with [M]. *)

@@ -1,0 +1,1 @@
+lib/graph/clique.ml: Bitset List Stdlib Ugraph

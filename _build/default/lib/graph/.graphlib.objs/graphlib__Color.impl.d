@@ -1,0 +1,1 @@
+lib/graph/color.ml: Array Bitset Clique List Ugraph

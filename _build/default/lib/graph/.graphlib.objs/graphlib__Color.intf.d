@@ -1,0 +1,1 @@
+lib/graph/color.mli: Ugraph

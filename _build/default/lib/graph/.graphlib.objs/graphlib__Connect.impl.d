@@ -1,0 +1,1 @@
+lib/graph/connect.ml: Printf Ugraph

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array List Random Ugraph

@@ -1,0 +1,1 @@
+lib/graph/ugraph.ml: Array Bitset Format List Printf Queue Stdlib String

@@ -1,0 +1,1 @@
+lib/graph/vertex_cover.ml: Array Bitset Clique List Stdlib Ugraph

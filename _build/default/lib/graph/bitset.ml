@@ -1,0 +1,120 @@
+type t = { n : int; words : int array }
+
+let word_bits = Sys.int_size (* 63 on 64-bit *)
+let nwords n = (n + word_bits - 1) / word_bits
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Array.make (Stdlib.max 1 (nwords n)) 0 }
+
+let capacity t = t.n
+let copy t = { t with words = Array.copy t.words }
+
+let full n =
+  let t = create n in
+  let w = nwords n in
+  for i = 0 to w - 1 do
+    t.words.(i) <- -1 (* all bits set; OCaml ints: fine, we mask below *)
+  done;
+  (* Clear bits beyond n-1 in the last word. *)
+  let used = n mod word_bits in
+  if used > 0 && w > 0 then t.words.(w - 1) <- (1 lsl used) - 1;
+  if n = 0 then t.words.(0) <- 0;
+  t
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.n)
+
+let add t i =
+  check t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let remove t i =
+  check t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let mem t i = i >= 0 && i < t.n && (t.words.(i / word_bits) lsr (i mod word_bits)) land 1 = 1
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_cap a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let equal a b =
+  same_cap a b;
+  Array.for_all2 ( = ) a.words b.words
+
+let subset a b =
+  same_cap a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let map2 f a b =
+  same_cap a b;
+  { n = a.n; words = Array.map2 f a.words b.words }
+
+let inter a b = map2 ( land ) a b
+let union a b = map2 ( lor ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let inter_into ~dst a b =
+  same_cap a b;
+  same_cap dst a;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- a.words.(i) land b.words.(i)
+  done
+
+let inter_cardinal a b =
+  same_cap a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let choose t =
+  let rec go i =
+    if i >= Array.length t.words then None
+    else if t.words.(i) = 0 then go (i + 1)
+    else begin
+      (* index of lowest set bit *)
+      let w = t.words.(i) in
+      let rec bit j = if (w lsr j) land 1 = 1 then j else bit (j + 1) in
+      Some ((i * word_bits) + bit 0)
+    end
+  in
+  go 0
+
+let iter f t =
+  for i = 0 to Array.length t.words - 1 do
+    let w = ref t.words.(i) in
+    while !w <> 0 do
+      let low = !w land -(!w) in
+      let rec idx j v = if v land 1 = 1 then j else idx (j + 1) (v lsr 1) in
+      f ((i * word_bits) + idx 0 low);
+      w := !w land lnot low
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (elements t)))

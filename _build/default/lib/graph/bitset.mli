@@ -1,0 +1,44 @@
+(** Fixed-capacity bitsets over [int] words.
+
+    The adjacency representation of {!Ugraph} and the working sets of
+    the exact clique solvers ({!Clique}). Capacity is fixed at creation;
+    all binary operations require equal capacities. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [{0, .., n-1}]. *)
+
+val capacity : t -> int
+val copy : t -> t
+val full : int -> t
+(** [full n] contains all of [{0, .., n-1}]. *)
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is [true] when every element of [a] is in [b]. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter_into : dst:t -> t -> t -> unit
+(** [inter_into ~dst a b] writes [a ∩ b] into [dst] (allocation-free). *)
+
+val inter_cardinal : t -> t -> int
+(** Cardinal of the intersection without materializing it. *)
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+(** [of_list n xs]: elements [xs] within capacity [n]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+(* Exact maximum clique: branch and bound with greedy colouring bound
+   (Tomita & Seki style, simplified). State sets are bitsets. *)
+
+(* Greedy colouring of the candidate set [p]: returns vertices in an
+   order such that the i-th vertex has colour bound [bounds.(i)]; a
+   clique inside the first i vertices has size <= bounds.(i). *)
+let colour_order g p =
+  let cap = Bitset.capacity p in
+  let order = ref [] in
+  let uncoloured = Bitset.copy p in
+  let colour = ref 0 in
+  while not (Bitset.is_empty uncoloured) do
+    incr colour;
+    (* take a maximal independent-in-colour-class subset *)
+    let avail = Bitset.copy uncoloured in
+    while not (Bitset.is_empty avail) do
+      match Bitset.choose avail with
+      | None -> ()
+      | Some v ->
+          Bitset.remove avail v;
+          Bitset.remove uncoloured v;
+          (* v's neighbours cannot share its colour *)
+          Bitset.iter (fun u -> if Bitset.mem avail u then Bitset.remove avail u) (Ugraph.neighbors g v);
+          order := (v, !colour) :: !order
+    done
+  done;
+  ignore cap;
+  (* Vertices in increasing colour; branch from the END (highest colour
+     first is standard, we consume the list which is reversed). *)
+  !order
+
+let max_clique_bounded g target =
+  let n = Ugraph.vertex_count g in
+  let best = ref [] in
+  let best_size = ref 0 in
+  let stop = ref false in
+  let rec expand current p =
+    if !stop then ()
+    else begin
+      let coloured = colour_order g p in
+      (* coloured is in decreasing colour order *)
+      let p = Bitset.copy p in
+      List.iter
+        (fun (v, c) ->
+          if (not !stop) && List.length current + c > !best_size then begin
+            if Bitset.mem p v then begin
+              let current' = v :: current in
+              let p' = Bitset.inter p (Ugraph.neighbors g v) in
+              if Bitset.is_empty p' then begin
+                if List.length current' > !best_size then begin
+                  best := current';
+                  best_size := List.length current';
+                  match target with
+                  | Some t when !best_size >= t -> stop := true
+                  | _ -> ()
+                end
+              end
+              else expand current' p';
+              Bitset.remove p v
+            end
+          end)
+        coloured
+    end
+  in
+  expand [] (Bitset.full n);
+  !best
+
+let max_clique g = List.sort Stdlib.compare (max_clique_bounded g None)
+let clique_number g = List.length (max_clique_bounded g None)
+let has_clique g k = k <= 0 || List.length (max_clique_bounded g (Some k)) >= k
+
+let greedy_clique g =
+  let n = Ugraph.vertex_count g in
+  let by_degree = List.init n (fun v -> v) in
+  let by_degree = List.sort (fun a b -> Stdlib.compare (Ugraph.degree g b) (Ugraph.degree g a)) by_degree in
+  let clique = ref [] in
+  List.iter
+    (fun v -> if List.for_all (fun u -> Ugraph.has_edge g u v) !clique then clique := v :: !clique)
+    by_degree;
+  List.sort Stdlib.compare !clique
+
+let is_maximal g vs =
+  Ugraph.is_clique g vs
+  &&
+  let n = Ugraph.vertex_count g in
+  let rec candidate v =
+    if v >= n then false
+    else if (not (List.mem v vs)) && List.for_all (fun u -> Ugraph.has_edge g u v) vs then true
+    else candidate (v + 1)
+  in
+  not (candidate 0)
+
+let maximal_cliques ?limit g =
+  let n = Ugraph.vertex_count g in
+  let out = ref [] in
+  let count = ref 0 in
+  let full = match limit with None -> max_int | Some l -> l in
+  let exception Done in
+  let rec bk r p x =
+    if !count >= full then raise Done;
+    if Bitset.is_empty p && Bitset.is_empty x then begin
+      out := List.sort Stdlib.compare r :: !out;
+      incr count
+    end
+    else begin
+      (* pivot: vertex of p ∪ x with most neighbours in p *)
+      let pivot = ref (-1) and pivot_deg = ref (-1) in
+      let consider v =
+        let d = Bitset.inter_cardinal p (Ugraph.neighbors g v) in
+        if d > !pivot_deg then begin
+          pivot_deg := d;
+          pivot := v
+        end
+      in
+      Bitset.iter consider p;
+      Bitset.iter consider x;
+      let candidates = Bitset.diff p (Ugraph.neighbors g !pivot) in
+      let p = Bitset.copy p and x = Bitset.copy x in
+      Bitset.iter
+        (fun v ->
+          let nv = Ugraph.neighbors g v in
+          bk (v :: r) (Bitset.inter p nv) (Bitset.inter x nv);
+          Bitset.remove p v;
+          Bitset.add x v)
+        candidates
+    end
+  in
+  (try bk [] (Bitset.full n) (Bitset.create n) with Done -> ());
+  List.rev !out

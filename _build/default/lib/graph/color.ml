@@ -1,0 +1,60 @@
+let degeneracy g =
+  let n = Ugraph.vertex_count g in
+  let deg = Array.init n (fun v -> Ugraph.degree g v) in
+  let removed = Array.make n false in
+  let order = ref [] in
+  let d = ref 0 in
+  for _ = 1 to n do
+    (* smallest-degree remaining vertex *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not removed.(v)) && (!best < 0 || deg.(v) < deg.(!best)) then best := v
+    done;
+    let v = !best in
+    d := max !d deg.(v);
+    removed.(v) <- true;
+    order := v :: !order;
+    Bitset.iter (fun u -> if not removed.(u) then deg.(u) <- deg.(u) - 1) (Ugraph.neighbors g v)
+  done;
+  (* [order] was built in removal order reversed; an elimination order
+     with the "few later neighbours" property is the removal order
+     itself *)
+  (!d, List.rev !order)
+
+let greedy_coloring ?order g =
+  let n = Ugraph.vertex_count g in
+  let order =
+    match order with
+    | Some o ->
+        if List.sort compare o <> List.init n (fun i -> i) then
+          invalid_arg "Color.greedy_coloring: order must be a permutation";
+        o
+    | None ->
+        (* color in REVERSE elimination order: each vertex then has at
+           most [degeneracy] already-colored neighbours *)
+        List.rev (snd (degeneracy g))
+  in
+  let color = Array.make n (-1) in
+  List.iter
+    (fun v ->
+      let used = Array.make (n + 1) false in
+      Bitset.iter (fun u -> if color.(u) >= 0 then used.(color.(u)) <- true) (Ugraph.neighbors g v);
+      let c = ref 0 in
+      while used.(!c) do
+        incr c
+      done;
+      color.(v) <- !c)
+    order;
+  color
+
+let color_count colors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 colors
+let chromatic_upper g = color_count (greedy_coloring g)
+
+let is_proper g colors =
+  Ugraph.fold_edges (fun i j acc -> acc && colors.(i) <> colors.(j)) g true
+
+let lemma7_bound ~n ~omega = (n * (n - 1) / 2) - n + omega
+
+let lemma7_holds g =
+  let n = Ugraph.vertex_count g in
+  n = 0 || Ugraph.edge_count g <= lemma7_bound ~n ~omega:(Clique.clique_number g)

@@ -1,0 +1,30 @@
+(** Greedy coloring and degeneracy.
+
+    Companions to the clique machinery: the classical sandwich
+    [omega(G) <= chi(G) <= degeneracy(G) + 1] gives cheap two-sided
+    bounds the tests exercise against the exact solver, and Lemma 7 of
+    the paper ([|E| <= n(n-1)/2 - n + omega]) is exposed as an
+    executable bound. *)
+
+val greedy_coloring : ?order:int list -> Ugraph.t -> int array
+(** Colors [0 .. k-1] assigned greedily in the given vertex order
+    (default: degeneracy order, which achieves [degeneracy + 1]
+    colors). The result is a proper coloring. *)
+
+val color_count : int array -> int
+
+val chromatic_upper : Ugraph.t -> int
+(** Number of colors used by the degeneracy-ordered greedy coloring. *)
+
+val degeneracy : Ugraph.t -> int * int list
+(** [(d, order)]: the degeneracy [d] and an elimination order in which
+    every vertex has at most [d] neighbours later in the order. *)
+
+val is_proper : Ugraph.t -> int array -> bool
+
+val lemma7_bound : n:int -> omega:int -> int
+(** The paper's Lemma 7: a graph on [n] vertices with clique number
+    [omega] has at most [n(n-1)/2 - n + omega] edges. *)
+
+val lemma7_holds : Ugraph.t -> bool
+(** Checks the bound using the exact clique number (exponential). *)

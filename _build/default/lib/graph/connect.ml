@@ -1,0 +1,30 @@
+let max_edges n = n * (n - 1) / 2
+
+let edge_budget_valid ~n ~m =
+  if n <= 1 then m = 0 else m >= n - 1 && m <= max_edges n
+
+let connected_with_edges ~n ~m =
+  if not (edge_budget_valid ~n ~m) then
+    invalid_arg (Printf.sprintf "Connect.connected_with_edges: m=%d not in [%d,%d] for n=%d" m (n - 1) (max_edges n) n);
+  let g = Ugraph.create n in
+  (* spanning path *)
+  for i = 0 to n - 2 do
+    Ugraph.add_edge g i (i + 1)
+  done;
+  (* lexicographically-first non-path extra edges *)
+  let remaining = ref (m - (n - 1)) in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         if !remaining > 0 then begin
+           if not (Ugraph.has_edge g i j) then begin
+             Ugraph.add_edge g i j;
+             decr remaining
+           end
+         end
+         else raise Exit
+       done
+     done
+   with Exit -> ());
+  assert (Ugraph.edge_count g = m);
+  g

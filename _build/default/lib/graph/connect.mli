@@ -1,0 +1,17 @@
+(** Deterministic connected graphs with a prescribed edge count.
+
+    The sparse reductions [f_{N,e}] and [f_{H,e}] (Section 6 of the
+    paper) pad a CLIQUE instance with an auxiliary {e connected} graph
+    [G2] having exactly [e(n^k) - |E1| - ...] edges. This module builds
+    such graphs: a Hamiltonian path for connectivity plus
+    lexicographically-first extra edges. *)
+
+val connected_with_edges : n:int -> m:int -> Ugraph.t
+(** A connected graph with exactly [n] vertices and [m] edges.
+    @raise Invalid_argument unless [n-1 <= m <= n(n-1)/2]
+    (or [n <= 1 && m = 0]). *)
+
+val max_edges : int -> int
+(** [n(n-1)/2]. *)
+
+val edge_budget_valid : n:int -> m:int -> bool

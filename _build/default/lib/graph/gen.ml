@@ -1,0 +1,108 @@
+let co_cluster ~sizes =
+  if List.exists (fun s -> s <= 0) sizes then invalid_arg "Gen.co_cluster: nonpositive size";
+  let n = List.fold_left ( + ) 0 sizes in
+  let g = Ugraph.complete n in
+  (* remove intra-cluster edges *)
+  let start = ref 0 in
+  List.iter
+    (fun s ->
+      for i = !start to !start + s - 1 do
+        for j = i + 1 to !start + s - 1 do
+          Ugraph.remove_edge g i j
+        done
+      done;
+      start := !start + s)
+    sizes;
+  g
+
+let with_clique_number ~n ~omega =
+  if omega < 1 || omega > n then invalid_arg "Gen.with_clique_number";
+  (* Distribute n vertices into omega clusters, sizes differing by <= 1. *)
+  let base = n / omega and extra = n mod omega in
+  let sizes = List.init omega (fun i -> base + if i < extra then 1 else 0) in
+  co_cluster ~sizes
+
+let gnp ~seed ~n ~p =
+  let st = Random.State.make [| seed; n |] in
+  let g = Ugraph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float st 1.0 < p then Ugraph.add_edge g i j
+    done
+  done;
+  g
+
+let planted_clique ~seed ~n ~k ~p =
+  if k > n then invalid_arg "Gen.planted_clique";
+  let g = gnp ~seed ~n ~p in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      Ugraph.add_edge g i j
+    done
+  done;
+  g
+
+let path n =
+  let g = Ugraph.create n in
+  for i = 0 to n - 2 do
+    Ugraph.add_edge g i (i + 1)
+  done;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need >= 3 vertices";
+  let g = path n in
+  Ugraph.add_edge g (n - 1) 0;
+  g
+
+let star m =
+  let g = Ugraph.create (m + 1) in
+  for i = 1 to m do
+    Ugraph.add_edge g 0 i
+  done;
+  g
+
+let random_tree ~seed ~n =
+  if n <= 0 then invalid_arg "Gen.random_tree"
+  else if n = 1 then Ugraph.create 1
+  else if n = 2 then Ugraph.of_edges 2 [ (0, 1) ]
+  else begin
+    let st = Random.State.make [| seed; n; 7 |] in
+    (* Prüfer decoding *)
+    let prufer = Array.init (n - 2) (fun _ -> Random.State.int st n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) prufer;
+    let g = Ugraph.create n in
+    Array.iter
+      (fun v ->
+        (* smallest leaf *)
+        let leaf = ref 0 in
+        while deg.(!leaf) <> 1 do
+          incr leaf
+        done;
+        Ugraph.add_edge g !leaf v;
+        deg.(!leaf) <- 0;
+        deg.(v) <- deg.(v) - 1)
+      prufer;
+    (* two remaining degree-1 vertices *)
+    let rest = List.filter (fun v -> deg.(v) = 1) (List.init n (fun v -> v)) in
+    (match rest with
+    | [ a; b ] -> Ugraph.add_edge g a b
+    | _ -> assert false);
+    g
+  end
+
+let random_connected ~seed ~n ~m =
+  let max_m = n * (n - 1) / 2 in
+  if m < n - 1 || m > max_m then invalid_arg "Gen.random_connected: edge count out of range";
+  let g = random_tree ~seed ~n in
+  let st = Random.State.make [| seed; n; m |] in
+  let remaining = ref (m - (n - 1)) in
+  while !remaining > 0 do
+    let i = Random.State.int st n and j = Random.State.int st n in
+    if i <> j && not (Ugraph.has_edge g i j) then begin
+      Ugraph.add_edge g i j;
+      decr remaining
+    end
+  done;
+  g

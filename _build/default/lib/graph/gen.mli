@@ -1,0 +1,39 @@
+(** Graph instance families for the experiments.
+
+    The key family is {!co_cluster}: the complement of a disjoint union
+    of cliques ("clusters"). Its clique number is {e exactly} the number
+    of clusters (pick one vertex per cluster; two vertices of one
+    cluster are never adjacent in the complement), and its minimum
+    degree is [n - max cluster size]. With cluster sizes at most 14 it
+    satisfies the degree >= n - 14 promise the paper's CLIQUE variants
+    require — giving certified YES/NO gap families at sizes far beyond
+    what an exact clique solver could confirm. *)
+
+val co_cluster : sizes:int list -> Ugraph.t
+(** Complement of disjoint cliques with the given sizes.
+    [clique_number = List.length sizes] (for nonempty positive sizes).
+    @raise Invalid_argument on nonpositive sizes. *)
+
+val with_clique_number : n:int -> omega:int -> Ugraph.t
+(** Co-cluster graph on [n] vertices with clique number exactly
+    [omega], clusters as balanced as possible.
+    @raise Invalid_argument unless [1 <= omega <= n]. *)
+
+val gnp : seed:int -> n:int -> p:float -> Ugraph.t
+(** Erdős–Rényi G(n,p). *)
+
+val planted_clique : seed:int -> n:int -> k:int -> p:float -> Ugraph.t
+(** G(n,p) with a planted clique on vertices [0..k-1]:
+    clique number at least [k]. *)
+
+val path : int -> Ugraph.t
+val cycle : int -> Ugraph.t
+val star : int -> Ugraph.t
+(** [star m] has center [0] and leaves [1..m]: [m+1] vertices. *)
+
+val random_tree : seed:int -> n:int -> Ugraph.t
+(** Uniform random labelled tree (random Prüfer sequence). *)
+
+val random_connected : seed:int -> n:int -> m:int -> Ugraph.t
+(** Random tree plus [m - (n-1)] random extra edges.
+    @raise Invalid_argument unless [n-1 <= m <= n(n-1)/2]. *)

@@ -1,0 +1,160 @@
+type t = { n : int; adj : Bitset.t array; mutable m : int }
+
+let create n =
+  if n < 0 then invalid_arg "Ugraph.create";
+  { n; adj = Array.init n (fun _ -> Bitset.create n); m = 0 }
+
+let vertex_count t = t.n
+let edge_count t = t.m
+
+let check t v =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Ugraph: vertex %d out of [0,%d)" v t.n)
+
+let has_edge t i j = i <> j && i >= 0 && i < t.n && j >= 0 && j < t.n && Bitset.mem t.adj.(i) j
+
+let add_edge t i j =
+  check t i;
+  check t j;
+  if i = j then invalid_arg "Ugraph.add_edge: self-loop";
+  if not (Bitset.mem t.adj.(i) j) then begin
+    Bitset.add t.adj.(i) j;
+    Bitset.add t.adj.(j) i;
+    t.m <- t.m + 1
+  end
+
+let remove_edge t i j =
+  check t i;
+  check t j;
+  if Bitset.mem t.adj.(i) j then begin
+    Bitset.remove t.adj.(i) j;
+    Bitset.remove t.adj.(j) i;
+    t.m <- t.m - 1
+  end
+
+let neighbors t v =
+  check t v;
+  t.adj.(v)
+
+let degree t v = Bitset.cardinal (neighbors t v)
+
+let min_degree t =
+  if t.n = 0 then 0
+  else begin
+    let d = ref max_int in
+    for v = 0 to t.n - 1 do
+      d := Stdlib.min !d (degree t v)
+    done;
+    !d
+  end
+
+let max_degree t =
+  let d = ref 0 in
+  for v = 0 to t.n - 1 do
+    d := Stdlib.max !d (degree t v)
+  done;
+  !d
+
+let fold_edges f t init =
+  let acc = ref init in
+  for i = 0 to t.n - 1 do
+    Bitset.iter (fun j -> if j > i then acc := f i j !acc) t.adj.(i)
+  done;
+  !acc
+
+let edges t = List.rev (fold_edges (fun i j acc -> (i, j) :: acc) t [])
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (i, j) -> add_edge g i j) es;
+  g
+
+let copy t = { t with adj = Array.map Bitset.copy t.adj }
+
+let equal a b =
+  a.n = b.n && a.m = b.m && Array.for_all2 Bitset.equal a.adj b.adj
+
+let complement t =
+  let g = create t.n in
+  for i = 0 to t.n - 1 do
+    for j = i + 1 to t.n - 1 do
+      if not (has_edge t i j) then add_edge g i j
+    done
+  done;
+  g
+
+let complete n =
+  let g = create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      add_edge g i j
+    done
+  done;
+  g
+
+let induced t vs =
+  let vs = Array.of_list vs in
+  Array.iter (check t) vs;
+  let k = Array.length vs in
+  let g = create k in
+  for a = 0 to k - 1 do
+    for b = a + 1 to k - 1 do
+      if has_edge t vs.(a) vs.(b) then add_edge g a b
+    done
+  done;
+  g
+
+let is_clique t vs =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun u -> has_edge t v u) rest && go rest
+  in
+  go vs
+
+let disjoint_union a b =
+  let g = create (a.n + b.n) in
+  List.iter (fun (i, j) -> add_edge g i j) (edges a);
+  List.iter (fun (i, j) -> add_edge g (a.n + i) (a.n + j)) (edges b);
+  g
+
+let add_universal t k =
+  if k < 0 then invalid_arg "Ugraph.add_universal";
+  let g = create (t.n + k) in
+  List.iter (fun (i, j) -> add_edge g i j) (edges t);
+  for v = t.n to t.n + k - 1 do
+    for u = 0 to v - 1 do
+      add_edge g v u
+    done
+  done;
+  g
+
+let components t =
+  let seen = Array.make t.n false in
+  let comps = ref [] in
+  for v = 0 to t.n - 1 do
+    if not seen.(v) then begin
+      (* BFS from v *)
+      let comp = ref [] in
+      let queue = Queue.create () in
+      Queue.add v queue;
+      seen.(v) <- true;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        comp := u :: !comp;
+        Bitset.iter
+          (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              Queue.add w queue
+            end)
+          t.adj.(u)
+      done;
+      comps := List.rev !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected t = t.n <= 1 || List.length (components t) = 1
+
+let pp fmt t =
+  Format.fprintf fmt "graph(n=%d, m=%d, edges=[%s])" t.n t.m
+    (String.concat ";" (List.map (fun (i, j) -> Printf.sprintf "%d-%d" i j) (edges t)))

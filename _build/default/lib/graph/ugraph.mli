@@ -1,0 +1,57 @@
+(** Undirected simple graphs with bitset adjacency.
+
+    Vertices are [0 .. n-1]. Self-loops are rejected. This is the query
+    graph / CLIQUE instance representation for the whole reproduction:
+    the paper's reductions build dense graphs (minimum degree at least
+    [n - 14]), complements, padded unions, and prescribed-edge-count
+    connected graphs, all provided here. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] vertices. *)
+
+val vertex_count : t -> int
+val edge_count : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent. @raise Invalid_argument on self-loops or out-of-range
+    vertices. *)
+
+val remove_edge : t -> int -> int -> unit
+val has_edge : t -> int -> int -> bool
+val neighbors : t -> int -> Bitset.t
+(** The adjacency row itself — do not mutate. *)
+
+val degree : t -> int -> int
+val min_degree : t -> int
+val max_degree : t -> int
+
+val edges : t -> (int * int) list
+(** All edges [(i, j)] with [i < j], lexicographic. *)
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val of_edges : int -> (int * int) list -> t
+val copy : t -> t
+val equal : t -> t -> bool
+
+val complement : t -> t
+val complete : int -> t
+
+val induced : t -> int list -> t
+(** [induced g vs] relabels the listed vertices [0 ..] in list order. *)
+
+val is_clique : t -> int list -> bool
+(** Are the listed vertices pairwise adjacent? *)
+
+val disjoint_union : t -> t -> t
+(** Vertices of the second graph are shifted by [vertex_count g1]. *)
+
+val add_universal : t -> int -> t
+(** [add_universal g k] appends [k] new vertices adjacent to every
+    other vertex (old and new) — the padding step of Lemmas 3 and 4. *)
+
+val is_connected : t -> bool
+val components : t -> int list list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+let is_vertex_cover g vs =
+  let n = Ugraph.vertex_count g in
+  let inset = Array.make n false in
+  List.iter (fun v -> inset.(v) <- true) vs;
+  Ugraph.fold_edges (fun i j acc -> acc && (inset.(i) || inset.(j))) g true
+
+(* V - (max independent set) = V - (max clique of complement). *)
+let min_vertex_cover g =
+  let comp = Ugraph.complement g in
+  let mis = Clique.max_clique comp in
+  let n = Ugraph.vertex_count g in
+  let in_mis = Array.make n false in
+  List.iter (fun v -> in_mis.(v) <- true) mis;
+  List.filter (fun v -> not in_mis.(v)) (List.init n (fun v -> v))
+
+let vertex_cover_number g = List.length (min_vertex_cover g)
+
+let two_approx g =
+  let n = Ugraph.vertex_count g in
+  let covered = Array.make n false in
+  let cover = ref [] in
+  Ugraph.fold_edges
+    (fun i j () ->
+      if (not covered.(i)) && not covered.(j) then begin
+        covered.(i) <- true;
+        covered.(j) <- true;
+        cover := i :: j :: !cover
+      end)
+    g ();
+  List.sort Stdlib.compare !cover
+
+let greedy g =
+  let g = Ugraph.copy g in
+  let cover = ref [] in
+  let rec go () =
+    if Ugraph.edge_count g > 0 then begin
+      let n = Ugraph.vertex_count g in
+      let best = ref 0 in
+      for v = 1 to n - 1 do
+        if Ugraph.degree g v > Ugraph.degree g !best then best := v
+      done;
+      let v = !best in
+      cover := v :: !cover;
+      Bitset.iter (fun u -> Ugraph.remove_edge g v u) (Bitset.copy (Ugraph.neighbors g v));
+      go ()
+    end
+  in
+  go ();
+  List.sort Stdlib.compare !cover

@@ -1,0 +1,22 @@
+(** Vertex cover algorithms.
+
+    VERTEX COVER is the intermediate problem of Theorem 2 (the
+    Garey–Johnson reduction from 3SAT); Lemma 3 converts its complement
+    structure into CLIQUE. We provide an exact solver (via the clique
+    solver on the complement: [min-VC = n - omega(complement)]), the
+    classical matching-based 2-approximation, and a greedy heuristic. *)
+
+val min_vertex_cover : Ugraph.t -> int list
+(** Exact minimum vertex cover. Exponential worst case. *)
+
+val vertex_cover_number : Ugraph.t -> int
+
+val is_vertex_cover : Ugraph.t -> int list -> bool
+
+val two_approx : Ugraph.t -> int list
+(** Maximal-matching 2-approximation (both endpoints of each matched
+    edge). *)
+
+val greedy : Ugraph.t -> int list
+(** Repeatedly take a highest-degree vertex. No constant-factor
+    guarantee; included as a baseline. *)

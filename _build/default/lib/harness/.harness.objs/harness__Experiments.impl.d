@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Bignum Chain Fh Fhe Float Fn Fne Graphlib Lemma3 List Logreal Option Partition_to_sppcs Printf Qo Random Reductions Sat Sppcs_to_sqocp Sqo Stdlib String Tables

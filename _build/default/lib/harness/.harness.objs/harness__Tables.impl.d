@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Array Buffer List Logreal Printf Stdlib String

@@ -1,0 +1,37 @@
+type t = { title : string; header : string list; mutable rows : string list list }
+
+let create ~title ~header = { title; header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let render_row r =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (Printf.sprintf "%-*s" (widths.(i) + 2) cell))
+      r;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.header;
+  Buffer.add_string buf (String.make (Array.fold_left ( + ) 0 widths + (2 * ncols)) '-');
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+let cell_f f = Printf.sprintf "%.1f" f
+
+let cell_log2 v =
+  if Logreal.is_zero v then "0"
+  else if Logreal.compare v Logreal.infinity >= 0 then "inf"
+  else Printf.sprintf "2^%.1f" (Logreal.to_log2 v)
+
+let cell_bool b = if b then "ok" else "FAIL"

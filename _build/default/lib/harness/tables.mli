@@ -1,0 +1,18 @@
+(** Fixed-width ASCII table rendering for the experiment harness. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+val add_row : t -> string list -> unit
+val render : t -> string
+val print : t -> unit
+(** Render to stdout. *)
+
+val cell_f : float -> string
+(** Format a float compactly ("%.1f"). *)
+
+val cell_log2 : Logreal.t -> string
+(** Format a log-domain value as its exponent: "2^x". *)
+
+val cell_bool : bool -> string
+(** "ok" / "FAIL". *)

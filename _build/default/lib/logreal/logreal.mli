@@ -1,0 +1,73 @@
+(** Non-negative extended reals in base-2 logarithmic representation.
+
+    The hardness reductions of the paper produce query-optimization
+    instances whose relation sizes are [t = a^{(c-d/2)n}] with
+    [a = 4^{n^{1/delta}}] — values with millions of bits. Costs are sums
+    and products of such values, so the whole [QO_N]/[QO_H] cost
+    apparatus runs in the log domain: a value [v > 0] is stored as
+    [log2 v] (a float), [0] as [-inf] and [+inf] as [inf].
+
+    Multiplication is exact (float addition of exponents);
+    addition uses log-sum-exp and is accurate to float precision, which
+    is ample: the experiments compare gap {e exponents} of order
+    [Theta(n)] against each other. The exact rational cost model
+    ({!Bignum.Bigq}) cross-validates this module on small instances. *)
+
+type t = private float
+(** The base-2 logarithm of the represented value. *)
+
+val zero : t
+val one : t
+val two : t
+val infinity : t
+
+val of_float : float -> t
+(** @raise Invalid_argument on negatives or NaN. *)
+
+val of_int : int -> t
+val of_log2 : float -> t
+(** [of_log2 x] represents the value [2^x]. *)
+
+val to_log2 : t -> float
+val to_float : t -> float
+(** May overflow to [infinity] for large values. *)
+
+val is_zero : t -> bool
+val is_finite : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Equality of log2 values within [tol] (default [1e-6]); zero and
+    infinity compare only to themselves. *)
+
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div a b]. @raise Division_by_zero when [b] is {!zero}. *)
+
+val inv : t -> t
+val add : t -> t -> t
+(** Log-sum-exp; exact when one side is {!zero}. *)
+
+val sub : t -> t -> t
+(** [sub a b] for [a >= b]; clamps small negative residues to {!zero}.
+    @raise Invalid_argument when [b > a] beyond float tolerance. *)
+
+val pow : t -> float -> t
+(** [pow v e] is [v^e] for any real [e]. *)
+
+val pow_int : t -> int -> t
+
+val sum : t list -> t
+val prod : t list -> t
+
+val of_bignat : Bignum.Bignat.t -> t
+val of_bigq : Bignum.Bigq.t -> t
+(** @raise Invalid_argument on negative rationals. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints small values plainly ("42."), large ones as ["2^x"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/qo/cost.ml: Format

@@ -1,0 +1,1 @@
+lib/qo/explain.ml: Array Buffer Cost Float Format Hash List Log_cost Logreal Nl Printf Rat_cost String

@@ -1,0 +1,1 @@
+lib/qo/gen_inst.ml: Array Graphlib Instances List Log_cost Logreal Random Rat_cost

@@ -1,0 +1,1 @@
+lib/qo/hash.ml: Array Bitset Float Graphlib Hashtbl List Logreal Option Printf Random Ugraph

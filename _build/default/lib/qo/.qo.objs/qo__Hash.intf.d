@@ -1,0 +1,1 @@
+lib/qo/hash.mli: Graphlib Logreal

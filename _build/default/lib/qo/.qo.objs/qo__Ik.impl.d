@@ -1,0 +1,1 @@
+lib/qo/ik.ml: Array Cost Graphlib List Nl Queue

@@ -1,0 +1,1 @@
+lib/qo/instances.ml: Array Ik Log_cost Logreal Nl Opt Rat_cost

@@ -1,0 +1,1 @@
+lib/qo/io.ml: Array Bignum Buffer Format Fun Graphlib Instances List Log_cost Printf Rat_cost String

@@ -1,0 +1,1 @@
+lib/qo/io.mli: Instances

@@ -1,0 +1,1 @@
+lib/qo/log_cost.ml: Float Logreal

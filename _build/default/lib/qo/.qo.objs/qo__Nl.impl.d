@@ -1,0 +1,1 @@
+lib/qo/nl.ml: Array Bitset Cost Graphlib Printf Ugraph

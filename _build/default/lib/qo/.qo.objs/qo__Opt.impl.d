@@ -1,0 +1,1 @@
+lib/qo/opt.ml: Array Bitset Cost Float Graphlib Nl Option Printf Random Stdlib Ugraph

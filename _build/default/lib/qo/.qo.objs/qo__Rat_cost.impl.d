@@ -1,0 +1,1 @@
+lib/qo/rat_cost.ml: Bignum Bigq Float Format

@@ -1,0 +1,80 @@
+(** Human-readable plan reports.
+
+    Renders a join sequence with its per-join cost [H_i], intermediate
+    size [N_i], back-edge count and access path, in the style of an
+    EXPLAIN output — for the CLI and the examples. Works over any cost
+    domain via the usual functor. *)
+
+module Make (C : Cost.S) = struct
+  module I = Nl.Make (C)
+
+  let cell c =
+    let l = C.to_log2 c in
+    if Float.abs l <= 40.0 && Float.is_finite l then Format.asprintf "%a" C.pp c
+    else Printf.sprintf "2^%.1f" l
+
+  (** [render inst seq] formats the execution of [seq] step by step. *)
+  let render (inst : I.t) (seq : int array) =
+    let h, ns = I.profile inst seq in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "Join sequence (%d relations), total cost %s\n" (Array.length seq)
+         (cell (Array.fold_left C.add C.zero h)));
+    Buffer.add_string buf
+      (Printf.sprintf "  start with R%d (%s tuples)\n" seq.(0) (cell inst.I.sizes.(seq.(0))));
+    for i = 1 to Array.length seq - 1 do
+      let v = seq.(i) in
+      let b = I.back_edges inst seq (i + 1) in
+      let tag = if b = 0 then "CARTESIAN with" else Printf.sprintf "join (%d preds)" b in
+      Buffer.add_string buf
+        (Printf.sprintf "  %2d. %s R%-3d  H_%d = %-14s N_%d = %s\n" i tag v i (cell h.(i - 1)) i
+           (cell ns.(i - 1)))
+    done;
+    Buffer.contents buf
+
+  let print inst seq = print_string (render inst seq)
+
+  (** One-line summary: cost + sequence. *)
+  let summary (inst : I.t) (seq : int array) =
+    Printf.sprintf "cost=%s seq=[%s]"
+      (cell (I.cost inst seq))
+      (String.concat " " (Array.to_list (Array.map string_of_int seq)))
+end
+
+module Log = Make (Log_cost)
+module Rat = Make (Rat_cost)
+
+(** [QO_H] plan report: fragments, memory allocations, per-fragment
+    costs. *)
+let render_hash (inst : Hash.t) (seq : int array) (decomposition : Hash.decomposition) =
+  let ns = Hash.prefix_sizes inst seq in
+  let buf = Buffer.create 512 in
+  let cl v =
+    let l = Logreal.to_log2 v in
+    if Float.abs l <= 40.0 && Float.is_finite l then Logreal.to_string v
+    else Printf.sprintf "2^%.1f" l
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "Pipeline plan over %d relations, %d fragment(s); memory M = %s\n"
+       (Array.length seq) (List.length decomposition) (cl inst.Hash.memory));
+  List.iter
+    (fun (i, k) ->
+      let cost = Hash.pipeline_cost inst ~ns seq ~i ~k in
+      Buffer.add_string buf
+        (Printf.sprintf "  fragment joins %d..%d: read %s, write %s, cost %s\n" i k
+           (cl ns.(i - 1)) (cl ns.(k)) (cl cost));
+      match Hash.allocate inst ~ns seq ~i ~k with
+      | None -> Buffer.add_string buf "    INFEASIBLE: hash tables exceed memory\n"
+      | Some allocs ->
+          List.iter
+            (fun a ->
+              let starved =
+                Logreal.to_log2 a.Hash.memory_given < Logreal.to_log2 a.Hash.inner -. 1e-6
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "    J_%d: inner R%d (%s pages), memory %s%s\n" a.Hash.join
+                   seq.(a.Hash.join) (cl a.Hash.inner) (cl a.Hash.memory_given)
+                   (if starved then "  [partitioned]" else "")))
+            allocs)
+    decomposition;
+  Buffer.contents buf

@@ -1,0 +1,158 @@
+(** Random and structured [QO_N] instance generators.
+
+    Shared by the tests, the examples, the CLI and the benchmarks.
+    Generators come in two cost domains; the rational ones produce
+    instances that fit exact arithmetic (for cross-validation), the
+    log-domain ones scale to arbitrary magnitudes. All generators
+    respect the access-path constraints [t_j s_jk <= w_jk <= t_j]
+    (validated by [Nl.make]). *)
+
+module type PARAMS = sig
+  val seed : int
+end
+
+(* -------------------- rational domain -------------------- *)
+
+module R = struct
+  module I = Instances.Nl_rat
+  module C = Rat_cost
+
+  (** [random ~seed ~n ~p ?max_size ?max_inv_sel ()]: G(n,p) query
+      graph, sizes in [1, max_size], selectivities [1/k] with
+      [k <= max_inv_sel], access costs uniform in the legal range. *)
+  let random ~seed ~n ~p ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    let st = Random.State.make [| seed; n; 101 |] in
+    let g = Graphlib.Gen.gnp ~seed ~n ~p in
+    let sizes = Array.init n (fun _ -> C.of_int (1 + Random.State.int st max_size)) in
+    let sel = Array.make_matrix n n C.one in
+    List.iter
+      (fun (i, j) ->
+        let s = C.of_ints 1 (1 + Random.State.int st max_inv_sel) in
+        sel.(i).(j) <- s;
+        sel.(j).(i) <- s)
+      (Graphlib.Ugraph.edges g);
+    let w =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              if i <> j && Graphlib.Ugraph.has_edge g i j then begin
+                (* uniform between the bounds t_i * s_ij and t_i *)
+                let lo = C.mul sizes.(i) sel.(i).(j) in
+                let mid = C.of_int (1 + Random.State.int st max_size) in
+                C.min sizes.(i) (C.max lo mid)
+              end
+              else sizes.(i)))
+    in
+    I.make ~graph:g ~sel ~sizes ~w
+
+  (** Random instance over a given query graph. *)
+  let over_graph ~seed ~graph ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    let n = Graphlib.Ugraph.vertex_count graph in
+    let st = Random.State.make [| seed; n; 103 |] in
+    let sizes = Array.init n (fun _ -> C.of_int (1 + Random.State.int st max_size)) in
+    let sel = Array.make_matrix n n C.one in
+    List.iter
+      (fun (i, j) ->
+        let s = C.of_ints 1 (1 + Random.State.int st max_inv_sel) in
+        sel.(i).(j) <- s;
+        sel.(j).(i) <- s)
+      (Graphlib.Ugraph.edges graph);
+    let w =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              if i <> j && Graphlib.Ugraph.has_edge graph i j then begin
+                let lo = C.mul sizes.(i) sel.(i).(j) in
+                let mid = C.of_int (1 + Random.State.int st max_size) in
+                C.min sizes.(i) (C.max lo mid)
+              end
+              else sizes.(i)))
+    in
+    I.make ~graph ~sel ~sizes ~w
+
+  (** Random tree query (for the Ibaraki–Kameda boundary). *)
+  let tree ~seed ~n ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.random_tree ~seed ~n) ~max_size ~max_inv_sel ()
+
+  (** Chain (path) query. *)
+  let chain ~seed ~n ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.path n) ~max_size ~max_inv_sel ()
+
+  (** Star query. *)
+  let star ~seed ~satellites ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.star satellites) ~max_size ~max_inv_sel ()
+
+  (** A tree query plus [extra] random chords — the family Section 6.3
+      identifies as the frontier of tractability. *)
+  let tree_plus ~seed ~n ~extra ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    let g = Graphlib.Gen.random_tree ~seed ~n in
+    let st = Random.State.make [| seed; n; extra; 107 |] in
+    let budget = ref extra in
+    let attempts = ref (20 * (extra + 1)) in
+    while !budget > 0 && !attempts > 0 do
+      decr attempts;
+      let i = Random.State.int st n and j = Random.State.int st n in
+      if i <> j && not (Graphlib.Ugraph.has_edge g i j) then begin
+        Graphlib.Ugraph.add_edge g i j;
+        decr budget
+      end
+    done;
+    over_graph ~seed ~graph:g ~max_size ~max_inv_sel ()
+end
+
+(* -------------------- log domain -------------------- *)
+
+module L = struct
+  module I = Instances.Nl_log
+  module C = Log_cost
+
+  (** Log-domain mirror of {!R.over_graph}, with sizes up to
+      [2^max_log2_size]. *)
+  let over_graph ~seed ~graph ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
+    let n = Graphlib.Ugraph.vertex_count graph in
+    let st = Random.State.make [| seed; n; 109 |] in
+    let sizes =
+      Array.init n (fun _ -> C.of_log2 (1.0 +. Random.State.float st max_log2_size))
+    in
+    let sel = Array.make_matrix n n C.one in
+    List.iter
+      (fun (i, j) ->
+        let s = C.of_log2 (-.Random.State.float st max_log2_inv_sel) in
+        sel.(i).(j) <- s;
+        sel.(j).(i) <- s)
+      (Graphlib.Ugraph.edges graph);
+    let w =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              if i <> j && Graphlib.Ugraph.has_edge graph i j then begin
+                let lo = C.mul sizes.(i) sel.(i).(j) in
+                (* uniform in log space between lo and t_i *)
+                let frac = Random.State.float st 1.0 in
+                C.of_log2
+                  (Logreal.to_log2 lo
+                  +. (frac *. (Logreal.to_log2 sizes.(i) -. Logreal.to_log2 lo)))
+              end
+              else sizes.(i)))
+    in
+    I.make ~graph ~sel ~sizes ~w
+
+  let random ~seed ~n ~p ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.gnp ~seed ~n ~p) ~max_log2_size ~max_log2_inv_sel ()
+
+  let tree ~seed ~n ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.random_tree ~seed ~n) ~max_log2_size
+      ~max_log2_inv_sel ()
+
+  let tree_plus ~seed ~n ~extra ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
+    let g = Graphlib.Gen.random_tree ~seed ~n in
+    let st = Random.State.make [| seed; n; extra; 113 |] in
+    let budget = ref extra in
+    let attempts = ref (20 * (extra + 1)) in
+    while !budget > 0 && !attempts > 0 do
+      decr attempts;
+      let i = Random.State.int st n and j = Random.State.int st n in
+      if i <> j && not (Graphlib.Ugraph.has_edge g i j) then begin
+        Graphlib.Ugraph.add_edge g i j;
+        decr budget
+      end
+    done;
+    over_graph ~seed ~graph:g ~max_log2_size ~max_log2_inv_sel ()
+end

@@ -1,0 +1,346 @@
+(** The [QO_H] problem: pipelined hash joins under a memory budget,
+    Section 2.2 of the paper.
+
+    An instance is [(n, Q, S, T, M)]: query graph, selectivities and
+    sizes as in [QO_N], plus the total memory [M] available to each
+    pipeline. A join sequence is executed as a {e pipeline
+    decomposition}: contiguous fragments, each fragment's joins running
+    concurrently with memory split among them, the fragment result
+    materialized to disk and re-read by the next fragment.
+
+    The hash-join I/O cost is
+    [h(m, b_R, b_S) = (b_R + b_S) * g(m, b_S) + b_S] for
+    [m >= hjmin(b_S)] (infeasible below), where the paper requires [g]
+    continuous, linear decreasing in [m] on [[hjmin(b_S), b_S]],
+    [g(b_S, .) = 0], [g(hjmin, .) = Theta(1)], and
+    [hjmin(b) = Theta(b^nu)], [0 < nu < 1]. We concretize
+    [g(m, b) = (b - m)/(b - hjmin(b))] (clamped) and
+    [hjmin(b) = b^nu], [nu] an instance parameter (default 1/2) —
+    exactly the properties the proofs use, nothing more.
+
+    With [g] linear, optimal memory allocation inside a pipeline is a
+    fractional knapsack (solved exactly in {!allocate}), and the
+    optimal decomposition of a given sequence is an [O(n^2)] interval
+    DP ({!best_decomposition}). Everything runs in the log domain
+    ({!Logreal}): the reduction instances have sizes with [Theta(n^2)]
+    -bit exponents. *)
+
+type cost = Logreal.t
+
+type t = {
+  n : int;
+  graph : Graphlib.Ugraph.t;
+  sel : cost array array;
+  sizes : cost array;
+  memory : cost;
+  nu : float;  (** [hjmin(b) = b^nu]. *)
+}
+
+let make ?(nu = 0.5) ~graph ~sel ~sizes ~memory () =
+  let n = Graphlib.Ugraph.vertex_count graph in
+  if Array.length sel <> n || Array.length sizes <> n then invalid_arg "Hash.make: dimensions";
+  if nu <= 0.0 || nu >= 1.0 then invalid_arg "Hash.make: nu must be in (0,1)";
+  for i = 0 to n - 1 do
+    if Logreal.compare sizes.(i) Logreal.zero <= 0 then invalid_arg "Hash.make: nonpositive size";
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        if not (Logreal.equal sel.(i).(j) sel.(j).(i)) then
+          invalid_arg "Hash.make: selectivity not symmetric";
+        if Graphlib.Ugraph.has_edge graph i j then begin
+          if Logreal.compare sel.(i).(j) Logreal.one > 0 then
+            invalid_arg "Hash.make: selectivity above 1"
+        end
+        else if not (Logreal.equal sel.(i).(j) Logreal.one) then
+          invalid_arg "Hash.make: off-edge selectivity must be 1"
+      end
+    done
+  done;
+  { n; graph; sel; sizes; memory; nu }
+
+(** A uniform instance except for distinguished per-vertex sizes. *)
+let of_sizes ?(nu = 0.5) ~graph ~sel ~sizes ~memory () = make ~nu ~graph ~sel ~sizes ~memory ()
+
+let hjmin t b = Logreal.pow b t.nu
+
+(** The paper's [g(m, b)]: linear from [Theta(1)] at [hjmin(b)] down to
+    [0] at [b]. *)
+let g t ~m ~b =
+  if Logreal.compare m b >= 0 then Logreal.zero
+  else begin
+    let lo = hjmin t b in
+    if Logreal.compare b lo <= 0 then Logreal.zero
+    else if Logreal.compare m lo < 0 then Logreal.infinity (* infeasible *)
+    else Logreal.div (Logreal.sub b m) (Logreal.sub b lo)
+  end
+
+(** [h_cost t ~m ~outer ~inner]: the hash-join I/O cost
+    [h(m, b_R, b_S)]; {!Logreal.infinity} when [m < hjmin(inner)]. *)
+let h_cost t ~m ~outer ~inner =
+  let gv = g t ~m ~b:inner in
+  if not (Logreal.compare gv Logreal.infinity < 0) then Logreal.infinity
+  else Logreal.add (Logreal.mul (Logreal.add outer inner) gv) inner
+
+(* ------------------------------------------------------------------ *)
+
+(** Intermediate sizes along a sequence: [N_0 = t_{z_1}] and
+    [N_i = N(prefix of length i+1)] for [i = 1 .. n-1]. *)
+let prefix_sizes t (z : int array) =
+  let open Graphlib in
+  if Array.length z <> t.n then invalid_arg "Hash.prefix_sizes: length";
+  let x = Bitset.create t.n in
+  Bitset.add x z.(0);
+  let out = Array.make t.n Logreal.one in
+  out.(0) <- t.sizes.(z.(0));
+  let size = ref out.(0) in
+  for i = 1 to t.n - 1 do
+    let j = z.(i) in
+    size := Logreal.mul !size t.sizes.(j);
+    Bitset.iter
+      (fun k -> if Bitset.mem x k then size := Logreal.mul !size t.sel.(j).(k))
+      (Ugraph.neighbors t.graph j);
+    out.(i) <- !size;
+    Bitset.add x j
+  done;
+  out
+
+type allocation = { join : int (* 1-based join index *) ; memory_given : cost; inner : cost }
+
+(** Optimal memory allocation for pipeline [P(Z, i, k)] (1-based join
+    indices, [1 <= i <= k <= n-1]). With [g] linear in [m], minimizing
+    the total cost subject to [sum m_j <= M],
+    [hjmin(b_j) <= m_j <= b_j] is a fractional knapsack: grant memory
+    in decreasing order of the saving density
+    [(outer_j + b_j) / (b_j - hjmin(b_j))]. Returns [None] when even
+    the minimal allocation [sum hjmin(b_j)] exceeds [M]. *)
+let allocate t ~ns (z : int array) ~i ~k =
+  if i < 1 || k > t.n - 1 || i > k then invalid_arg "Hash.allocate: bad pipeline bounds";
+  let joins = List.init (k - i + 1) (fun d -> i + d) in
+  let inner j = t.sizes.(z.(j)) in
+  let outer j = ns.(j - 1) in
+  let lo_need = List.fold_left (fun acc j -> Logreal.add acc (hjmin t (inner j))) Logreal.zero joins in
+  if Logreal.compare lo_need t.memory > 0 then None
+  else begin
+    (* spendable beyond the minimums *)
+    let budget = ref (Logreal.sub t.memory lo_need) in
+    let density j =
+      let b = inner j in
+      let span = Logreal.sub b (hjmin t b) in
+      if Logreal.is_zero span then Logreal.infinity
+      else Logreal.div (Logreal.add (outer j) b) span
+    in
+    let ordered = List.sort (fun a b -> Logreal.compare (density b) (density a)) joins in
+    let alloc = Hashtbl.create 8 in
+    List.iter
+      (fun j ->
+        let b = inner j in
+        let lo = hjmin t b in
+        let span = if Logreal.compare b lo > 0 then Logreal.sub b lo else Logreal.zero in
+        (* tolerance-aware saturation test: accumulated log-domain
+           rounding across the budget chain must not turn an intended
+           full allocation into a partial one epsilon below [b] (g
+           amplifies the residue enormously) *)
+        let saturates =
+          Logreal.compare span !budget <= 0
+          || Logreal.to_log2 span -. Logreal.to_log2 !budget <= 1e-9
+        in
+        if saturates then begin
+          (* saturate exactly at the inner size: computing [lo + span]
+             in the log domain would land a rounding epsilon below [b]
+             and [g] would amplify the residue *)
+          budget := (if Logreal.compare !budget span <= 0 then Logreal.zero else Logreal.sub !budget span);
+          Hashtbl.replace alloc j b
+        end
+        else begin
+          Hashtbl.replace alloc j (Logreal.add lo !budget);
+          budget := Logreal.zero
+        end)
+      ordered;
+    Some (List.map (fun j -> { join = j; memory_given = Hashtbl.find alloc j; inner = inner j }) joins)
+  end
+
+(** Cost of executing pipeline [P(Z, i, k)] under the optimal memory
+    allocation: read [N_{i-1}], the hash joins, write [N_k].
+    {!Logreal.infinity} when infeasible. *)
+let pipeline_cost t ~ns (z : int array) ~i ~k =
+  match allocate t ~ns z ~i ~k with
+  | None -> Logreal.infinity
+  | Some allocs ->
+      let read = ns.(i - 1) in
+      let write = ns.(k) in
+      let join_cost =
+        List.fold_left
+          (fun acc a ->
+            Logreal.add acc (h_cost t ~m:a.memory_given ~outer:ns.(a.join - 1) ~inner:a.inner))
+          Logreal.zero allocs
+      in
+      Logreal.add read (Logreal.add join_cost write)
+
+type decomposition = (int * int) list
+(** Pipelines [(i, k)] in execution order, covering [1 .. n-1]. *)
+
+let cost_of_decomposition t (z : int array) (d : decomposition) =
+  let ns = prefix_sizes t z in
+  (* validate coverage *)
+  let rec check expect = function
+    | [] -> if expect <> t.n then invalid_arg "Hash.cost_of_decomposition: incomplete cover"
+    | (i, k) :: rest ->
+        if i <> expect || k < i || k > t.n - 1 then
+          invalid_arg "Hash.cost_of_decomposition: bad fragment";
+        check (k + 1) rest
+  in
+  check 1 d;
+  List.fold_left (fun acc (i, k) -> Logreal.add acc (pipeline_cost t ~ns z ~i ~k)) Logreal.zero d
+
+(** Optimal pipeline decomposition of the sequence [z]: interval DP in
+    [O(n^2)] fragment evaluations. Returns the total cost and the
+    fragment list. *)
+let best_decomposition t (z : int array) =
+  let n = t.n in
+  if n <= 1 then (Logreal.zero, [])
+  else begin
+    let ns = prefix_sizes t z in
+    (* dp.(k) = best cost of executing joins 1..k; dp.(0) = 0 *)
+    let dp = Array.make n Logreal.infinity in
+    let cut = Array.make n 0 in
+    dp.(0) <- Logreal.zero;
+    for k = 1 to n - 1 do
+      for i = 1 to k do
+        if Logreal.compare dp.(i - 1) Logreal.infinity < 0 then begin
+          let c = Logreal.add dp.(i - 1) (pipeline_cost t ~ns z ~i ~k) in
+          if Logreal.compare c dp.(k) < 0 then begin
+            dp.(k) <- c;
+            cut.(k) <- i
+          end
+        end
+      done
+    done;
+    let rec rebuild k acc = if k = 0 then acc else rebuild (cut.(k) - 1) ((cut.(k), k) :: acc) in
+    if Logreal.compare dp.(n - 1) Logreal.infinity < 0 then (dp.(n - 1), rebuild (n - 1) [])
+    else (Logreal.infinity, [])
+  end
+
+(** Cost of the best decomposition of [z] ([Logreal.infinity] when no
+    feasible decomposition exists, e.g. a hash table would exceed
+    memory in every fragmentation). *)
+let seq_cost t z = fst (best_decomposition t z)
+
+(* ------------------------------------------------------------------ *)
+(* Sequence search *)
+
+type plan = { cost : cost; seq : int array; decomposition : decomposition }
+
+let plan_of_seq t z =
+  let c, d = best_decomposition t z in
+  { cost = c; seq = z; decomposition = d }
+
+let max_exhaustive_n = 9
+
+(** Exact optimum by enumerating all sequences (small [n] only). *)
+let exhaustive t =
+  if t.n > max_exhaustive_n then
+    invalid_arg (Printf.sprintf "Hash.exhaustive: n=%d too large (max %d)" t.n max_exhaustive_n);
+  if t.n = 0 then invalid_arg "Hash.exhaustive: empty instance";
+  let best = ref None in
+  let consider z =
+    let p = plan_of_seq t (Array.copy z) in
+    match !best with
+    | Some b when Logreal.compare b.cost p.cost <= 0 -> ()
+    | _ -> best := Some p
+  in
+  let z = Array.init t.n (fun i -> i) in
+  let rec permute d =
+    if d = t.n then consider z
+    else
+      for i = d to t.n - 1 do
+        let tmp = z.(d) in
+        z.(d) <- z.(i);
+        z.(i) <- tmp;
+        permute (d + 1);
+        let tmp = z.(d) in
+        z.(d) <- z.(i);
+        z.(i) <- tmp
+      done
+  in
+  permute 0;
+  Option.get !best
+
+(** Greedy minimum-intermediate-size sequence from every start. *)
+let greedy t =
+  if t.n = 0 then invalid_arg "Hash.greedy: empty instance";
+  let open Graphlib in
+  let run start =
+    let z = Array.make t.n (-1) in
+    z.(0) <- start;
+    let x = Bitset.create t.n in
+    Bitset.add x start;
+    let size = ref t.sizes.(start) in
+    for d = 1 to t.n - 1 do
+      let best_v = ref (-1) and best_s = ref Logreal.infinity in
+      for v = 0 to t.n - 1 do
+        if not (Bitset.mem x v) then begin
+          let s = ref (Logreal.mul !size t.sizes.(v)) in
+          Bitset.iter
+            (fun u -> if Bitset.mem x u then s := Logreal.mul !s t.sel.(v).(u))
+            (Ugraph.neighbors t.graph v);
+          if Logreal.compare !s !best_s < 0 then begin
+            best_s := !s;
+            best_v := v
+          end
+        end
+      done;
+      z.(d) <- !best_v;
+      size := !best_s;
+      Bitset.add x !best_v
+    done;
+    plan_of_seq t z
+  in
+  let best = ref (run 0) in
+  for s = 1 to t.n - 1 do
+    let p = run s in
+    if Logreal.compare p.cost !best.cost < 0 then best := p
+  done;
+  !best
+
+(** Simulated annealing over sequences, each evaluated via the optimal
+    decomposition DP. *)
+let simulated_annealing ?(seed = 0) ?(steps = 5_000) ?(t0 = 50.0) ?(alpha = 0.998) t =
+  if t.n = 0 then invalid_arg "Hash.simulated_annealing: empty instance";
+  let st = Random.State.make [| seed; t.n; 31 |] in
+  let z = Array.init t.n (fun i -> i) in
+  for i = t.n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = z.(i) in
+    z.(i) <- z.(j);
+    z.(j) <- tmp
+  done;
+  let cur = ref (seq_cost t z) in
+  let best = ref (plan_of_seq t (Array.copy z)) in
+  let temp = ref t0 in
+  for _s = 1 to steps do
+    let i = Random.State.int st t.n and j = Random.State.int st t.n in
+    if i <> j then begin
+      let tmp = z.(i) in
+      z.(i) <- z.(j);
+      z.(j) <- tmp;
+      let c = seq_cost t z in
+      let accept =
+        Logreal.compare c !cur <= 0
+        || (Logreal.compare c Logreal.infinity < 0
+            && Logreal.compare !cur Logreal.infinity < 0
+            &&
+            let d = Logreal.to_log2 c -. Logreal.to_log2 !cur in
+            Random.State.float st 1.0 < Float.exp (-.d /. !temp))
+      in
+      if accept then begin
+        cur := c;
+        if Logreal.compare c !best.cost < 0 then best := plan_of_seq t (Array.copy z)
+      end
+      else begin
+        let tmp = z.(i) in
+        z.(i) <- z.(j);
+        z.(j) <- tmp
+      end
+    end;
+    temp := !temp *. alpha
+  done;
+  !best

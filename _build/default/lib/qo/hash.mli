@@ -1,0 +1,119 @@
+(** The [QO_H] problem: pipelined hash joins under a memory budget
+    (Section 2.2 of the paper).
+
+    An instance is [(n, Q, S, T, M)]: query graph, selectivities and
+    sizes as in [QO_N], plus the total memory [M] available to each
+    pipeline. A join sequence is executed as a {e pipeline
+    decomposition}: contiguous fragments, each fragment's joins running
+    concurrently with memory split among them, the fragment result
+    materialized to disk and re-read by the next fragment.
+
+    The hash-join I/O cost is
+    [h(m, b_R, b_S) = (b_R + b_S) * g(m, b_S) + b_S] for
+    [m >= hjmin(b_S)] (infeasible below). The paper requires [g]
+    continuous, linear decreasing on [[hjmin(b_S), b_S]],
+    [g(b_S, .) = 0], [g(hjmin, .) = Theta(1)], and
+    [hjmin(b) = Theta(b^nu)], [0 < nu < 1]; we concretize
+    [g(m, b) = (b - m)/(b - hjmin(b))] (clamped) and [hjmin(b) = b^nu]
+    with [nu] an instance parameter — exactly the properties the
+    proofs use.
+
+    With [g] linear, optimal memory allocation inside a pipeline is a
+    fractional knapsack ({!allocate}, solved exactly), and the optimal
+    decomposition of a sequence is an [O(n^2)] interval DP
+    ({!best_decomposition}). Everything runs in the log domain
+    ({!Logreal}): reduction instances have sizes with [Theta(n^2)]-bit
+    exponents. *)
+
+type cost = Logreal.t
+
+type t = {
+  n : int;
+  graph : Graphlib.Ugraph.t;
+  sel : cost array array;
+  sizes : cost array;
+  memory : cost;
+  nu : float;  (** [hjmin(b) = b^nu]. *)
+}
+
+val make :
+  ?nu:float ->
+  graph:Graphlib.Ugraph.t ->
+  sel:cost array array ->
+  sizes:cost array ->
+  memory:cost ->
+  unit ->
+  t
+(** Validates dimensions, selectivity symmetry and the off-edge
+    selectivity-1 convention. @raise Invalid_argument on violations. *)
+
+val of_sizes :
+  ?nu:float ->
+  graph:Graphlib.Ugraph.t ->
+  sel:cost array array ->
+  sizes:cost array ->
+  memory:cost ->
+  unit ->
+  t
+(** Alias of {!make}. *)
+
+val hjmin : t -> cost -> cost
+(** [hjmin t b = b^nu]: the minimum memory to hash-join an inner
+    relation of [b] pages. *)
+
+val g : t -> m:cost -> b:cost -> cost
+(** The paper's partitioning-overhead factor: [0] at [m >= b], linear
+    up to [Theta(1)] at [m = hjmin(b)]; {!Logreal.infinity} below
+    (infeasible). *)
+
+val h_cost : t -> m:cost -> outer:cost -> inner:cost -> cost
+(** [h(m, b_R, b_S)]; {!Logreal.infinity} when [m < hjmin(inner)]. *)
+
+val prefix_sizes : t -> int array -> cost array
+(** [N_0 = t_{z_1}] and the intermediate sizes [N_1 .. N_{n-1}] along a
+    sequence. *)
+
+type allocation = { join : int  (** 1-based join index. *); memory_given : cost; inner : cost }
+
+val allocate : t -> ns:cost array -> int array -> i:int -> k:int -> allocation list option
+(** Optimal memory split for pipeline [P(Z, i, k)] ([1 <= i <= k <=
+    n-1]): a fractional knapsack granting memory in decreasing order of
+    saving density [(outer_j + b_j)/(b_j - hjmin(b_j))]. [None] when
+    even the minimal allocation overflows [M]. [ns] is
+    {!prefix_sizes}. *)
+
+val pipeline_cost : t -> ns:cost array -> int array -> i:int -> k:int -> cost
+(** Read [N_{i-1}] + hash joins under the optimal allocation + write
+    [N_k]; {!Logreal.infinity} when infeasible. *)
+
+type decomposition = (int * int) list
+(** Pipelines [(i, k)] in execution order, covering [1 .. n-1]
+    contiguously. *)
+
+val cost_of_decomposition : t -> int array -> decomposition -> cost
+(** @raise Invalid_argument when the fragments do not cover [1..n-1]
+    contiguously. *)
+
+val best_decomposition : t -> int array -> cost * decomposition
+(** Optimal decomposition of the sequence by interval DP. *)
+
+val seq_cost : t -> int array -> cost
+(** [fst (best_decomposition t z)]. *)
+
+type plan = { cost : cost; seq : int array; decomposition : decomposition }
+
+val plan_of_seq : t -> int array -> plan
+
+val max_exhaustive_n : int
+
+val exhaustive : t -> plan
+(** Exact optimum over all sequences (each with its optimal
+    decomposition). @raise Invalid_argument above
+    {!max_exhaustive_n}. *)
+
+val greedy : t -> plan
+(** Minimum-intermediate-size greedy from every start. *)
+
+val simulated_annealing : ?seed:int -> ?steps:int -> ?t0:float -> ?alpha:float -> t -> plan
+(** Annealing over sequences, each evaluated through
+    {!best_decomposition}. *)

@@ -1,0 +1,127 @@
+(** The Ibaraki–Kameda rank-ordering algorithm for tree query graphs.
+
+    Section 6.3 of the paper contrasts its hardness results (which need
+    only [m + Theta(m^tau)] edges) with the classical polynomial-time
+    algorithms for {e tree} queries of Ibaraki–Kameda [1] and KBZ [6].
+    This module implements that algorithm, giving the exact optimum
+    over cartesian-product-free join sequences when the query graph is
+    a tree — the boundary of tractability the paper delimits.
+
+    For a rooted tree, every feasible (predicate-connected) sequence is
+    a linear extension of the ancestor order, and joining vertex [v]
+    contributes [H = N(X) * w_{v,parent}] while multiplying the
+    intermediate size by [f_v = t_v * s_{v,parent}]. Minimizing
+    [sum c_v * prod_{u before v} f_u] under tree precedence is the
+    classical least-cost sequencing problem, solved by merging chains
+    in non-decreasing rank [rho(v) = (f_v - 1) / c_v] and fusing
+    precedence violations into composite modules. The best root is
+    found by trying all [n]. *)
+
+module Make (C : Cost.S) = struct
+  module I = Nl.Make (C)
+
+  (* Signed rank (f-1)/c kept in the cost domain. *)
+  type rank = Neg of C.t | Zero | Pos of C.t
+
+  let rank ~f ~c =
+    let cmp = C.compare f C.one in
+    if cmp = 0 then Zero
+    else if cmp > 0 then Pos (C.div (C.sub f C.one) c)
+    else Neg (C.div (C.sub C.one f) c)
+
+  let compare_rank a b =
+    match (a, b) with
+    | Neg x, Neg y -> C.compare y x (* bigger magnitude = smaller rank *)
+    | Neg _, (Zero | Pos _) -> -1
+    | Zero, Neg _ -> 1
+    | Zero, Zero -> 0
+    | Zero, Pos _ -> -1
+    | Pos _, (Neg _ | Zero) -> 1
+    | Pos x, Pos y -> C.compare x y
+
+  (* A module: a fused run of vertices with aggregate (c, f). *)
+  type m = { c : C.t; f : C.t; vs : int list (* in execution order *) }
+
+  let fuse a b =
+    { c = C.add a.c (C.mul a.f b.c); f = C.mul a.f b.f; vs = a.vs @ b.vs }
+
+  let rank_m m = rank ~f:m.f ~c:m.c
+
+  (* Merge rank-sorted chains (ascending). *)
+  let rec merge2 xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | x :: xs', y :: ys' ->
+        if compare_rank (rank_m x) (rank_m y) <= 0 then x :: merge2 xs' ys
+        else y :: merge2 xs ys'
+
+  let is_tree g =
+    Graphlib.Ugraph.is_connected g
+    && Graphlib.Ugraph.edge_count g = Graphlib.Ugraph.vertex_count g - 1
+
+  (** [applicable inst] is [true] when the query graph is a tree. *)
+  let applicable (inst : I.t) = is_tree inst.I.graph
+
+  (** Optimal cartesian-product-free sequence rooted at [root]. *)
+  let solve_rooted (inst : I.t) root =
+    let n = I.n inst in
+    let g = inst.I.graph in
+    (* children lists by BFS from root *)
+    let parent = Array.make n (-1) in
+    let children = Array.make n [] in
+    let order = ref [] in
+    let seen = Array.make n false in
+    let q = Queue.create () in
+    Queue.add root q;
+    seen.(root) <- true;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      order := v :: !order;
+      Graphlib.Bitset.iter
+        (fun u ->
+          if not seen.(u) then begin
+            seen.(u) <- true;
+            parent.(u) <- v;
+            children.(v) <- u :: children.(v);
+            Queue.add u q
+          end)
+        (Graphlib.Ugraph.neighbors g v)
+    done;
+    let module_of v =
+      let p = parent.(v) in
+      { c = inst.I.w.(v).(p); f = C.mul inst.I.sizes.(v) inst.I.sel.(v).(p); vs = [ v ] }
+    in
+    let rec chain v =
+      let merged =
+        List.fold_left (fun acc ch -> merge2 acc (chain ch)) [] children.(v)
+      in
+      if v = root then merged
+      else begin
+        (* prepend v's module; fuse while out of rank order *)
+        let rec normalize = function
+          | a :: b :: rest when compare_rank (rank_m a) (rank_m b) > 0 ->
+              normalize (fuse a b :: rest)
+          | l -> l
+        in
+        normalize (module_of v :: merged)
+      end
+    in
+    let modules = chain root in
+    let seq = Array.of_list (root :: List.concat_map (fun m -> m.vs) modules) in
+    (I.cost inst seq, seq)
+
+  (** The optimum over all roots. Exact for tree query graphs (equal to
+      {!Opt.Make.dp_no_cartesian}); [Invalid_argument] otherwise. *)
+  let solve (inst : I.t) =
+    if not (applicable inst) then invalid_arg "Ik.solve: query graph is not a tree";
+    let n = I.n inst in
+    if n = 1 then (C.zero, [| 0 |])
+    else begin
+      let best = ref (solve_rooted inst 0) in
+      for r = 1 to n - 1 do
+        let c, s = solve_rooted inst r in
+        if C.compare c (fst !best) < 0 then best := (c, s)
+      done;
+      !best
+    end
+end

@@ -1,0 +1,142 @@
+(* Line-oriented instance files. Comments (#) and blank lines allowed.
+
+     qon 1
+     n <int>
+     size <v> <scalar>            (one per relation)
+     edge <i> <j> sel <scalar> wij <scalar> wji <scalar>
+
+   Scalars: rationals "a/b" or integers for the rational domain;
+   "2^<float>" or plain floats for the log domain. *)
+
+let dump_generic ~scalar_to_string ~(n : int) ~graph ~sizes ~sel ~w =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "qon 1\n";
+  Buffer.add_string buf (Printf.sprintf "n %d\n" n);
+  Array.iteri
+    (fun v s -> Buffer.add_string buf (Printf.sprintf "size %d %s\n" v (scalar_to_string s)))
+    sizes;
+  List.iter
+    (fun (i, j) ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %d %d sel %s wij %s wji %s\n" i j
+           (scalar_to_string sel.(i).(j))
+           (scalar_to_string w.(i).(j))
+           (scalar_to_string w.(j).(i))))
+    (Graphlib.Ugraph.edges graph);
+  Buffer.contents buf
+
+type 'a parsed = {
+  p_n : int;
+  p_sizes : (int * 'a) list;
+  p_edges : (int * int * 'a * 'a * 'a) list;
+}
+
+let parse_generic ~scalar_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref (-1) in
+  let sizes = ref [] in
+  let edges = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> invalid_arg ("Qo.Io.parse: " ^ m)) fmt in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "qon"; "1" ] -> ()
+        | [ "n"; v ] -> n := int_of_string v
+        | [ "size"; v; s ] -> sizes := (int_of_string v, scalar_of_string s) :: !sizes
+        | [ "edge"; i; j; "sel"; s; "wij"; wij; "wji"; wji ] ->
+            edges :=
+              ( int_of_string i,
+                int_of_string j,
+                scalar_of_string s,
+                scalar_of_string wij,
+                scalar_of_string wji )
+              :: !edges
+        | _ -> fail "line %d: unrecognized %S" (lineno + 1) line
+      end)
+    lines;
+  if !n <= 0 then fail "missing or invalid n";
+  if List.length !sizes <> !n then fail "expected %d size lines, found %d" !n (List.length !sizes);
+  { p_n = !n; p_sizes = List.rev !sizes; p_edges = List.rev !edges }
+
+let build ~make ~one p =
+  let n = p.p_n in
+  let graph = Graphlib.Ugraph.create n in
+  let sizes = Array.make n one in
+  List.iter
+    (fun (v, s) ->
+      if v < 0 || v >= n then invalid_arg "Qo.Io.parse: size vertex out of range";
+      sizes.(v) <- s)
+    p.p_sizes;
+  let sel = Array.make_matrix n n one in
+  let w = Array.init n (fun i -> Array.init n (fun _ -> sizes.(i))) in
+  List.iter
+    (fun (i, j, s, wij, wji) ->
+      Graphlib.Ugraph.add_edge graph i j;
+      sel.(i).(j) <- s;
+      sel.(j).(i) <- s;
+      w.(i).(j) <- wij;
+      w.(j).(i) <- wji)
+    p.p_edges;
+  (* off-edge w entries must equal the relation size *)
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && not (Graphlib.Ugraph.has_edge graph i j) then w.(i).(j) <- sizes.(i)
+    done
+  done;
+  make ~graph ~sel ~sizes ~w
+
+(* ---------------- rational ---------------- *)
+
+let rat_to_string = Format.asprintf "%a" Rat_cost.pp
+
+let rat_of_string s =
+  match s with
+  | "inf" -> Rat_cost.infinity
+  | _ -> Rat_cost.of_bigq (Bignum.Bigq.of_string s)
+
+let dump_rat (inst : Instances.Nl_rat.t) =
+  dump_generic ~scalar_to_string:rat_to_string ~n:inst.Instances.Nl_rat.n
+    ~graph:inst.Instances.Nl_rat.graph ~sizes:inst.Instances.Nl_rat.sizes
+    ~sel:inst.Instances.Nl_rat.sel ~w:inst.Instances.Nl_rat.w
+
+let parse_rat text =
+  build ~make:Instances.Nl_rat.make ~one:Rat_cost.one
+    (parse_generic ~scalar_of_string:rat_of_string text)
+
+(* ---------------- log domain ---------------- *)
+
+let log_to_string (v : Log_cost.t) = Printf.sprintf "2^%.17g" (Log_cost.to_log2 v)
+
+let log_of_string s =
+  if String.length s > 2 && String.sub s 0 2 = "2^" then
+    Log_cost.of_log2 (float_of_string (String.sub s 2 (String.length s - 2)))
+  else Log_cost.of_float (float_of_string s)
+
+let dump_log (inst : Instances.Nl_log.t) =
+  dump_generic ~scalar_to_string:log_to_string ~n:inst.Instances.Nl_log.n
+    ~graph:inst.Instances.Nl_log.graph ~sizes:inst.Instances.Nl_log.sizes
+    ~sel:inst.Instances.Nl_log.sel ~w:inst.Instances.Nl_log.w
+
+let parse_log text =
+  build ~make:Instances.Nl_log.make ~one:Log_cost.one
+    (parse_generic ~scalar_of_string:log_of_string text)
+
+(* ---------------- files ---------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_rat path inst = write_file path (dump_rat inst)
+let load_rat path = parse_rat (read_file path)
+let save_log path inst = write_file path (dump_log inst)
+let load_log path = parse_log (read_file path)

@@ -1,0 +1,28 @@
+(** Textual serialization of [QO_N] instances.
+
+    A simple line-oriented format so instances can be saved, shared and
+    fed back through the CLI:
+
+    {v
+    qon 1                      # header, version
+    n 4
+    size 0 1000                # relation sizes (rational or 2^x)
+    edge 0 1 sel 1/100 w01 10 w10 1000
+    ...
+    v}
+
+    Rational instances serialize exactly; log-domain instances
+    serialize their exponents ([2^x] syntax) with float precision. *)
+
+val dump_rat : Instances.Nl_rat.t -> string
+val parse_rat : string -> Instances.Nl_rat.t
+(** @raise Invalid_argument on malformed input (including instances
+    violating the access-path constraints — re-validated on load). *)
+
+val dump_log : Instances.Nl_log.t -> string
+val parse_log : string -> Instances.Nl_log.t
+
+val save_rat : string -> Instances.Nl_rat.t -> unit
+val load_rat : string -> Instances.Nl_rat.t
+val save_log : string -> Instances.Nl_log.t -> unit
+val load_log : string -> Instances.Nl_log.t

@@ -1,0 +1,198 @@
+(** The [QO_N] problem: join-order optimization under nested-loops
+    joins, exactly as defined in Section 2.1 of the paper.
+
+    An instance is a five-tuple [(n, Q = (V,E), S, T, W)]:
+    - [Q]: the undirected query graph on vertices [0 .. n-1], one per
+      relation [R_i];
+    - [S]: the symmetric selectivity matrix, [s.(i).(j) = 1] when
+      [{i,j}] is not an edge;
+    - [T]: relation sizes in tuples (= pages; unit tuple size);
+    - [W]: the access-path cost matrix. [w.(j).(k)] is the least cost
+      of accessing relation [R_j] once per outer tuple, given a bound
+      tuple of [R_k]. The paper constrains
+      [t_j * s_jk <= w_jk <= t_j], with [w_jk = t_j] when [{j,k}] is
+      not an edge (no predicate: full scan).
+
+    A join sequence [Z] is a permutation of the vertices. With [X] the
+    prefix before position [i+1] and [v_j] the vertex at position
+    [i+1]:
+    - intermediate size [N(X v_j) = N(X) * t_j * prod_{k in X} s_jk];
+    - join cost [H_i(Z) = N(X) * min_{k in X} w_jk];
+    - total cost [C(Z) = sum_{i=1}^{n-1} H_i(Z)].
+
+    Everything is a functor over {!Cost.S} so the same code runs in the
+    log domain (huge reduction instances) and over exact rationals
+    (cross-validation). *)
+
+module Make (C : Cost.S) = struct
+  type cost = C.t
+
+  type t = {
+    n : int;
+    graph : Graphlib.Ugraph.t;
+    sel : cost array array;
+    sizes : cost array;
+    w : cost array array;
+  }
+
+  (** [make ~graph ~sel ~sizes ~w] validates the instance:
+      symmetry of [sel], [sel = 1] off-edges, and the access-path
+      constraints [t_j s_jk <= w_jk <= t_j] (with equality to [t_j]
+      off-edges). @raise Invalid_argument on violations. *)
+  let make ~graph ~sel ~sizes ~w =
+    let n = Graphlib.Ugraph.vertex_count graph in
+    if Array.length sel <> n || Array.length sizes <> n || Array.length w <> n then
+      invalid_arg "Nl.make: dimension mismatch";
+    Array.iter
+      (fun row -> if Array.length row <> n then invalid_arg "Nl.make: ragged matrix")
+      sel;
+    Array.iter
+      (fun row -> if Array.length row <> n then invalid_arg "Nl.make: ragged matrix")
+      w;
+    for i = 0 to n - 1 do
+      if C.compare sizes.(i) C.zero <= 0 then invalid_arg "Nl.make: nonpositive size";
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          if not (C.equal sel.(i).(j) sel.(j).(i)) then
+            invalid_arg "Nl.make: selectivity not symmetric";
+          if Graphlib.Ugraph.has_edge graph i j then begin
+            if C.compare sel.(i).(j) C.one > 0 || C.compare sel.(i).(j) C.zero <= 0 then
+              invalid_arg "Nl.make: selectivity out of (0,1]";
+            (* t_j s_jk <= w_jk <= t_j, j accessed, k bound *)
+            if C.compare w.(i).(j) (C.mul sizes.(i) sel.(i).(j)) < 0 then
+              invalid_arg (Printf.sprintf "Nl.make: w.(%d).(%d) below t_i * s_ij" i j);
+            if C.compare w.(i).(j) sizes.(i) > 0 then
+              invalid_arg (Printf.sprintf "Nl.make: w.(%d).(%d) above t_i" i j)
+          end
+          else begin
+            if not (C.equal sel.(i).(j) C.one) then
+              invalid_arg "Nl.make: off-edge selectivity must be 1";
+            if not (C.equal w.(i).(j) sizes.(i)) then
+              invalid_arg "Nl.make: off-edge access cost must be t_i"
+          end
+        end
+      done
+    done;
+    { n; graph; sel; sizes; w }
+
+  (** A uniform instance in the style of the reduction [f_N]: all
+      sizes [t], all edge selectivities [s], all edge access costs
+      [w_edge], off-edge costs [t]. *)
+  let uniform ~graph ~size ~edge_sel ~edge_w =
+    let n = Graphlib.Ugraph.vertex_count graph in
+    let sel =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              if i <> j && Graphlib.Ugraph.has_edge graph i j then edge_sel else C.one))
+    in
+    let w =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              if i <> j && Graphlib.Ugraph.has_edge graph i j then edge_w else size))
+    in
+    make ~graph ~sel ~sizes:(Array.make n size) ~w
+
+  let n t = t.n
+
+  (* ------------------------------------------------------------------ *)
+  (* Join sequences *)
+
+  type seq = int array
+  (** A permutation of [0 .. n-1]. *)
+
+  let check_seq t (z : seq) =
+    if Array.length z <> t.n then invalid_arg "Nl: sequence length mismatch";
+    let seen = Array.make t.n false in
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= t.n || seen.(v) then invalid_arg "Nl: not a permutation";
+        seen.(v) <- true)
+      z
+
+  (** [size_of_set t vs]: the intermediate size [N(X)] for the set [X]
+      of vertices — the product of the member sizes and of the
+      selectivities of all edges inside [X]. [N] depends only on the
+      set, which is what makes the subset DP exact. *)
+  let size_of_set t vs =
+    let open Graphlib in
+    let acc = ref C.one in
+    Bitset.iter (fun v -> acc := C.mul !acc t.sizes.(v)) vs;
+    Bitset.iter
+      (fun v ->
+        Bitset.iter (fun u -> if u < v then acc := C.mul !acc t.sel.(v).(u)) (Bitset.inter vs (Ugraph.neighbors t.graph v)))
+      vs;
+    !acc
+
+  (** Cheapest access path for the incoming vertex [j] against prefix
+      set [x]: [min_{k in x} w_jk]. *)
+  let min_w t x j =
+    let best = ref C.infinity in
+    Graphlib.Bitset.iter (fun k -> best := C.min !best t.w.(j).(k)) x;
+    !best
+
+  (** Per-join costs [H_1 .. H_{n-1}] and intermediate sizes
+      [N_1 .. N_{n-1}] along [z]. *)
+  let profile t (z : seq) =
+    check_seq t z;
+    if t.n = 0 then ([||], [||])
+    else
+    let open Graphlib in
+    let x = Bitset.create t.n in
+    Bitset.add x z.(0);
+    let size = ref t.sizes.(z.(0)) in
+    let h = Array.make (t.n - 1) C.zero in
+    let ns = Array.make (t.n - 1) C.zero in
+    for i = 1 to t.n - 1 do
+      let j = z.(i) in
+      h.(i - 1) <- C.mul !size (min_w t x j);
+      (* update N: multiply by t_j and the selectivities to X *)
+      size := C.mul !size t.sizes.(j);
+      Bitset.iter
+        (fun k -> if Bitset.mem x k then size := C.mul !size t.sel.(j).(k))
+        (Ugraph.neighbors t.graph j);
+      ns.(i - 1) <- !size;
+      Bitset.add x j
+    done;
+    (h, ns)
+
+  let cost t z =
+    let h, _ = profile t z in
+    Array.fold_left C.add C.zero h
+
+  let intermediate_sizes t z = snd (profile t z)
+  let join_costs t z = fst (profile t z)
+
+  (** [back_edges t z i]: the number [B_i(Z)] of back-edges of the
+      vertex at (1-based) position [i], i.e. its query-graph edges to
+      earlier vertices. *)
+  let back_edges t (z : seq) i =
+    if i < 1 || i > t.n then invalid_arg "Nl.back_edges: position out of range";
+    let j = z.(i - 1) in
+    let count = ref 0 in
+    for p = 0 to i - 2 do
+      if Graphlib.Ugraph.has_edge t.graph j z.(p) then incr count
+    done;
+    !count
+
+  (** Does some join in [z] have no predicate to its prefix
+      (a cartesian product)? *)
+  let has_cartesian t (z : seq) =
+    check_seq t z;
+    let res = ref false in
+    for i = 2 to t.n do
+      if back_edges t z i = 0 then res := true
+    done;
+    !res
+
+  (** [prefix_edge_counts t z]: [D_i(Z)] — edges inside the first [i]
+      positions, for [i = 1 .. n]. *)
+  let prefix_edge_counts t (z : seq) =
+    check_seq t z;
+    let d = Array.make t.n 0 in
+    let acc = ref 0 in
+    for i = 1 to t.n do
+      if i >= 2 then acc := !acc + back_edges t z i;
+      d.(i - 1) <- !acc
+    done;
+    d
+end

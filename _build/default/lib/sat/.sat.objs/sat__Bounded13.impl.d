@@ -1,0 +1,1 @@
+lib/sat/bounded13.ml: Array Cnf List

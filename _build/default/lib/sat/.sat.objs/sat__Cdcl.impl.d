@@ -1,0 +1,1 @@
+lib/sat/cdcl.ml: Array Cnf Hashtbl List Option

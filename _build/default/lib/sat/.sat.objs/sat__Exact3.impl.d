@@ -1,0 +1,1 @@
+lib/sat/exact3.ml: Array Bounded13 Cnf List

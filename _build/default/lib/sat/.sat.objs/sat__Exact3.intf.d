@@ -1,0 +1,1 @@
+lib/sat/exact3.mli: Cnf

@@ -1,0 +1,1 @@
+lib/sat/gen.mli: Cnf

@@ -1,0 +1,1 @@
+lib/sat/maxsat.ml: Array Cnf

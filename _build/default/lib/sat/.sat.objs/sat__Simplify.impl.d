@@ -1,0 +1,1 @@
+lib/sat/simplify.ml: Array Cnf Dpll Int List Set

@@ -1,0 +1,1 @@
+lib/sat/walksat.ml: Array Cnf List Random

@@ -1,0 +1,47 @@
+let transform_with_map (f : Cnf.t) =
+  let n = Cnf.nvars f in
+  let occ = Cnf.occurrences f in
+  (* Allocate new variable indices. Variables with <= 13 occurrences
+     keep a single copy; others get one copy per occurrence. *)
+  let next = ref 0 in
+  let base = Array.make (n + 1) 0 in
+  let copies = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    let k = if occ.(v) > 13 then occ.(v) else 1 in
+    base.(v) <- !next + 1;
+    copies.(v) <- k;
+    next := !next + k
+  done;
+  let nvars' = !next in
+  (* Rewrite clauses, consuming one copy per occurrence. *)
+  let used = Array.make (n + 1) 0 in
+  let rewrite_lit l =
+    let v = abs l in
+    let nv =
+      if copies.(v) = 1 then base.(v)
+      else begin
+        let i = used.(v) in
+        used.(v) <- i + 1;
+        base.(v) + i
+      end
+    in
+    if l > 0 then nv else -nv
+  in
+  let clauses =
+    Array.to_list f.Cnf.clauses
+    |> List.map (fun c -> Array.to_list (Array.map rewrite_lit c))
+  in
+  (* Implication cycles x_i -> x_{i+1}: clause (-x_i \/ x_{i+1}). *)
+  let cycle_clauses = ref [] in
+  for v = 1 to n do
+    let k = copies.(v) in
+    if k > 1 then
+      for i = 0 to k - 1 do
+        let a = base.(v) + i and b = base.(v) + ((i + 1) mod k) in
+        cycle_clauses := [ -a; b ] :: !cycle_clauses
+      done
+  done;
+  let out = Cnf.make ~nvars:nvars' (clauses @ List.rev !cycle_clauses) in
+  (out, base)
+
+let transform f = fst (transform_with_map f)

@@ -1,0 +1,19 @@
+(** Occurrence bounding: 3SAT to 3SAT(13).
+
+    Section 3 of the paper restricts attention to 3SAT(13), where every
+    variable occurs in at most 13 clauses. The classical equisatisfiable
+    transformation replaces a variable with [k > 13] occurrences by [k]
+    fresh copies linked by an implication cycle
+    [x1 -> x2 -> ... -> xk -> x1] (2-literal clauses), which forces all
+    copies equal in any satisfying assignment. Each copy then occurs in
+    exactly 3 clauses (one original + two cycle clauses). *)
+
+val transform : Cnf.t -> Cnf.t
+(** Equisatisfiable 3SAT(13) formula (in fact occurrence bound 3 for
+    split variables). Satisfying assignments map back by reading any
+    copy. *)
+
+val transform_with_map : Cnf.t -> Cnf.t * int array
+(** Also returns [map] with [map.(v)] = a representative new variable
+    for each original variable [v] (index 0 unused), so models of the
+    output project to models of the input. *)

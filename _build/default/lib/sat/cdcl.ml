@@ -1,0 +1,308 @@
+(* Conflict-driven clause learning.
+
+   Literal encoding: variable v in [1..n]; literal +v -> 2v, -v -> 2v+1
+   (so [lit lxor 1] negates). Clauses are int arrays of encoded
+   literals; the first two positions are the watched literals.
+
+   Assignment trail with decision levels; reason clauses for implied
+   literals; first-UIP learning with resolution on the current level;
+   backjump to the second-highest level in the learned clause. *)
+
+type result = Sat of bool array | Unsat
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned : int;
+  restarts : int;
+}
+
+let enc l = if l > 0 then 2 * l else (2 * -l) + 1
+let var_of e = e lsr 1
+let neg e = e lxor 1
+
+(* Luby sequence for restart intervals. *)
+let rec luby i =
+  (* find k with 2^(k-1) <= i+1 < 2^k *)
+  let k = ref 1 in
+  while (1 lsl !k) < i + 2 do
+    incr k
+  done;
+  if (1 lsl !k) = i + 2 then 1 lsl (!k - 1) else luby (i + 2 - (1 lsl (!k - 1)) - 1)
+
+let solve_with_stats (f : Cnf.t) =
+  let n = Cnf.nvars f in
+  let stats = ref { decisions = 0; propagations = 0; conflicts = 0; learned = 0; restarts = 0 } in
+  (* clause database: original clauses (learned ones only live in the
+     watch lists) *)
+  let clause_list = ref [] in
+  Array.iter (fun c -> clause_list := Array.map enc c :: !clause_list) f.Cnf.clauses;
+  (* values: 0 unset, 1 true, -1 false, per variable *)
+  let value = Array.make (n + 1) 0 in
+  let level = Array.make (n + 1) (-1) in
+  let reason : int array option array = Array.make (n + 1) None in
+  let trail = Array.make (n + 1) 0 (* encoded literals *) in
+  let trail_len = ref 0 in
+  let trail_lim = ref [] (* stack of trail positions at decisions *) in
+  let qhead = ref 0 in
+  (* watches: for each encoded literal, clauses watching it *)
+  let watch_tbl : (int, int array list ref) Hashtbl.t = Hashtbl.create (4 * n) in
+  let watchers e =
+    match Hashtbl.find_opt watch_tbl e with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add watch_tbl e r;
+        r
+  in
+  let lit_value e =
+    let v = value.(var_of e) in
+    if v = 0 then 0 else if (e land 1 = 0) = (v = 1) then 1 else -1
+  in
+  let enqueue e r =
+    value.(var_of e) <- (if e land 1 = 0 then 1 else -1);
+    level.(var_of e) <- List.length !trail_lim;
+    reason.(var_of e) <- r;
+    trail.(!trail_len) <- e;
+    incr trail_len
+  in
+  (* activity for branching *)
+  let activity = Array.make (n + 1) 0.0 in
+  let var_inc = ref 1.0 in
+  let bump v =
+    activity.(v) <- activity.(v) +. !var_inc;
+    if activity.(v) > 1e100 then begin
+      for u = 1 to n do
+        activity.(u) <- activity.(u) *. 1e-100
+      done;
+      var_inc := !var_inc *. 1e-100
+    end
+  in
+  let decay () = var_inc := !var_inc /. 0.95 in
+
+  (* attach initial watches; handle unit and empty clauses *)
+  let top_conflict = ref false in
+  let attach c =
+    match Array.length c with
+    | 0 -> top_conflict := true
+    | 1 -> begin
+        match lit_value c.(0) with
+        | 1 -> ()
+        | -1 -> top_conflict := true
+        | _ -> enqueue c.(0) (Some c)
+      end
+    | _ ->
+        let w0 = watchers (neg c.(0)) and w1 = watchers (neg c.(1)) in
+        w0 := c :: !w0;
+        w1 := c :: !w1
+  in
+  List.iter attach !clause_list;
+
+  (* propagate; returns conflicting clause or None *)
+  let propagate () =
+    let conflict = ref None in
+    while !conflict = None && !qhead < !trail_len do
+      let e = trail.(!qhead) in
+      incr qhead;
+      (* clauses watching [neg of e's negation]... we watch neg(lit):
+         when e becomes true, clauses watching e must find new homes
+         for the literal (neg e) they contain. Our convention: a clause
+         with watched literals c.(0), c.(1) is registered under
+         neg c.(0) and neg c.(1); when literal [e] is enqueued (true),
+         clauses registered under [e] contain neg e watched. *)
+      let ws = watchers e in
+      let keep = ref [] in
+      let rec process = function
+        | [] -> ()
+        | c :: rest -> (
+            stats := { !stats with propagations = !stats.propagations + 1 };
+            (* ensure the false literal is at position 1 *)
+            if c.(0) = neg e then begin
+              c.(0) <- c.(1);
+              c.(1) <- neg e
+            end;
+            if lit_value c.(0) = 1 then begin
+              keep := c :: !keep;
+              process rest
+            end
+            else begin
+              (* find a new watchable literal *)
+              let found = ref false in
+              let i = ref 2 in
+              while (not !found) && !i < Array.length c do
+                if lit_value c.(!i) <> -1 then found := true else incr i
+              done;
+              if !found then begin
+                let l = c.(!i) in
+                c.(!i) <- c.(1);
+                c.(1) <- l;
+                let w = watchers (neg l) in
+                w := c :: !w;
+                process rest
+              end
+              else begin
+                (* unit or conflict *)
+                keep := c :: !keep;
+                match lit_value c.(0) with
+                | -1 ->
+                    conflict := Some c;
+                    (* keep the remaining watchers *)
+                    List.iter (fun c' -> keep := c' :: !keep) rest
+                | 0 ->
+                    enqueue c.(0) (Some c);
+                    process rest
+                | _ -> process rest
+              end
+            end)
+      in
+      process !ws;
+      ws := !keep
+    done;
+    !conflict
+  in
+
+  let current_level () = List.length !trail_lim in
+
+  (* first-UIP analysis: returns learned clause (encoded lits, asserting
+     literal first) and backjump level *)
+  let analyze confl =
+    let seen = Array.make (n + 1) false in
+    let learned = ref [] in
+    let counter = ref 0 in
+    let p = ref (-1) in
+    let idx = ref (!trail_len - 1) in
+    let c = ref confl in
+    let continue = ref true in
+    while !continue do
+      Array.iter
+        (fun q ->
+          let v = var_of q in
+          if (!p = -1 || q <> !p) && not seen.(v) then begin
+            if level.(v) > 0 then begin
+              seen.(v) <- true;
+              bump v;
+              if level.(v) = current_level () then incr counter
+              else learned := q :: !learned
+            end
+          end)
+        !c;
+      (* walk the trail back to the next marked literal of this level *)
+      while not seen.(var_of trail.(!idx)) do
+        decr idx
+      done;
+      let lit = trail.(!idx) in
+      seen.(var_of lit) <- false;
+      decr counter;
+      decr idx;
+      if !counter = 0 then begin
+        (* lit is the first UIP; learned clause = neg lit :: others *)
+        learned := neg lit :: !learned;
+        continue := false
+      end
+      else begin
+        c := (match reason.(var_of lit) with Some r -> r | None -> [||]);
+        p := lit
+      end
+    done;
+    let learned = Array.of_list !learned in
+    (* asserting literal must be first *)
+    let li = ref 0 in
+    Array.iteri (fun i q -> if q = learned.(0) then li := i) learned;
+    ignore !li;
+    (* compute backjump level = max level among learned.(1..) *)
+    let bj = ref 0 in
+    Array.iteri (fun i q -> if i > 0 then bj := max !bj level.(var_of q)) learned;
+    (learned, !bj)
+  in
+
+  let backjump lvl =
+    (* trail_lim is chronological: entry k (0-based) is the trail
+       length just before decision k+1. Keeping levels 1..lvl means
+       popping to trail_lim.(lvl). *)
+    let lim = if lvl >= List.length !trail_lim then !trail_len else List.nth !trail_lim lvl in
+    while !trail_len > lim do
+      decr trail_len;
+      let v = var_of trail.(!trail_len) in
+      value.(v) <- 0;
+      reason.(v) <- None;
+      level.(v) <- -1
+    done;
+    qhead := !trail_len;
+    let rec take k l = if k = 0 then [] else match l with [] -> [] | x :: r -> x :: take (k - 1) r in
+    trail_lim := take lvl !trail_lim
+  in
+
+  let pick_branch () =
+    let best = ref 0 and best_act = ref neg_infinity in
+    for v = 1 to n do
+      if value.(v) = 0 && activity.(v) > !best_act then begin
+        best := v;
+        best_act := activity.(v)
+      end
+    done;
+    !best
+  in
+
+  if !top_conflict then (Unsat, !stats)
+  else begin
+    let conflicts_since_restart = ref 0 in
+    let restart_idx = ref 0 in
+    let restart_limit = ref (32 * luby 0) in
+    let answer = ref None in
+    (match propagate () with
+    | Some _ -> answer := Some Unsat
+    | None -> ());
+    while !answer = None do
+      match propagate () with
+      | Some confl ->
+          stats := { !stats with conflicts = !stats.conflicts + 1 };
+          incr conflicts_since_restart;
+          if current_level () = 0 then answer := Some Unsat
+          else begin
+            let learned, bj = analyze confl in
+            backjump bj;
+            stats := { !stats with learned = !stats.learned + 1 };
+            (* attach learned clause and assert its first literal *)
+            if Array.length learned > 1 then begin
+              let w0 = watchers (neg learned.(0)) and w1 = watchers (neg learned.(1)) in
+              w0 := learned :: !w0;
+              w1 := learned :: !w1
+            end;
+            enqueue learned.(0) (if Array.length learned > 1 then Some learned else None);
+            decay ()
+          end
+      | None ->
+          if !conflicts_since_restart > !restart_limit then begin
+            conflicts_since_restart := 0;
+            incr restart_idx;
+            restart_limit := 32 * luby !restart_idx;
+            stats := { !stats with restarts = !stats.restarts + 1 };
+            backjump 0
+          end
+          else begin
+            let v = pick_branch () in
+            if v = 0 then begin
+              (* full assignment *)
+              let a = Array.make (n + 1) false in
+              for u = 1 to n do
+                a.(u) <- value.(u) = 1
+              done;
+              answer := Some (Sat a)
+            end
+            else begin
+              stats := { !stats with decisions = !stats.decisions + 1 };
+              trail_lim := !trail_lim @ [ !trail_len ];
+              enqueue (enc v) None
+            end
+          end
+    done;
+    (Option.get !answer, !stats)
+  end
+
+let solve f = fst (solve_with_stats f)
+
+let is_satisfiable f =
+  match solve f with
+  | Sat _ -> true
+  | Unsat -> false

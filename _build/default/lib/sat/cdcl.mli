@@ -1,0 +1,28 @@
+(** A CDCL SAT solver.
+
+    Conflict-driven clause learning with the standard machinery:
+    two-watched-literal propagation, first-UIP conflict analysis,
+    non-chronological backjumping, VSIDS-style activity decay, and Luby
+    restarts. Complete, and considerably faster than {!Dpll} on
+    structured instances — the reduction chains (experiment E7) use it
+    to decide the promise side at sizes where the paper's composed
+    instances start certifying.
+
+    The implementation is self-contained (&lt; 500 lines); it exists both
+    as a substrate and as a second, independent decision procedure that
+    the test suite cross-checks against {!Dpll} and brute force. *)
+
+type result = Sat of bool array | Unsat
+(** Assignment indexed by variable, index 0 unused. *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned : int;
+  restarts : int;
+}
+
+val solve : Cnf.t -> result
+val solve_with_stats : Cnf.t -> result * stats
+val is_satisfiable : Cnf.t -> bool

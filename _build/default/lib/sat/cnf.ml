@@ -1,0 +1,54 @@
+type clause = int array
+type t = { nvars : int; clauses : clause array }
+
+let make ~nvars clauses =
+  if nvars < 0 then invalid_arg "Cnf.make: negative nvars";
+  let mk_clause lits =
+    if lits = [] then invalid_arg "Cnf.make: empty clause";
+    let lits = List.sort_uniq Stdlib.compare lits in
+    List.iter
+      (fun l ->
+        if l = 0 || abs l > nvars then
+          invalid_arg (Printf.sprintf "Cnf.make: literal %d out of range (nvars=%d)" l nvars))
+      lits;
+    List.iter
+      (fun l -> if List.mem (-l) lits then invalid_arg "Cnf.make: tautological clause")
+      lits;
+    Array.of_list lits
+  in
+  { nvars; clauses = Array.of_list (List.map mk_clause clauses) }
+
+let nvars t = t.nvars
+let nclauses t = Array.length t.clauses
+
+let eval_clause a c = Array.exists (fun l -> if l > 0 then a.(l) else not a.(-l)) c
+
+let count_satisfied t a =
+  Array.fold_left (fun acc c -> if eval_clause a c then acc + 1 else acc) 0 t.clauses
+
+let satisfies t a = count_satisfied t a = nclauses t
+let is_3cnf t = Array.for_all (fun c -> Array.length c <= 3) t.clauses
+
+let occurrences t =
+  let occ = Array.make (t.nvars + 1) 0 in
+  Array.iter (fun c -> Array.iter (fun l -> occ.(abs l) <- occ.(abs l) + 1) c) t.clauses;
+  occ
+
+let max_occurrence t = Array.fold_left Stdlib.max 0 (occurrences t)
+let is_3sat13 t = is_3cnf t && max_occurrence t <= 13
+
+let conjunction a b =
+  let shift = a.nvars in
+  let shifted =
+    Array.map (Array.map (fun l -> if l > 0 then l + shift else l - shift)) b.clauses
+  in
+  { nvars = a.nvars + b.nvars; clauses = Array.append a.clauses shifted }
+
+let pp fmt t =
+  Format.fprintf fmt "cnf(n=%d, m=%d:" t.nvars (nclauses t);
+  Array.iter
+    (fun c ->
+      Format.fprintf fmt " (%s)"
+        (String.concat "|" (Array.to_list (Array.map string_of_int c))))
+    t.clauses;
+  Format.fprintf fmt ")"

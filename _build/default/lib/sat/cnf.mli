@@ -1,0 +1,46 @@
+(** CNF formulas.
+
+    Literals are nonzero integers in DIMACS convention: [+v] / [-v] for
+    variable [v] in [1 .. nvars]. Every reduction chain in the paper
+    starts from 3SAT (Theorems 9, 15) or its bounded-occurrence variant
+    3SAT(13) (Section 3). *)
+
+type clause = int array
+(** Nonzero literals; no duplicate and no complementary pair
+    (enforced by {!make}). *)
+
+type t = private { nvars : int; clauses : clause array }
+
+val make : nvars:int -> int list list -> t
+(** Validates literal ranges, removes duplicate literals inside a
+    clause, rejects tautological and empty clauses.
+    @raise Invalid_argument on malformed input. *)
+
+val nvars : t -> int
+val nclauses : t -> int
+
+val eval_clause : bool array -> clause -> bool
+(** [eval_clause a c] with [a] indexed by variable ([a.(v)] for
+    variable [v]; index 0 unused). *)
+
+val count_satisfied : t -> bool array -> int
+val satisfies : t -> bool array -> bool
+
+val is_3cnf : t -> bool
+(** Every clause has at most 3 literals. *)
+
+val max_occurrence : t -> int
+(** Maximum number of clauses any single variable appears in. *)
+
+val is_3sat13 : t -> bool
+(** 3CNF with every variable in at most 13 clauses. *)
+
+val occurrences : t -> int array
+(** [occurrences f] has the per-variable clause counts at indices
+    [1 .. nvars]. *)
+
+val conjunction : t -> t -> t
+(** Conjunction over disjoint variable sets: variables of the second
+    formula are shifted by [nvars] of the first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let nvars = ref (-1) and nclauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> invalid_arg (Printf.sprintf "Dimacs.parse: bad token %S" tok)
+    | Some 0 ->
+        if !current <> [] then begin
+          clauses := List.rev !current :: !clauses;
+          current := []
+        end
+    | Some l -> current := l :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "cnf"; v; c ] ->
+            nvars := int_of_string v;
+            nclauses := int_of_string c
+        | _ -> invalid_arg "Dimacs.parse: bad problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter handle_token)
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  if !nvars < 0 then invalid_arg "Dimacs.parse: missing problem line";
+  let cs = List.rev !clauses in
+  if !nclauses >= 0 && List.length cs <> !nclauses then
+    invalid_arg
+      (Printf.sprintf "Dimacs.parse: header says %d clauses, found %d" !nclauses (List.length cs));
+  Cnf.make ~nvars:!nvars cs
+
+let print (f : Cnf.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" (Cnf.nvars f) (Cnf.nclauses f));
+  Array.iter
+    (fun c ->
+      Array.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    f.Cnf.clauses;
+  Buffer.contents buf
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let save_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc (print f))

@@ -1,0 +1,10 @@
+(** DIMACS CNF serialization. *)
+
+val parse : string -> Cnf.t
+(** Parse DIMACS CNF text ([c] comments, [p cnf V C] header, clauses
+    terminated by [0]). @raise Invalid_argument on malformed input. *)
+
+val print : Cnf.t -> string
+
+val load_file : string -> Cnf.t
+val save_file : string -> Cnf.t -> unit

@@ -1,0 +1,140 @@
+type result = Sat of bool array | Unsat
+
+(* Assignment state: 0 unassigned, 1 true, -1 false. *)
+
+let solve_with_stats (f : Cnf.t) =
+  let n = Cnf.nvars f in
+  let clauses = f.Cnf.clauses in
+  let assign = Array.make (n + 1) 0 in
+  let decisions = ref 0 in
+  let lit_value l = if l > 0 then assign.(l) else -assign.(-l) in
+
+  (* Returns [None] on conflict, otherwise the list of variables it
+     assigned (for undoing). *)
+  let rec unit_propagate trail =
+    let progress = ref false in
+    let conflict = ref false in
+    Array.iter
+      (fun c ->
+        if not !conflict then begin
+          let unassigned = ref 0 and last = ref 0 and sat = ref false in
+          Array.iter
+            (fun l ->
+              match lit_value l with
+              | 1 -> sat := true
+              | 0 ->
+                  incr unassigned;
+                  last := l
+              | _ -> ())
+            c;
+          if not !sat then begin
+            if !unassigned = 0 then conflict := true
+            else if !unassigned = 1 then begin
+              let l = !last in
+              let v = abs l in
+              assign.(v) <- (if l > 0 then 1 else -1);
+              trail := v :: !trail;
+              progress := true
+            end
+          end
+        end)
+      clauses;
+    if !conflict then false else if !progress then unit_propagate trail else true
+  in
+
+  let pure_literals trail =
+    let pos = Array.make (n + 1) false and neg = Array.make (n + 1) false in
+    Array.iter
+      (fun c ->
+        (* only clauses not yet satisfied contribute *)
+        let sat = Array.exists (fun l -> lit_value l = 1) c in
+        if not sat then
+          Array.iter
+            (fun l ->
+              if assign.(abs l) = 0 then if l > 0 then pos.(l) <- true else neg.(-l) <- true)
+            c)
+      clauses;
+    for v = 1 to n do
+      if assign.(v) = 0 && pos.(v) <> neg.(v) && (pos.(v) || neg.(v)) then begin
+        assign.(v) <- (if pos.(v) then 1 else -1);
+        trail := v :: !trail
+      end
+    done
+  in
+
+  let choose_branch () =
+    (* most frequent literal among unsatisfied clauses *)
+    let score = Array.make ((2 * n) + 1) 0 in
+    let idx l = if l > 0 then l else n - l in
+    Array.iter
+      (fun c ->
+        let sat = Array.exists (fun l -> lit_value l = 1) c in
+        if not sat then
+          Array.iter (fun l -> if assign.(abs l) = 0 then score.(idx l) <- score.(idx l) + 1) c)
+      clauses;
+    let best = ref 0 and best_score = ref (-1) in
+    for v = 1 to n do
+      if assign.(v) = 0 then begin
+        if score.(v) > !best_score then begin
+          best := v;
+          best_score := score.(v)
+        end;
+        if score.(n + v) > !best_score then begin
+          best := -v;
+          best_score := score.(n + v)
+        end
+      end
+    done;
+    if !best = 0 then None else Some !best
+  in
+
+  let all_satisfied () =
+    Array.for_all (fun c -> Array.exists (fun l -> lit_value l = 1) c) clauses
+  in
+
+  let rec search () =
+    let trail = ref [] in
+    let ok = unit_propagate trail in
+    if ok then pure_literals trail;
+    let ok = ok && unit_propagate trail in
+    let result =
+      if not ok then false
+      else if all_satisfied () then true
+      else begin
+        match choose_branch () with
+        | None -> all_satisfied ()
+        | Some l ->
+            incr decisions;
+            let v = abs l in
+            assign.(v) <- (if l > 0 then 1 else -1);
+            let r = search () in
+            if r then true
+            else begin
+              assign.(v) <- (if l > 0 then -1 else 1);
+              let r = search () in
+              if r then true
+              else begin
+                assign.(v) <- 0;
+                false
+              end
+            end
+      end
+    in
+    if not result then List.iter (fun v -> assign.(v) <- 0) !trail;
+    result
+  in
+  if search () then begin
+    let a = Array.make (n + 1) false in
+    for v = 1 to n do
+      a.(v) <- assign.(v) = 1 (* unassigned vars default to false *)
+    done;
+    (Sat a, !decisions)
+  end
+  else (Unsat, !decisions)
+
+let solve f = fst (solve_with_stats f)
+
+let is_satisfiable f =
+  match solve f with
+  | Sat _ -> true
+  | Unsat -> false

@@ -1,0 +1,17 @@
+(** A DPLL SAT solver.
+
+    Unit propagation, pure-literal elimination and most-occurring-
+    literal branching. Complete; intended for the small-to-medium
+    formulas that head the reduction chains (the composed instances
+    blow up polynomially, so source formulas stay small anyway). *)
+
+type result =
+  | Sat of bool array  (** Assignment indexed by variable, index 0 unused. *)
+  | Unsat
+
+val solve : Cnf.t -> result
+
+val is_satisfiable : Cnf.t -> bool
+
+val solve_with_stats : Cnf.t -> result * int
+(** Also returns the number of branching decisions. *)

@@ -1,0 +1,22 @@
+let transform (f : Cnf.t) =
+  let next = ref (Cnf.nvars f) in
+  let fresh () =
+    incr next;
+    !next
+  in
+  let clauses =
+    Array.to_list f.Cnf.clauses
+    |> List.concat_map (fun c ->
+           match Array.to_list c with
+           | [ a; b; cc ] -> [ [ a; b; cc ] ]
+           | [ a; b ] ->
+               let z = fresh () in
+               [ [ a; b; z ]; [ a; b; -z ] ]
+           | [ a ] ->
+               let z1 = fresh () and z2 = fresh () in
+               [ [ a; z1; z2 ]; [ a; z1; -z2 ]; [ a; -z1; z2 ]; [ a; -z1; -z2 ] ]
+           | _ -> invalid_arg "Exact3.transform: clause with more than 3 literals")
+  in
+  Cnf.make ~nvars:!next clauses
+
+let normalize13 f = transform (Bounded13.transform f)

@@ -1,0 +1,25 @@
+(** Padding to exactly-3-literal CNF.
+
+    The Garey–Johnson reduction ({!Sat_to_vc} in the reductions
+    library) consumes clauses of exactly three literals, while the
+    occurrence-bounding transform {!Bounded13} emits 2-literal
+    implication clauses. This module pads equisatisfiably:
+
+    - a 2-literal clause [(a | b)] becomes
+      [(a | b | z) & (a | b | -z)] with a fresh [z] per clause;
+    - a 1-literal clause [(a)] becomes the four sign patterns over two
+      fresh variables.
+
+    Fresh variables occur 2 (resp. 4) times; original literals at most
+    double, so a 3SAT(13) input with slack stays occurrence-bounded
+    (the {!Bounded13} output, with occurrence bound 3, maps to bound
+    at most 6). *)
+
+val transform : Cnf.t -> Cnf.t
+(** @raise Invalid_argument if some clause has more than 3 literals. *)
+
+val normalize13 : Cnf.t -> Cnf.t
+(** [normalize13 f]: {!Bounded13.transform} followed by {!transform} —
+    an exactly-3 CNF with every variable in at most 13 clauses,
+    equisatisfiable with [f]. The full paper pipeline (Section 3)
+    assumes this form. *)

@@ -1,0 +1,90 @@
+let distinct_vars st nvars =
+  let a = 1 + Random.State.int st nvars in
+  let rec pick exclude =
+    let v = 1 + Random.State.int st nvars in
+    if List.mem v exclude then pick exclude else v
+  in
+  if nvars < 3 then invalid_arg "Gen: need at least 3 variables";
+  let b = pick [ a ] in
+  let c = pick [ a; b ] in
+  (a, b, c)
+
+let random_3sat ~seed ~nvars ~nclauses =
+  let st = Random.State.make [| seed; nvars; nclauses |] in
+  let clause () =
+    let a, b, c = distinct_vars st nvars in
+    let s () = if Random.State.bool st then 1 else -1 in
+    [ s () * a; s () * b; s () * c ]
+  in
+  Cnf.make ~nvars (List.init nclauses (fun _ -> clause ()))
+
+let planted ~seed ~nvars ~nclauses =
+  let st = Random.State.make [| seed; nvars; nclauses; 13 |] in
+  let hidden = Array.init (nvars + 1) (fun _ -> Random.State.bool st) in
+  let satisfied_by_hidden lits =
+    List.exists (fun l -> if l > 0 then hidden.(l) else not hidden.(-l)) lits
+  in
+  let rec clause () =
+    let a, b, c = distinct_vars st nvars in
+    let s () = if Random.State.bool st then 1 else -1 in
+    let lits = [ s () * a; s () * b; s () * c ] in
+    if satisfied_by_hidden lits then lits else clause ()
+  in
+  Cnf.make ~nvars (List.init nclauses (fun _ -> clause ()))
+
+let all_sign_blocks ~blocks =
+  if blocks <= 0 then invalid_arg "Gen.all_sign_blocks";
+  let clauses = ref [] in
+  for b = 0 to blocks - 1 do
+    let x = (3 * b) + 1 and y = (3 * b) + 2 and z = (3 * b) + 3 in
+    for mask = 0 to 7 do
+      let s v bit = if (mask lsr bit) land 1 = 1 then v else -v in
+      clauses := [ s x 0; s y 1; s z 2 ] :: !clauses
+    done
+  done;
+  Cnf.make ~nvars:(3 * blocks) (List.rev !clauses)
+
+let unsat_gap_fraction = 7.0 /. 8.0
+
+let planted_blocks ~seed ~blocks =
+  if blocks <= 0 then invalid_arg "Gen.planted_blocks";
+  let st = Random.State.make [| seed; blocks; 41 |] in
+  let clauses = ref [] in
+  for b = 0 to blocks - 1 do
+    let x = (3 * b) + 1 and y = (3 * b) + 2 and z = (3 * b) + 3 in
+    (* hidden assignment for this block: the omitted sign pattern is
+       the unique clause it falsifies *)
+    let falsified = Random.State.int st 8 in
+    let block = ref [] in
+    for mask = 0 to 7 do
+      if mask <> falsified then begin
+        let s v bit = if (mask lsr bit) land 1 = 1 then v else -v in
+        block := [ s x 0; s y 1; s z 2 ] :: !block
+      end
+    done;
+    (* duplicate one surviving clause to match the 8-clause shape of
+       {!all_sign_blocks} exactly *)
+    let dup = List.nth !block (Random.State.int st 7) in
+    clauses := (dup :: !block) @ !clauses
+  done;
+  Cnf.make ~nvars:(3 * blocks) (List.rev !clauses)
+
+let pigeonhole ~holes =
+  if holes <= 0 then invalid_arg "Gen.pigeonhole";
+  let pigeons = holes + 1 in
+  (* var (p,h) = p*holes + h + 1, p in [0,pigeons), h in [0,holes) *)
+  let var p h = (p * holes) + h + 1 in
+  let clauses = ref [] in
+  (* each pigeon in some hole *)
+  for p = 0 to pigeons - 1 do
+    clauses := List.init holes (fun h -> var p h) :: !clauses
+  done;
+  (* no two pigeons share a hole *)
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for q = p + 1 to pigeons - 1 do
+        clauses := [ -var p h; -var q h ] :: !clauses
+      done
+    done
+  done;
+  Cnf.make ~nvars:(pigeons * holes) (List.rev !clauses)

@@ -1,0 +1,38 @@
+(** 3SAT instance families.
+
+    The reductions need two promise classes (Theorem 1): satisfiable
+    formulas, and formulas in which at most a [1 - theta] fraction of
+    clauses can be satisfied. {!all_sign_blocks} provides the latter
+    {e by construction}: over three variables, all 8 sign patterns of a
+    3-clause cannot be satisfied simultaneously (any assignment
+    falsifies exactly one), so a disjoint union of [b] such blocks has
+    MaxSAT fraction exactly [7/8] — and each variable occurs in exactly
+    8 <= 13 clauses, keeping the formula inside 3SAT(13). *)
+
+val planted : seed:int -> nvars:int -> nclauses:int -> Cnf.t
+(** Random 3SAT satisfied by a hidden planted assignment (every clause
+    is checked against it), hence satisfiable by construction. *)
+
+val random_3sat : seed:int -> nvars:int -> nclauses:int -> Cnf.t
+(** Uniform random 3-clauses (distinct variables per clause). *)
+
+val all_sign_blocks : blocks:int -> Cnf.t
+(** [blocks] disjoint copies of the 8-clause all-sign-patterns formula:
+    3*blocks variables, 8*blocks clauses, unsatisfiable, MaxSAT
+    fraction exactly 7/8, inside 3SAT(13). *)
+
+val unsat_gap_fraction : float
+(** [7/8]: the MaxSAT fraction of {!all_sign_blocks} instances; the
+    promise gap [theta] is [1/8]. *)
+
+val planted_blocks : seed:int -> blocks:int -> Cnf.t
+(** The satisfiable twin of {!all_sign_blocks} with the {e same shape}
+    ([3*blocks] variables, [8*blocks] clauses, occurrence-bounded): per
+    block, the 7 sign patterns a hidden assignment satisfies, plus one
+    duplicate. Reductions map both families to query graphs of
+    identical size, so YES/NO costs compare like-for-like (experiment
+    E7). *)
+
+val pigeonhole : holes:int -> Cnf.t
+(** PHP(holes+1, holes): classically hard unsatisfiable CNF (not
+    3-CNF); used to exercise the DPLL solver. *)

@@ -1,0 +1,58 @@
+(* Branch and bound on partial assignments: bound = #already-satisfied
+   + #undecided clauses. Variables are branched in index order. *)
+
+let best_assignment (f : Cnf.t) =
+  let n = Cnf.nvars f in
+  let clauses = f.Cnf.clauses in
+  let m = Array.length clauses in
+  let assign = Array.make (n + 1) 0 in
+  let best = Array.make (n + 1) false in
+  let best_count = ref (-1) in
+  let lit_value l = if l > 0 then assign.(l) else -assign.(-l) in
+  let clause_state c =
+    (* 1 = satisfied, -1 = falsified, 0 = undecided *)
+    let any_unassigned = ref false and sat = ref false in
+    Array.iter
+      (fun l ->
+        match lit_value l with
+        | 1 -> sat := true
+        | 0 -> any_unassigned := true
+        | _ -> ())
+      c;
+    if !sat then 1 else if !any_unassigned then 0 else -1
+  in
+  let rec go v =
+    let sat_now = ref 0 and undecided = ref 0 in
+    Array.iter
+      (fun c ->
+        match clause_state c with
+        | 1 -> incr sat_now
+        | 0 -> incr undecided
+        | _ -> ())
+      clauses;
+    if !sat_now + !undecided <= !best_count then () (* prune *)
+    else if v > n || !undecided = 0 then begin
+      if !sat_now > !best_count then begin
+        best_count := !sat_now;
+        for i = 1 to n do
+          best.(i) <- assign.(i) = 1
+        done
+      end
+    end
+    else begin
+      assign.(v) <- 1;
+      go (v + 1);
+      assign.(v) <- -1;
+      go (v + 1);
+      assign.(v) <- 0
+    end
+  in
+  go 1;
+  ignore m;
+  (best, !best_count)
+
+let max_satisfiable f = snd (best_assignment f)
+
+let max_fraction f =
+  let m = Cnf.nclauses f in
+  if m = 0 then 1.0 else float_of_int (max_satisfiable f) /. float_of_int m

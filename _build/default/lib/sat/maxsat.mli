@@ -1,0 +1,16 @@
+(** Exact MaxSAT by branch and bound.
+
+    The promise side of the gap instances (Theorem 1: unsatisfiable
+    formulas whose every assignment satisfies less than a [1 - theta]
+    fraction) must be {e verified} on generated instances; this solver
+    certifies the max satisfiable clause count on small formulas. *)
+
+val max_satisfiable : Cnf.t -> int
+(** The maximum number of simultaneously satisfiable clauses.
+    Exponential; intended for formulas with up to ~25 variables. *)
+
+val max_fraction : Cnf.t -> float
+(** [max_satisfiable / nclauses] (1.0 for formulas with no clauses). *)
+
+val best_assignment : Cnf.t -> bool array * int
+(** An assignment achieving the maximum, with its satisfied count. *)

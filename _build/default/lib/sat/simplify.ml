@@ -1,0 +1,114 @@
+type result = {
+  simplified : Cnf.t option;
+  trivially_sat : bool;
+  trivially_unsat : bool;
+  forced : int list;
+  pure : int list;
+  removed_clauses : int;
+}
+
+module LitSet = Set.Make (Int)
+
+let simplify (f : Cnf.t) =
+  let nvars = Cnf.nvars f in
+  let clauses = ref (Array.to_list f.Cnf.clauses |> List.map (fun c -> LitSet.of_list (Array.to_list c))) in
+  let original = List.length !clauses in
+  let forced = ref [] and pure = ref [] in
+  let unsat = ref false in
+  let assign = Array.make (nvars + 1) 0 in
+  let set_lit ~is_pure l =
+    let v = abs l in
+    let sign = if l > 0 then 1 else -1 in
+    if assign.(v) = 0 then begin
+      assign.(v) <- sign;
+      if is_pure then pure := l :: !pure else forced := l :: !forced
+    end
+    else if assign.(v) <> sign then unsat := true
+  in
+  let progress = ref true in
+  while !progress && not !unsat do
+    progress := false;
+    (* apply current assignment: drop satisfied clauses, strip false
+       literals *)
+    let step =
+      List.filter_map
+        (fun c ->
+          let satisfied =
+            LitSet.exists (fun l -> assign.(abs l) = (if l > 0 then 1 else -1)) c
+          in
+          if satisfied then None
+          else begin
+            let c' = LitSet.filter (fun l -> assign.(abs l) = 0) c in
+            if LitSet.is_empty c' then begin
+              unsat := true;
+              Some c'
+            end
+            else Some c'
+          end)
+        !clauses
+    in
+    if List.length step <> List.length !clauses then progress := true;
+    clauses := step;
+    if not !unsat then begin
+      (* unit propagation *)
+      List.iter
+        (fun c ->
+          if LitSet.cardinal c = 1 then begin
+            set_lit ~is_pure:false (LitSet.choose c);
+            progress := true
+          end)
+        !clauses;
+      (* pure literals *)
+      let pos = Array.make (nvars + 1) false and neg = Array.make (nvars + 1) false in
+      List.iter
+        (fun c ->
+          LitSet.iter
+            (fun l -> if l > 0 then pos.(l) <- true else neg.(-l) <- true)
+            c)
+        !clauses;
+      for v = 1 to nvars do
+        if assign.(v) = 0 && pos.(v) <> neg.(v) && (pos.(v) || neg.(v)) then begin
+          set_lit ~is_pure:true (if pos.(v) then v else -v);
+          progress := true
+        end
+      done;
+      (* subsumption + duplicates: keep minimal clauses *)
+      let sorted = List.sort (fun a b -> compare (LitSet.cardinal a) (LitSet.cardinal b)) !clauses in
+      let kept = ref [] in
+      List.iter
+        (fun c ->
+          if not (List.exists (fun k -> LitSet.subset k c) !kept) then kept := c :: !kept)
+        sorted;
+      if List.length !kept <> List.length !clauses then progress := true;
+      clauses := List.rev !kept
+    end
+  done;
+  let trivially_unsat = !unsat in
+  let trivially_sat = (not !unsat) && !clauses = [] in
+  let simplified =
+    if trivially_unsat || trivially_sat then None
+    else Some (Cnf.make ~nvars (List.map (fun c -> LitSet.elements c) !clauses))
+  in
+  {
+    simplified;
+    trivially_sat;
+    trivially_unsat;
+    forced = List.rev !forced;
+    pure = List.rev !pure;
+    removed_clauses = original - List.length !clauses;
+  }
+
+let extend_model r (a : bool array) =
+  let a = Array.copy a in
+  List.iter (fun l -> a.(abs l) <- l > 0) r.forced;
+  List.iter (fun l -> a.(abs l) <- l > 0) r.pure;
+  a
+
+let equisatisfiable f =
+  let r = simplify f in
+  if r.trivially_unsat then false
+  else if r.trivially_sat then true
+  else
+    match r.simplified with
+    | None -> true
+    | Some g -> Dpll.is_satisfiable g

@@ -1,0 +1,38 @@
+(** CNF preprocessing: satisfiability-preserving simplification.
+
+    Applied before the reduction chains to keep the produced query
+    graphs small: every clause removed is three fewer query-graph
+    vertices after {!Sat_to_vc} (times six after the padding lemmas).
+
+    Rules applied to a fixed point:
+    - unit propagation (unit clauses force literals; the forced
+      assignment is returned so models can be reconstructed);
+    - pure-literal elimination;
+    - subsumption (a clause containing another clause's literals is
+      redundant);
+    - duplicate-clause removal.
+
+    The result is equisatisfiable; when satisfiable, a model of the
+    output extends to a model of the input via [forced] and [pure]. *)
+
+type result = {
+  simplified : Cnf.t option;
+      (** [None] when simplification derived the empty clause
+          (input unsatisfiable) or satisfied every clause. *)
+  trivially_sat : bool;  (** all clauses satisfied by forced/pure literals. *)
+  trivially_unsat : bool;  (** empty clause derived. *)
+  forced : int list;  (** literals fixed by unit propagation. *)
+  pure : int list;  (** literals fixed by purity. *)
+  removed_clauses : int;
+}
+
+val simplify : Cnf.t -> result
+
+val extend_model : result -> bool array -> bool array
+(** [extend_model r a]: a model of [r.simplified] (indexed by the
+    {e original} variable numbering — simplification never renames)
+    extended with the forced and pure literals. *)
+
+val equisatisfiable : Cnf.t -> bool
+(** Convenience for tests: decide the input by simplifying first, then
+    running DPLL on the residue; must agree with DPLL on the input. *)

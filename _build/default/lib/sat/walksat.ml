@@ -1,0 +1,56 @@
+let run ~seed ~max_flips ~noise (f : Cnf.t) =
+  let n = Cnf.nvars f in
+  let clauses = f.Cnf.clauses in
+  let st = Random.State.make [| seed; n; Array.length clauses |] in
+  let a = Array.init (n + 1) (fun _ -> Random.State.bool st) in
+  let best = Array.copy a in
+  let best_count = ref (Cnf.count_satisfied f a) in
+  let flips = ref 0 in
+  let finished = ref (!best_count = Array.length clauses) in
+  while (not !finished) && !flips < max_flips do
+    incr flips;
+    (* pick a random unsatisfied clause *)
+    let unsat = ref [] in
+    Array.iter (fun c -> if not (Cnf.eval_clause a c) then unsat := c :: !unsat) clauses;
+    (match !unsat with
+    | [] -> finished := true
+    | us ->
+        let c = List.nth us (Random.State.int st (List.length us)) in
+        let flip_var =
+          if Random.State.float st 1.0 < noise then abs c.(Random.State.int st (Array.length c))
+          else begin
+            (* greedy: flip the literal whose flip satisfies the most *)
+            let score v =
+              a.(v) <- not a.(v);
+              let s = Cnf.count_satisfied f a in
+              a.(v) <- not a.(v);
+              s
+            in
+            let best_v = ref (abs c.(0)) and best_s = ref min_int in
+            Array.iter
+              (fun l ->
+                let s = score (abs l) in
+                if s > !best_s then begin
+                  best_s := s;
+                  best_v := abs l
+                end)
+              c;
+            !best_v
+          end
+        in
+        a.(flip_var) <- not a.(flip_var);
+        let count = Cnf.count_satisfied f a in
+        if count > !best_count then begin
+          best_count := count;
+          Array.blit a 0 best 0 (n + 1)
+        end;
+        if count = Array.length clauses then finished := true)
+  done;
+  (best, !best_count)
+
+let best_found ?(seed = 0) ?(max_flips = 100_000) ?(noise = 0.5) f =
+  run ~seed ~max_flips ~noise f
+
+let solve ?(seed = 0) ?(max_flips = 100_000) ?(noise = 0.5) f =
+  let a, count = run ~seed ~max_flips ~noise f in
+  if count = Cnf.nclauses f then Some a else None

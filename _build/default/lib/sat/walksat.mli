@@ -1,0 +1,15 @@
+(** WalkSAT local search.
+
+    Incomplete polynomial-time baseline: the experiment E9 analogue on
+    the SAT side, and a fast satisfiability witness finder for planted
+    instances. *)
+
+val solve :
+  ?seed:int -> ?max_flips:int -> ?noise:float -> Cnf.t -> bool array option
+(** [solve f] returns a satisfying assignment if found within
+    [max_flips] (default 100_000) flips; [noise] (default 0.5) is the
+    random-walk probability. *)
+
+val best_found :
+  ?seed:int -> ?max_flips:int -> ?noise:float -> Cnf.t -> bool array * int
+(** The best assignment encountered and its satisfied-clause count. *)

@@ -1,0 +1,1 @@
+lib/sqo/partition.ml: Array List Option Random Stdlib

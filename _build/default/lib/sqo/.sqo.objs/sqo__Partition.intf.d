@@ -1,0 +1,1 @@
+lib/sqo/partition.mli:

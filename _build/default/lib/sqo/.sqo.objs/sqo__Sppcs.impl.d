@@ -1,0 +1,1 @@
+lib/sqo/sppcs.ml: Array Bignat Bignum List Option

@@ -1,0 +1,1 @@
+lib/sqo/sppcs.mli: Bignat Bignum

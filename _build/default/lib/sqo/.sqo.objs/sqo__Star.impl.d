@@ -1,0 +1,1 @@
+lib/sqo/star.ml: Array Bigint Bignat Bignum Bigq Buffer Float List Option Printf Stdlib

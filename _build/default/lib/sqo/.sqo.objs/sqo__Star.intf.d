@@ -1,0 +1,1 @@
+lib/sqo/star.mli: Bignat Bignum Bigq

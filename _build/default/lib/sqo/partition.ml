@@ -1,0 +1,68 @@
+let is_valid_instance bs =
+  List.for_all (fun b -> b >= 0) bs && List.fold_left ( + ) 0 bs mod 2 = 0
+
+let solve bs =
+  if List.exists (fun b -> b < 0) bs then invalid_arg "Partition.solve: negative entry";
+  let total = List.fold_left ( + ) 0 bs in
+  if total mod 2 <> 0 then invalid_arg "Partition.solve: odd total";
+  let half = total / 2 in
+  let arr = Array.of_list bs in
+  let n = Array.length arr in
+  (* reach.(s) = Some i: sum s reachable, last element used has index i
+     with predecessor state s - arr.(i). *)
+  let reach = Array.make (half + 1) None in
+  let filled = Array.make (half + 1) false in
+  filled.(0) <- true;
+  for i = 0 to n - 1 do
+    let b = arr.(i) in
+    if b <= half then
+      for s = half downto b do
+        if (not filled.(s)) && filled.(s - b) then begin
+          filled.(s) <- true;
+          reach.(s) <- Some i
+        end
+      done
+  done;
+  if not filled.(half) then None
+  else begin
+    (* Reconstruct; note reach.(0) = None means empty set. *)
+    let rec walk s acc =
+      if s = 0 then acc
+      else
+        match reach.(s) with
+        | None -> assert false
+        | Some i -> walk (s - arr.(i)) (i :: acc)
+    in
+    Some (walk half [])
+  end
+
+let decide bs = Option.is_some (solve bs)
+
+let yes_instance ~seed ~n ~max =
+  if n < 2 then invalid_arg "Partition.yes_instance";
+  let st = Random.State.make [| seed; n; max |] in
+  (* Build two halves with equal sums: random values, then a balancing
+     element on each side. *)
+  let k = n / 2 in
+  let left = List.init (Stdlib.max 0 (k - 1)) (fun _ -> 1 + Random.State.int st max) in
+  let right = List.init (Stdlib.max 0 (n - k - 1)) (fun _ -> 1 + Random.State.int st max) in
+  let sl = List.fold_left ( + ) 0 left and sr = List.fold_left ( + ) 0 right in
+  let target = Stdlib.max sl sr + 1 + Random.State.int st max in
+  let bs = ((target - sl) :: left) @ ((target - sr) :: right) in
+  assert (is_valid_instance bs);
+  bs
+
+let no_instance ~n =
+  if n < 2 then invalid_arg "Partition.no_instance";
+  (* powers of two 1,2,4,...,2^{n-2} sum to 2^{n-1}-1 (odd coverage);
+     add 2^{n-1}+1: total = 2^n, half = 2^{n-1}, but the largest element
+     is 2^{n-1}+1 > half while the others sum to 2^{n-1}-1 < half. *)
+  let n' = Stdlib.min n 20 (* avoid overflow; padding with zeros below *) in
+  let powers = List.init (n' - 1) (fun i -> 1 lsl i) in
+  let biggest = (1 lsl (n' - 1)) + 1 in
+  let pad = List.init (n - n') (fun _ -> 0) in
+  let bs = (biggest :: powers) @ pad in
+  (* total = 2^{n'} ... even only when ... 2^{n'-1}+1 + 2^{n'-1}-1 = 2^{n'} even *)
+  assert (is_valid_instance bs);
+  assert (not (decide bs));
+  bs

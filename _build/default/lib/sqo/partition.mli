@@ -1,0 +1,27 @@
+(** The PARTITION problem (Appendix A.4 of the paper).
+
+    Instance: non-negative integers [b_1 .. b_n] with even sum [K].
+    Question: is there a subset summing to [K/2]?
+
+    Decided exactly by the classical pseudo-polynomial subset-sum DP.
+    The head of the Appendix reduction chain
+    PARTITION -> SPPCS -> SQO-CP. *)
+
+val is_valid_instance : int list -> bool
+(** Non-negative entries with even sum. *)
+
+val solve : int list -> int list option
+(** [solve bs] is [Some indices] (0-based, into the input list) of a
+    subset summing to half the total, or [None].
+    @raise Invalid_argument on negative entries or odd sum. *)
+
+val decide : int list -> bool
+
+val yes_instance : seed:int -> n:int -> max:int -> int list
+(** A random instance that is partitionable by construction (two
+    halves built to equal sums). *)
+
+val no_instance : n:int -> int list
+(** A non-partitionable instance: [[1; 1; ...; 1; 3]] padded to length
+    [n >= 2] (total is odd-free but the 3 cannot be balanced for
+    [n < 4]; uses sums [2^i]-style values for robustness). *)

@@ -1,0 +1,71 @@
+open Bignum
+
+type pair = { p : Bignat.t; c : Bignat.t }
+type t = { pairs : pair array; target : Bignat.t }
+
+let make pairs ~target =
+  let pairs =
+    List.map
+      (fun (p, c) ->
+        if Bignat.is_zero p then invalid_arg "Sppcs.make: p_i must be >= 1";
+        { p; c })
+      pairs
+  in
+  { pairs = Array.of_list pairs; target }
+
+let make_ints pairs ~target =
+  make
+    (List.map (fun (p, c) -> (Bignat.of_int p, Bignat.of_int c)) pairs)
+    ~target:(Bignat.of_int target)
+
+let objective t a =
+  let m = Array.length t.pairs in
+  let in_a = Array.make m false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= m then invalid_arg "Sppcs.objective: index out of range";
+      in_a.(i) <- true)
+    a;
+  let prod = ref Bignat.one and sum = ref Bignat.zero in
+  for i = 0 to m - 1 do
+    if in_a.(i) then prod := Bignat.mul !prod t.pairs.(i).p
+    else sum := Bignat.add !sum t.pairs.(i).c
+  done;
+  Bignat.add !prod !sum
+
+(* DFS over include/exclude decisions. Since all p >= 1 and c >= 0,
+   [prod + excluded_sum] never decreases along a branch: prune when it
+   exceeds the bound. *)
+let search t =
+  let m = Array.length t.pairs in
+  let best_val = ref None in
+  let best_set = ref [] in
+  let rec go i prod sum chosen =
+    let lower = Bignat.add prod sum in
+    let beaten =
+      match !best_val with
+      | Some b -> Bignat.compare lower b >= 0
+      | None -> false
+    in
+    if beaten then ()
+    else if i = m then begin
+      best_val := Some lower;
+      best_set := List.rev chosen
+    end
+    else begin
+      (* include i *)
+      go (i + 1) (Bignat.mul prod t.pairs.(i).p) sum (i :: chosen);
+      (* exclude i *)
+      go (i + 1) prod (Bignat.add sum t.pairs.(i).c) chosen
+    end
+  in
+  go 0 Bignat.one Bignat.zero [];
+  (!best_set, Option.get !best_val)
+
+let best_subset t = search t
+
+let solve t =
+  let set, v = search t in
+  if Bignat.compare v t.target <= 0 then Some set else None
+
+let decide t = Option.is_some (solve t)

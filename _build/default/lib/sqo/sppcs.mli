@@ -1,0 +1,39 @@
+(** The SPPCS problem — Subset Product Plus Complement Sum
+    (Appendix A.4 of the paper).
+
+    Instance: pairs of non-negative integers
+    [(p_1,c_1) .. (p_m,c_m)] and a target [L]. Question: is there
+    [A ⊆ {1..m}] with [prod_{i in A} p_i + sum_{j not in A} c_j <= L]?
+
+    The paper introduces SPPCS as the bridge between PARTITION and
+    star-query optimization; its numbers come from fixed-point
+    exponentials and overflow native integers immediately, so
+    everything here is over {!Bignum.Bignat}.
+
+    We require [p_i >= 1] (the paper notes [p_i >= 2] w.l.o.g.), which
+    makes [product + excluded-sum] monotone under extension and gives
+    the branch-and-bound solver a sound pruning rule. *)
+
+open Bignum
+
+type pair = { p : Bignat.t; c : Bignat.t }
+type t = { pairs : pair array; target : Bignat.t }
+
+val make : (Bignat.t * Bignat.t) list -> target:Bignat.t -> t
+(** @raise Invalid_argument when some [p_i] is zero. *)
+
+val make_ints : (int * int) list -> target:int -> t
+
+val objective : t -> int list -> Bignat.t
+(** [objective t a]: [prod_{i in a} p_i + sum_{j not in a} c_j]
+    ([a] is a 0-based index list). *)
+
+val solve : t -> int list option
+(** A witness subset (0-based indices) achieving the target, or
+    [None]. Branch and bound; exponential worst case, fine to
+    [m ~ 30] on reduction instances (heavily pruned). *)
+
+val decide : t -> bool
+
+val best_subset : t -> int list * Bignat.t
+(** The subset minimizing the objective, with its value. *)

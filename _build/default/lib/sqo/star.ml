@@ -1,0 +1,251 @@
+open Bignum
+
+type op = NL | SM
+
+type t = {
+  m : int;
+  ks : int;
+  ntuples : Bignat.t array;
+  bpages : Bignat.t array;
+  sort_cost : Bignat.t array;
+  sel : Bigq.t array;
+  w : Bignat.t array;
+  w0 : Bignat.t array;
+}
+
+let make ~ks ~ntuples ~bpages ~sort_cost ~sel ~w ~w0 =
+  let mp1 = Array.length ntuples in
+  if mp1 < 2 then invalid_arg "Star.make: need at least R_0 and one satellite";
+  let m = mp1 - 1 in
+  if Array.length bpages <> mp1 || Array.length sort_cost <> mp1 then
+    invalid_arg "Star.make: bpages/sort_cost length";
+  if Array.length sel <> mp1 || Array.length w <> mp1 || Array.length w0 <> mp1 then
+    invalid_arg "Star.make: sel/w/w0 must have length m+1 (index 0 unused)";
+  if ks < 2 then invalid_arg "Star.make: ks must be >= 2";
+  Array.iter (fun n -> if Bignat.is_zero n then invalid_arg "Star.make: empty relation") ntuples;
+  { m; ks; ntuples; bpages; sort_cost; sel; w; w0 }
+
+type plan = { first : int; joins : (int * op) list }
+
+let q_of_nat n = Bigq.of_bigint (Bigint.of_nat n)
+
+let is_feasible t plan =
+  let rels = plan.first :: List.map fst plan.joins in
+  List.length rels = t.m + 1
+  && List.sort_uniq Stdlib.compare rels = List.init (t.m + 1) (fun i -> i)
+  && (plan.first = 0 || match plan.joins with (0, _) :: _ -> true | _ -> false)
+
+let intermediate_tuples t rels =
+  match rels with
+  | [] -> Bigq.one
+  | [ r ] -> q_of_nat t.ntuples.(r)
+  | _ ->
+      if not (List.mem 0 rels) then
+        invalid_arg "Star.intermediate_tuples: prefix without R_0 is a cartesian product";
+      List.fold_left
+        (fun acc r ->
+          if r = 0 then acc else Bigq.mul acc (Bigq.mul (q_of_nat t.ntuples.(r)) t.sel.(r)))
+        (q_of_nat t.ntuples.(0))
+        rels
+
+(* Cost of a later (non-first) join of satellite [i] given n(W). *)
+let later_join_cost t ~nw i o =
+  match o with
+  | NL -> Bigq.mul nw (q_of_nat t.w.(i))
+  | SM ->
+      (* b(W) (ks-1) + A_i, with b(W) = n(W) *)
+      Bigq.add (Bigq.mul nw (Bigq.of_int (t.ks - 1))) (q_of_nat t.sort_cost.(i))
+
+(* First join: relations [r] (opener) and the second relation. *)
+let first_join_cost t ~first ~second o =
+  match (first, second, o) with
+  | 0, i, NL ->
+      Bigq.add (q_of_nat t.bpages.(0)) (Bigq.mul (q_of_nat t.w.(i)) (q_of_nat t.ntuples.(0)))
+  | 0, i, SM -> q_of_nat (Bignat.add t.sort_cost.(0) t.sort_cost.(i))
+  | r, 0, NL ->
+      Bigq.add (q_of_nat t.bpages.(r)) (Bigq.mul (q_of_nat t.w0.(r)) (q_of_nat t.ntuples.(r)))
+  | r, 0, SM -> q_of_nat (Bignat.add t.sort_cost.(r) t.sort_cost.(0))
+  | _ -> invalid_arg "Star: cartesian first join"
+
+let cost t plan =
+  if not (is_feasible t plan) then invalid_arg "Star.cost: infeasible plan";
+  match plan.joins with
+  | [] -> Bigq.zero
+  | (second, o1) :: rest ->
+      let c0 = first_join_cost t ~first:plan.first ~second o1 in
+      let sat_of r = if r = 0 then plan.first else r in
+      (* n(W) after the first join *)
+      let s = sat_of second in
+      let nw =
+        Bigq.mul (q_of_nat t.ntuples.(0)) (Bigq.mul (q_of_nat t.ntuples.(s)) t.sel.(s))
+      in
+      let total = ref c0 in
+      let nw = ref nw in
+      List.iter
+        (fun (i, o) ->
+          total := Bigq.add !total (later_join_cost t ~nw:!nw i o);
+          nw := Bigq.mul !nw (Bigq.mul (q_of_nat t.ntuples.(i)) t.sel.(i)))
+        rest;
+      !total
+
+(* ------------------------------------------------------------------ *)
+(* Exact optimum: DP over satellite subsets. n(W) depends only on the
+   set of joined satellites, and operator choices are independent per
+   transition, so states are subsets of {1..m}. *)
+
+let optimal t =
+  let m = t.m in
+  if m > 22 then invalid_arg "Star.optimal: m too large for subset DP";
+  let full = (1 lsl m) - 1 in
+  (* n(S): intermediate tuple count with satellite set S joined *)
+  let n_of = Array.make (full + 1) Bigq.zero in
+  n_of.(0) <- q_of_nat t.ntuples.(0);
+  for s = 1 to full do
+    let b = s land -s in
+    let i = ref 0 in
+    while 1 lsl !i <> b do
+      incr i
+    done;
+    let sat = !i + 1 in
+    n_of.(s) <- Bigq.mul n_of.(s lxor b) (Bigq.mul (q_of_nat t.ntuples.(sat)) t.sel.(sat))
+  done;
+  let dp = Array.make (full + 1) None in
+  (* entry kind for singletons: (first_rel, op) *)
+  let entry = Array.make (full + 1) (0, NL) in
+  let parent = Array.make (full + 1) (-1, NL) in
+  for i = 1 to m do
+    let s = 1 lsl (i - 1) in
+    let candidates =
+      [
+        ((0, NL), first_join_cost t ~first:0 ~second:i NL);
+        ((0, SM), first_join_cost t ~first:0 ~second:i SM);
+        ((i, NL), first_join_cost t ~first:i ~second:0 NL);
+        ((i, SM), first_join_cost t ~first:i ~second:0 SM);
+      ]
+    in
+    List.iter
+      (fun (e, c) ->
+        match dp.(s) with
+        | Some best when Bigq.compare best c <= 0 -> ()
+        | _ ->
+            dp.(s) <- Some c;
+            entry.(s) <- e)
+      candidates
+  done;
+  for s = 1 to full do
+    match dp.(s) with
+    | None -> ()
+    | Some base ->
+        for i = 1 to m do
+          let b = 1 lsl (i - 1) in
+          if s land b = 0 then begin
+            let nw = n_of.(s) in
+            List.iter
+              (fun o ->
+                let c = Bigq.add base (later_join_cost t ~nw i o) in
+                let s' = s lor b in
+                match dp.(s') with
+                | Some best when Bigq.compare best c <= 0 -> ()
+                | _ ->
+                    dp.(s') <- Some c;
+                    parent.(s') <- (i, o))
+              [ NL; SM ]
+          end
+        done
+  done;
+  let best = Option.get dp.(full) in
+  (* reconstruct *)
+  let rec rebuild s acc =
+    if s land (s - 1) = 0 then (s, acc) (* singleton *)
+    else begin
+      let i, o = parent.(s) in
+      rebuild (s lxor (1 lsl (i - 1))) ((i, o) :: acc)
+    end
+  in
+  let s1, later = rebuild full [] in
+  let first_rel, o1 = entry.(s1) in
+  let sat1 =
+    let i = ref 0 in
+    while 1 lsl !i <> s1 do
+      incr i
+    done;
+    !i + 1
+  in
+  let plan =
+    if first_rel = 0 then { first = 0; joins = (sat1, o1) :: later }
+    else { first = sat1; joins = (0, o1) :: later }
+  in
+  (best, plan)
+
+(* ------------------------------------------------------------------ *)
+
+let optimal_exhaustive t =
+  let m = t.m in
+  if m > 7 then invalid_arg "Star.optimal_exhaustive: m too large";
+  let best = ref None in
+  let consider plan =
+    let c = cost t plan in
+    match !best with
+    | Some (bc, _) when Bigq.compare bc c <= 0 -> ()
+    | _ -> best := Some (c, plan)
+  in
+  (* all permutations of satellites *)
+  let sats = Array.init m (fun i -> i + 1) in
+  let rec perms d =
+    if d = m then begin
+      (* operator masks *)
+      for opmask = 0 to (1 lsl m) - 1 do
+        let ops = List.init m (fun j -> if (opmask lsr j) land 1 = 1 then SM else NL) in
+        let order = Array.to_list sats in
+        (* start with R_0 *)
+        consider { first = 0; joins = List.combine order ops };
+        (* start with the first satellite, R_0 second *)
+        (match (order, ops) with
+        | s1 :: rest_rels, o1 :: rest_ops ->
+            consider { first = s1; joins = (0, o1) :: List.combine rest_rels rest_ops }
+        | _ -> ())
+      done
+    end
+    else
+      for i = d to m - 1 do
+        let tmp = sats.(d) in
+        sats.(d) <- sats.(i);
+        sats.(i) <- tmp;
+        perms (d + 1);
+        let tmp = sats.(d) in
+        sats.(d) <- sats.(i);
+        sats.(i) <- tmp
+      done
+  in
+  perms 0;
+  Option.get !best
+
+let decide t ~threshold =
+  let c, _ = optimal t in
+  Bigq.compare c (q_of_nat threshold) <= 0
+
+(* ------------------------------------------------------------------ *)
+
+let op_name = function NL -> "NL" | SM -> "SM"
+
+let render t plan =
+  if not (is_feasible t plan) then invalid_arg "Star.render: infeasible plan";
+  let buf = Buffer.create 512 in
+  let qs v =
+    let l = Bigq.log2 v in
+    if Float.abs l <= 40.0 then Bigq.to_string v else Printf.sprintf "2^%.1f" l
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "Star query plan over R_0..R_%d, total cost %s\n" t.m (qs (cost t plan)));
+  Buffer.add_string buf
+    (Printf.sprintf "  start with R%d (%s tuples)\n" plan.first
+       (Bignat.to_string t.ntuples.(plan.first)));
+  let joined = ref [ plan.first ] in
+  List.iter
+    (fun (i, o) ->
+      joined := i :: !joined;
+      let nw = intermediate_tuples t !joined in
+      Buffer.add_string buf
+        (Printf.sprintf "  join R%-3d by %s   intermediate %s tuples\n" i (op_name o) (qs nw)))
+    plan.joins;
+  Buffer.contents buf

@@ -1,0 +1,85 @@
+(** The SQO-CP problem: star-query optimization without cartesian
+    products, with nested-loops and sort-merge joins (Appendix A of the
+    paper — the problem whose complexity Ibaraki and Kameda left open
+    and the paper proves NP-complete).
+
+    Relations [R_0 .. R_m] with [R_0] the star center; predicate [P_i]
+    links [R_0] and [R_i]. A feasible sequence avoids cartesian
+    products, so it either starts with [R_0] (then any satellite
+    order), or starts with a satellite [R_r] immediately followed by
+    [R_0]. Each join is computed by nested loops ([NL]) or sort-merge
+    ([SM]); the cost recursion [D] follows A.2 verbatim:
+
+    - first join from [R_0]:  [NL: b_0 + w_i n_0],  [SM: A_0 + A_i];
+    - first join from [R_r]:  [NL: b_r + w_{0,r} n_r], [SM: A_r + A_0];
+    - later [SM] of [R_i]:    [b(W) (k_s - 1) + A_i];
+    - later [NL] of [R_i]:    [n(W) w_i];
+
+    with [n(W)] the exact (rational) intermediate tuple count,
+    [b(W) = n(W)] pages once [R_0] is in [W] (unit output tuples). All
+    arithmetic is exact ({!Bignum.Bigq}): the instances produced by the
+    Appendix-B reduction have thousand-bit entries. *)
+
+open Bignum
+
+type op = NL | SM
+
+type t = {
+  m : int;  (** [m+1] relations, [R_0 .. R_m]. *)
+  ks : int;  (** 2-pass sort constant [k_s]. *)
+  ntuples : Bignat.t array;  (** [n_0 .. n_m]. *)
+  bpages : Bignat.t array;  (** [b_0 .. b_m]. *)
+  sort_cost : Bignat.t array;  (** [A_0 .. A_m]. *)
+  sel : Bigq.t array;  (** [s_1 .. s_m] at indices [1..m]; [s.(0)] unused. *)
+  w : Bignat.t array;  (** [w_1 .. w_m] at indices [1..m]. *)
+  w0 : Bignat.t array;  (** [w_{0,1} .. w_{0,m}] at indices [1..m]. *)
+}
+
+val make :
+  ks:int ->
+  ntuples:Bignat.t array ->
+  bpages:Bignat.t array ->
+  sort_cost:Bignat.t array ->
+  sel:Bigq.t array ->
+  w:Bignat.t array ->
+  w0:Bignat.t array ->
+  t
+(** Validates array lengths and positivity of sizes.
+    @raise Invalid_argument on malformed instances. *)
+
+type plan = {
+  first : int;  (** The relation opening the sequence. *)
+  joins : (int * op) list;
+      (** Remaining relations in join order with their operator. If
+          [first <> 0] the list must start with [(0, _)]. *)
+}
+
+val is_feasible : t -> plan -> bool
+(** Permutation covering all relations, no cartesian product. *)
+
+val cost : t -> plan -> Bigq.t
+(** Exact cost [C(Z)] of a feasible plan.
+    @raise Invalid_argument on infeasible plans. *)
+
+val intermediate_tuples : t -> int list -> Bigq.t
+(** [n(X)] for a prefix given as a relation list (must contain [R_0]
+    or be a singleton). *)
+
+val optimal : t -> Bigq.t * plan
+(** Exact optimum by dynamic programming over satellite subsets
+    ([O(2^m m)] states; [n(W)] depends only on the set of joined
+    satellites). *)
+
+val optimal_exhaustive : t -> Bigq.t * plan
+(** Exact optimum by full enumeration of feasible plans and operator
+    choices — cross-validation for small [m] (≲ 7). *)
+
+val decide : t -> threshold:Bignat.t -> bool
+(** Is there a feasible plan of cost at most [threshold]? *)
+
+val op_name : op -> string
+
+val render : t -> plan -> string
+(** EXPLAIN-style report of a feasible plan: operators and exact
+    intermediate cardinalities. @raise Invalid_argument on infeasible
+    plans. *)

@@ -1,0 +1,22 @@
+(* The experiment suite doubles as an integration test: every check in
+   E1..E10 must pass. Runs the full harness quietly (~1-2 minutes). *)
+
+let () =
+  let results = Harness.Experiments.all ~quiet:true () in
+  let total = List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 results in
+  let fails = Harness.Experiments.failures results in
+  let cases =
+    List.map
+      (fun (name, checks) ->
+        ( name,
+          List.map
+            (fun c ->
+              Alcotest.test_case c.Harness.Experiments.label `Slow (fun () ->
+                  Alcotest.(check bool)
+                    (c.Harness.Experiments.label ^ " | " ^ c.Harness.Experiments.detail)
+                    true c.Harness.Experiments.ok))
+            checks ))
+      results
+  in
+  Printf.printf "experiment checks: %d total, %d failing\n%!" total (List.length fails);
+  Alcotest.run "experiments" cases

@@ -1,0 +1,238 @@
+(* Tests for the QO_H pipelined hash-join model: h cost, hjmin/g,
+   memory allocation (fractional knapsack), decomposition DP, searchers. *)
+
+module H = Qo.Hash
+
+let lr = Alcotest.testable (fun fmt v -> Logreal.pp fmt v) Logreal.equal
+let l2 = Logreal.to_log2
+
+(* A small instance with unit-free numbers we can reason about:
+   path graph, sizes t, memory M. *)
+let mk_instance ?(nu = 0.5) ~n ~size ~memory () =
+  let g = Graphlib.Gen.path n in
+  let sel =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i <> j && Graphlib.Ugraph.has_edge g i j then Logreal.of_float 0.5 else Logreal.one))
+  in
+  let sizes = Array.make n (Logreal.of_float size) in
+  H.make ~nu ~graph:g ~sel ~sizes ~memory:(Logreal.of_float memory) ()
+
+let test_g_properties () =
+  let t = mk_instance ~n:3 ~size:256.0 ~memory:1000.0 () in
+  let b = Logreal.of_float 256.0 in
+  (* hjmin(256) = 16 at nu = 1/2 *)
+  Alcotest.(check (float 1e-6)) "hjmin" 4.0 (l2 (H.hjmin t b));
+  (* g at the minimum is 1, at b is 0, in between in (0,1), linear *)
+  Alcotest.(check (float 1e-9)) "g at hjmin = 1" 1.0
+    (Logreal.to_float (H.g t ~m:(Logreal.of_float 16.0) ~b));
+  Alcotest.(check lr) "g at b = 0" Logreal.zero (H.g t ~m:b ~b);
+  Alcotest.(check (float 1e-9)) "g midpoint = 1/2" 0.5
+    (Logreal.to_float (H.g t ~m:(Logreal.of_float 136.0) ~b));
+  Alcotest.(check lr) "g above b = 0" Logreal.zero (H.g t ~m:(Logreal.of_float 999.0) ~b);
+  (* below hjmin: infeasible *)
+  Alcotest.(check bool) "g below hjmin infinite" true
+    (Logreal.compare (H.g t ~m:(Logreal.of_float 15.0) ~b) Logreal.infinity >= 0)
+
+let test_h_cost () =
+  let t = mk_instance ~n:3 ~size:256.0 ~memory:1000.0 () in
+  let outer = Logreal.of_float 100.0 and inner = Logreal.of_float 256.0 in
+  (* full memory: (100+256)*0 + 256 = 256 *)
+  Alcotest.(check (float 1e-6)) "h at full memory" 256.0
+    (Logreal.to_float (H.h_cost t ~m:inner ~outer ~inner));
+  (* minimum memory: (100+256)*1 + 256 = 612 *)
+  Alcotest.(check (float 1e-6)) "h at minimum memory" 612.0
+    (Logreal.to_float (H.h_cost t ~m:(Logreal.of_float 16.0) ~outer ~inner));
+  Alcotest.(check bool) "h infeasible below hjmin" true
+    (Logreal.compare (H.h_cost t ~m:(Logreal.of_float 8.0) ~outer ~inner) Logreal.infinity >= 0)
+
+let test_prefix_sizes () =
+  (* path 0-1-2, sizes 16 each, sel 1/2: N_0=16, N_1=16*16/2=128, N_2=1024 *)
+  let t = mk_instance ~n:3 ~size:16.0 ~memory:1000.0 () in
+  let ns = H.prefix_sizes t [| 0; 1; 2 |] in
+  Alcotest.(check (float 1e-6)) "N_0" 16.0 (Logreal.to_float ns.(0));
+  Alcotest.(check (float 1e-6)) "N_1" 128.0 (Logreal.to_float ns.(1));
+  Alcotest.(check (float 1e-6)) "N_2" 1024.0 (Logreal.to_float ns.(2));
+  (* out-of-order sequence: 0,2 is a cartesian product (sel 1) *)
+  let ns2 = H.prefix_sizes t [| 0; 2; 1 |] in
+  Alcotest.(check (float 1e-6)) "cartesian N_1" 256.0 (Logreal.to_float ns2.(1))
+
+let test_allocate () =
+  (* 3 joins, inner 256 each (hjmin 16), memory = 256 + 16 + 16:
+     exactly one full allocation; the join with the LARGEST outer gets
+     it (largest saving density). *)
+  let n = 4 in
+  let t = mk_instance ~n ~size:256.0 ~memory:288.0 () in
+  let z = [| 0; 1; 2; 3 |] in
+  let ns = H.prefix_sizes t z in
+  (match H.allocate t ~ns z ~i:1 ~k:3 with
+  | None -> Alcotest.fail "should be feasible"
+  | Some allocs ->
+      Alcotest.(check int) "three joins" 3 (List.length allocs);
+      (* outers: N_0=256, N_1=32768... wait sel=1/2 sizes=256:
+         N_1 = 256*256/2 = 32768, N_2 = 32768*256/2. Largest outer =
+         last join, so it gets the full 256. *)
+      let full = List.filter (fun a -> l2 a.H.memory_given > 7.9) allocs in
+      Alcotest.(check int) "one full allocation" 1 (List.length full);
+      Alcotest.(check int) "full goes to the largest outer (join 3)" 3
+        (List.hd full).H.join);
+  (* infeasible when memory below 3 * hjmin *)
+  let t2 = mk_instance ~n ~size:256.0 ~memory:47.0 () in
+  let ns2 = H.prefix_sizes t2 z in
+  Alcotest.(check bool) "infeasible" true (H.allocate t2 ~ns:ns2 z ~i:1 ~k:3 = None)
+
+let test_pipeline_cost_components () =
+  (* single-join pipeline with plenty of memory:
+     cost = read N_0 + (h with g=0 -> inner) + write N_1 *)
+  let t = mk_instance ~n:2 ~size:64.0 ~memory:1000.0 () in
+  let z = [| 0; 1 |] in
+  let ns = H.prefix_sizes t z in
+  (* N_0 = 64, N_1 = 64*64/2 = 2048; cost = 64 + 64 + 2048 *)
+  Alcotest.(check (float 1e-6)) "pipeline cost" (64.0 +. 64.0 +. 2048.0)
+    (Logreal.to_float (H.pipeline_cost t ~ns z ~i:1 ~k:1))
+
+let test_decomposition_dp () =
+  let t = mk_instance ~n:6 ~size:64.0 ~memory:200.0 () in
+  let z = [| 0; 1; 2; 3; 4; 5 |] in
+  let cost, decomp = H.best_decomposition t z in
+  Alcotest.(check bool) "feasible" true (Logreal.compare cost Logreal.infinity < 0);
+  (* decomposition covers 1..n-1 contiguously *)
+  let rec covers expect = function
+    | [] -> expect = 6
+    | (i, k) :: rest -> i = expect && k >= i && covers (k + 1) rest
+  in
+  Alcotest.(check bool) "covers all joins" true (covers 1 decomp);
+  Alcotest.(check (float 1e-6)) "cost_of_decomposition agrees" (l2 cost)
+    (l2 (H.cost_of_decomposition t z decomp));
+  (* DP is optimal: compare against brute-force over all decompositions *)
+  let rec all_decomps i =
+    if i > 5 then [ [] ]
+    else
+      List.concat_map (fun k -> List.map (fun rest -> (i, k) :: rest) (all_decomps (k + 1)))
+        (List.init (5 - i + 1) (fun d -> i + d))
+  in
+  let brute =
+    List.fold_left
+      (fun acc d -> Logreal.min acc (H.cost_of_decomposition t z d))
+      Logreal.infinity (all_decomps 1)
+  in
+  Alcotest.(check (float 1e-9)) "DP = brute force over decompositions" (l2 brute) (l2 cost)
+
+let test_exhaustive_vs_heuristics () =
+  let t = mk_instance ~n:6 ~size:64.0 ~memory:200.0 () in
+  let pe = H.exhaustive t in
+  let pg = H.greedy t in
+  let pa = H.simulated_annealing ~steps:500 t in
+  Alcotest.(check bool) "greedy >= exhaustive" true (Logreal.compare pg.H.cost pe.H.cost >= 0);
+  Alcotest.(check bool) "annealing >= exhaustive" true (Logreal.compare pa.H.cost pe.H.cost >= 0);
+  (* plan cost recomputes *)
+  Alcotest.(check (float 1e-9)) "plan consistent" (l2 pe.H.cost)
+    (l2 (H.cost_of_decomposition t pe.H.seq pe.H.decomposition))
+
+let test_infeasible_hub () =
+  (* a relation too large to hash with the given memory makes every
+     sequence not starting with it infeasible *)
+  let n = 3 in
+  let g = Graphlib.Ugraph.complete n in
+  let sel = Array.make_matrix n n (Logreal.of_float 0.5) in
+  for i = 0 to n - 1 do
+    sel.(i).(i) <- Logreal.one
+  done;
+  let sizes = [| Logreal.of_float 1.0e12; Logreal.of_float 100.0; Logreal.of_float 100.0 |] in
+  let t = H.make ~graph:g ~sel ~sizes ~memory:(Logreal.of_float 100.0) () in
+  (* starting with the big relation: inners are the small ones - feasible *)
+  Alcotest.(check bool) "hub-first feasible" true
+    (Logreal.compare (H.seq_cost t [| 0; 1; 2 |]) Logreal.infinity < 0);
+  (* big relation as an inner: infeasible *)
+  Alcotest.(check bool) "hub-inner infeasible" true
+    (Logreal.compare (H.seq_cost t [| 1; 2; 0 |]) Logreal.infinity >= 0);
+  let p = H.exhaustive t in
+  Alcotest.(check int) "optimal plan starts at the hub" 0 p.H.seq.(0)
+
+let prop_dp_optimal_small =
+  QCheck2.Test.make ~name:"decomposition DP <= any random decomposition" ~count:100
+    QCheck2.Gen.(triple (int_range 3 7) (int_range 0 999) (float_range 50.0 2000.0))
+    (fun (n, seed, mem) ->
+      let t = mk_instance ~n ~size:64.0 ~memory:mem () in
+      let z = Array.init n (fun i -> i) in
+      let dp, _ = H.best_decomposition t z in
+      (* random contiguous decomposition *)
+      let st = Random.State.make [| seed |] in
+      let rec build i acc =
+        if i > n - 1 then List.rev acc
+        else begin
+          let k = min (n - 1) (i + Random.State.int st 3) in
+          build (k + 1) ((i, k) :: acc)
+        end
+      in
+      let d = build 1 [] in
+      Logreal.compare dp (H.cost_of_decomposition t z d) <= 0)
+
+let prop_allocation_exhausts_or_saturates =
+  QCheck2.Test.make ~name:"allocation spends budget or saturates all joins" ~count:100
+    QCheck2.Gen.(pair (int_range 3 6) (float_range 100.0 5000.0))
+    (fun (n, mem) ->
+      let t = mk_instance ~n ~size:256.0 ~memory:mem () in
+      let z = Array.init n (fun i -> i) in
+      let ns = H.prefix_sizes t z in
+      match H.allocate t ~ns z ~i:1 ~k:(n - 1) with
+      | None -> true
+      | Some allocs ->
+          let total =
+            List.fold_left (fun acc a -> acc +. Logreal.to_float a.H.memory_given) 0.0 allocs
+          in
+          let saturated =
+            List.for_all (fun a -> l2 a.H.memory_given >= l2 a.H.inner -. 1e-9) allocs
+          in
+          total <= mem *. (1.0 +. 1e-9) && (saturated || total >= mem *. 0.999 ||
+            (* or budget bigger than total saturation *) total <= mem))
+
+let prop_h_monotone_in_memory =
+  QCheck2.Test.make ~name:"h_cost non-increasing in memory" ~count:200
+    QCheck2.Gen.(triple (float_range 4.0 20.0) (float_range 4.0 20.0) (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (lb_outer, lb_inner, (f1, f2)) ->
+      let t = mk_instance ~n:3 ~size:256.0 ~memory:10000.0 () in
+      let outer = Logreal.of_log2 lb_outer and inner = Logreal.of_log2 lb_inner in
+      let lo = l2 (H.hjmin t inner) and hi = l2 inner in
+      let m1 = Logreal.of_log2 (lo +. (Float.min f1 f2 *. (hi -. lo))) in
+      let m2 = Logreal.of_log2 (lo +. (Float.max f1 f2 *. (hi -. lo))) in
+      Logreal.compare (H.h_cost t ~m:m2 ~outer ~inner) (H.h_cost t ~m:m1 ~outer ~inner) <= 0)
+
+let prop_genetic_and_plans_valid =
+  QCheck2.Test.make ~name:"hash plans are permutations with covering decompositions" ~count:60
+    QCheck2.Gen.(pair (int_range 2 6) (float_range 50.0 5000.0))
+    (fun (n, mem) ->
+      let t = mk_instance ~n ~size:64.0 ~memory:mem () in
+      let p = H.greedy t in
+      let sorted = List.sort compare (Array.to_list p.H.seq) in
+      sorted = List.init n (fun i -> i)
+      && (not (Logreal.compare p.H.cost Logreal.infinity < 0)
+         || Logreal.approx_equal ~tol:1e-9 p.H.cost
+              (H.cost_of_decomposition t p.H.seq p.H.decomposition)))
+
+let () =
+  Alcotest.run "hash"
+    [
+      ( "cost pieces",
+        [
+          Alcotest.test_case "g properties" `Quick test_g_properties;
+          Alcotest.test_case "h cost" `Quick test_h_cost;
+          Alcotest.test_case "prefix sizes" `Quick test_prefix_sizes;
+        ] );
+      ( "allocation",
+        [ Alcotest.test_case "knapsack allocation" `Quick test_allocate ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_allocation_exhausts_or_saturates ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "single pipeline components" `Quick test_pipeline_cost_components;
+          Alcotest.test_case "decomposition DP" `Quick test_decomposition_dp;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_dp_optimal_small; prop_h_monotone_in_memory ] );
+      ( "search",
+        [
+          Alcotest.test_case "exhaustive vs heuristics" `Quick test_exhaustive_vs_heuristics;
+          Alcotest.test_case "infeasible hub" `Quick test_infeasible_hub;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_genetic_and_plans_valid ] );
+    ]

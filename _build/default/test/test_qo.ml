@@ -1,0 +1,305 @@
+(* Tests for the QO_N cost model and the optimizer portfolio, over both
+   cost domains. *)
+
+module NR = Qo.Instances.Nl_rat
+module OR_ = Qo.Instances.Opt_rat
+module NL = Qo.Instances.Nl_log
+module OL = Qo.Instances.Opt_log
+module IKR = Qo.Instances.Ik_rat
+module RC = Qo.Rat_cost
+
+let rc = Alcotest.testable (fun fmt v -> RC.pp fmt v) RC.equal
+
+(* tiny substring helper (no astring dependency) *)
+module Astring_like = struct
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+end
+
+(* Random valid rational instance generator. *)
+let gen_instance =
+  QCheck2.Gen.(
+    let* n = int_range 2 7 in
+    let* seed = int_range 0 10_000 in
+    let* p = float_range 0.2 0.9 in
+    let st = Random.State.make [| seed; 77 |] in
+    let g = Graphlib.Gen.gnp ~seed ~n ~p in
+    let sizes = Array.init n (fun _ -> RC.of_int (1 + Random.State.int st 50)) in
+    let sel = Array.make_matrix n n RC.one in
+    let w = Array.make_matrix n n RC.zero in
+    List.iter
+      (fun (i, j) ->
+        let s = RC.of_ints 1 (1 + Random.State.int st 20) in
+        sel.(i).(j) <- s;
+        sel.(j).(i) <- s)
+      (Graphlib.Ugraph.edges g);
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then
+          if Graphlib.Ugraph.has_edge g i j then
+            w.(i).(j) <-
+              RC.min sizes.(i)
+                (RC.max (RC.mul sizes.(i) sel.(i).(j)) (RC.of_int (1 + Random.State.int st 10)))
+          else w.(i).(j) <- sizes.(i)
+      done
+    done;
+    return (NR.make ~graph:g ~sel ~sizes ~w))
+
+(* A tree-query instance. *)
+let gen_tree_instance =
+  QCheck2.Gen.(
+    let* n = int_range 2 8 in
+    let* seed = int_range 0 10_000 in
+    let st = Random.State.make [| seed; 99 |] in
+    let g = Graphlib.Gen.random_tree ~seed ~n in
+    let sizes = Array.init n (fun _ -> RC.of_int (2 + Random.State.int st 40)) in
+    let sel = Array.make_matrix n n RC.one in
+    let w = Array.make_matrix n n RC.zero in
+    List.iter
+      (fun (i, j) ->
+        let s = RC.of_ints 1 (1 + Random.State.int st 15) in
+        sel.(i).(j) <- s;
+        sel.(j).(i) <- s)
+      (Graphlib.Ugraph.edges g);
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then
+          if Graphlib.Ugraph.has_edge g i j then
+            w.(i).(j) <-
+              RC.min sizes.(i)
+                (RC.max (RC.mul sizes.(i) sel.(i).(j)) (RC.of_int (1 + Random.State.int st 8)))
+          else w.(i).(j) <- sizes.(i)
+      done
+    done;
+    return (NR.make ~graph:g ~sel ~sizes ~w))
+
+(* -------------------- hand-computed example -------------------- *)
+
+(* Two relations R0 (100 tuples), R1 (20 tuples), selectivity 1/10,
+   w_01 = 15, w_10 = 2.
+   Z = (0,1): H_1 = N({0}) * w_{1,0} = 100 * 2 = 200.
+   Z = (1,0): H_1 = 20 * 15 = 300. *)
+let test_hand_example () =
+  let g = Graphlib.Ugraph.of_edges 2 [ (0, 1) ] in
+  let sel = [| [| RC.one; RC.of_ints 1 10 |]; [| RC.of_ints 1 10; RC.one |] |] in
+  let sizes = [| RC.of_int 100; RC.of_int 20 |] in
+  let w = [| [| RC.zero; RC.of_int 15 |]; [| RC.of_int 2; RC.zero |] |] in
+  let inst = NR.make ~graph:g ~sel ~sizes ~w in
+  Alcotest.(check rc) "cost (0,1)" (RC.of_int 200) (NR.cost inst [| 0; 1 |]);
+  Alcotest.(check rc) "cost (1,0)" (RC.of_int 300) (NR.cost inst [| 1; 0 |]);
+  (* N after the join: 100 * 20 / 10 = 200 *)
+  Alcotest.(check rc) "intermediate size" (RC.of_int 200)
+    (NR.intermediate_sizes inst [| 0; 1 |]).(0);
+  let p = OR_.dp inst in
+  Alcotest.(check rc) "optimal cost" (RC.of_int 200) p.OR_.cost
+
+(* Three relations in a path 0-1-2: check a cartesian product is
+   detected and off-edge access costs full size. *)
+let test_cartesian_detection () =
+  let g = Graphlib.Ugraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let mk_sel v = v in
+  let s = RC.of_ints 1 2 in
+  let sel =
+    [| [| RC.one; s; RC.one |]; [| s; RC.one; s |]; [| RC.one; s; RC.one |] |] |> mk_sel
+  in
+  let sizes = [| RC.of_int 10; RC.of_int 10; RC.of_int 10 |] in
+  let w =
+    Array.init 3 (fun i ->
+        Array.init 3 (fun j ->
+            if i <> j && Graphlib.Ugraph.has_edge g i j then RC.of_int 5 else sizes.(i)))
+  in
+  let inst = NR.make ~graph:g ~sel ~sizes ~w in
+  Alcotest.(check bool) "0,2,1 has cartesian" true (NR.has_cartesian inst [| 0; 2; 1 |]);
+  Alcotest.(check bool) "0,1,2 no cartesian" false (NR.has_cartesian inst [| 0; 1; 2 |]);
+  (* cost with cartesian: H_1 = 10 * w_{2,0} = 10 * t_2 = 100;
+     then H_2 = N({0,2}) * min(w_{1,0}, w_{1,2}) = 100 * 5 = 500 *)
+  Alcotest.(check rc) "cartesian cost" (RC.of_int 600) (NR.cost inst [| 0; 2; 1 |]);
+  Alcotest.(check int) "back edges" 0 (NR.back_edges inst [| 0; 2; 1 |] 2);
+  Alcotest.(check int) "back edges of 1" 2 (NR.back_edges inst [| 0; 2; 1 |] 3)
+
+let test_validation_errors () =
+  let g = Graphlib.Ugraph.of_edges 2 [ (0, 1) ] in
+  let sizes = [| RC.of_int 10; RC.of_int 10 |] in
+  let s = RC.of_ints 1 2 in
+  let sel = [| [| RC.one; s |]; [| s; RC.one |] |] in
+  (* w below t*s *)
+  let w_low = [| [| RC.zero; RC.of_int 10 |]; [| RC.of_int 4; RC.zero |] |] in
+  Alcotest.check_raises "w below t*s" (Invalid_argument "Nl.make: w.(1).(0) below t_i * s_ij")
+    (fun () -> ignore (NR.make ~graph:g ~sel ~sizes ~w:w_low));
+  (* w above t *)
+  let w_high = [| [| RC.zero; RC.of_int 11 |]; [| RC.of_int 5; RC.zero |] |] in
+  Alcotest.check_raises "w above t" (Invalid_argument "Nl.make: w.(0).(1) above t_i") (fun () ->
+      ignore (NR.make ~graph:g ~sel ~sizes ~w:w_high));
+  (* asymmetric selectivity *)
+  let sel_bad = [| [| RC.one; s |]; [| RC.of_ints 1 3; RC.one |] |] in
+  let w_ok = [| [| RC.zero; RC.of_int 5 |]; [| RC.of_int 5; RC.zero |] |] in
+  Alcotest.check_raises "asymmetric sel" (Invalid_argument "Nl.make: selectivity not symmetric")
+    (fun () -> ignore (NR.make ~graph:g ~sel:sel_bad ~sizes ~w:w_ok))
+
+(* -------------------- properties -------------------- *)
+
+let prop_dp_equals_exhaustive =
+  QCheck2.Test.make ~name:"subset DP = exhaustive enumeration" ~count:60 gen_instance (fun inst ->
+      RC.equal (OR_.dp inst).OR_.cost (OR_.exhaustive inst).OR_.cost)
+
+let prop_heuristics_upper_bound =
+  QCheck2.Test.make ~name:"greedy/II/SA are upper bounds on the optimum" ~count:40 gen_instance
+    (fun inst ->
+      let opt = (OR_.dp inst).OR_.cost in
+      RC.compare (OR_.greedy ~mode:OR_.Min_cost inst).OR_.cost opt >= 0
+      && RC.compare (OR_.greedy ~mode:OR_.Min_size inst).OR_.cost opt >= 0
+      && RC.compare (OR_.iterative_improvement ~restarts:2 ~max_steps:200 inst).OR_.cost opt >= 0
+      && RC.compare (OR_.simulated_annealing ~steps:500 inst).OR_.cost opt >= 0
+      && RC.compare (OR_.genetic ~population:20 ~generations:30 inst).OR_.cost opt >= 0)
+
+let prop_dp_no_cartesian_dominates =
+  QCheck2.Test.make ~name:"no-cartesian optimum >= unrestricted optimum" ~count:60 gen_instance
+    (fun inst ->
+      let a = (OR_.dp inst).OR_.cost and b = (OR_.dp_no_cartesian inst).OR_.cost in
+      RC.compare b a >= 0)
+
+let prop_dp_plan_cost_consistent =
+  QCheck2.Test.make ~name:"returned plan evaluates to returned cost" ~count:60 gen_instance
+    (fun inst ->
+      let p = OR_.dp inst in
+      RC.equal (NR.cost inst p.OR_.seq) p.OR_.cost)
+
+let prop_size_set_invariance =
+  QCheck2.Test.make ~name:"N(X) depends only on the set (permutation invariant)" ~count:60
+    gen_instance (fun inst ->
+      let n = NR.n inst in
+      QCheck2.assume (n >= 3);
+      let z1 = Array.init n (fun i -> i) in
+      let z2 = Array.init n (fun i -> if i = 0 then 1 else if i = 1 then 0 else i) in
+      let s1 = NR.intermediate_sizes inst z1 and s2 = NR.intermediate_sizes inst z2 in
+      (* after position 2 the prefixes coincide as sets *)
+      let ok = ref true in
+      for i = 1 to n - 2 do
+        if not (RC.equal s1.(i) s2.(i)) then ok := false
+      done;
+      !ok)
+
+let prop_log_matches_rational =
+  QCheck2.Test.make ~name:"log-domain cost = rational cost (to 1e-6 bits)" ~count:60 gen_instance
+    (fun inst ->
+      let li = Qo.Instances.log_of_rat inst in
+      let pr = OR_.dp inst and pl = OL.dp li in
+      Float.abs (RC.to_log2 pr.OR_.cost -. Logreal.to_log2 pl.OL.cost) < 1e-6)
+
+let prop_ik_tree_optimal =
+  QCheck2.Test.make ~name:"IK = no-cartesian DP on tree queries" ~count:80 gen_tree_instance
+    (fun inst ->
+      let cik, seq = IKR.solve inst in
+      let pd = OR_.dp_no_cartesian inst in
+      RC.equal cik pd.OR_.cost && RC.equal (NR.cost inst seq) cik)
+
+let prop_profile_sums =
+  QCheck2.Test.make ~name:"cost = sum of join costs" ~count:60 gen_instance (fun inst ->
+      let n = NR.n inst in
+      let z = Array.init n (fun i -> i) in
+      let h = NR.join_costs inst z in
+      RC.equal (Array.fold_left RC.add RC.zero h) (NR.cost inst z))
+
+let prop_uniform_instance =
+  QCheck2.Test.make ~name:"uniform instance validates and is symmetric" ~count:40
+    QCheck2.Gen.(pair (int_range 2 10) (int_range 0 1000))
+    (fun (n, seed) ->
+      let g = Graphlib.Gen.gnp ~seed ~n ~p:0.5 in
+      let inst =
+        NL.uniform ~graph:g ~size:(Qo.Log_cost.of_int 64)
+          ~edge_sel:(Qo.Log_cost.of_log2 (-3.0))
+          ~edge_w:(Qo.Log_cost.of_int 8)
+      in
+      NL.n inst = n)
+
+(* -------------------- Gen_inst / Explain -------------------- *)
+
+let prop_gen_inst_valid =
+  QCheck2.Test.make ~name:"library generators produce valid instances" ~count:60
+    QCheck2.Gen.(pair (int_range 2 12) (int_range 0 5000))
+    (fun (n, seed) ->
+      (* Nl.make validates the access-path constraints; reaching here
+         without Invalid_argument is the property *)
+      let a = Qo.Gen_inst.R.random ~seed ~n ~p:0.5 () in
+      let b = Qo.Gen_inst.R.tree ~seed ~n () in
+      let c = Qo.Gen_inst.R.chain ~seed ~n () in
+      let d = Qo.Gen_inst.L.random ~seed ~n ~p:0.4 () in
+      let e = Qo.Gen_inst.L.tree_plus ~seed ~n ~extra:2 () in
+      NR.n a = n && NR.n b = n && NR.n c = n && NL.n d = n && NL.n e = n)
+
+let prop_gen_inst_deterministic =
+  QCheck2.Test.make ~name:"generators are deterministic in the seed" ~count:30
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 0 5000))
+    (fun (n, seed) ->
+      let a = Qo.Gen_inst.R.random ~seed ~n ~p:0.5 () in
+      let b = Qo.Gen_inst.R.random ~seed ~n ~p:0.5 () in
+      let za = (OR_.dp a).OR_.cost and zb = (OR_.dp b).OR_.cost in
+      Qo.Rat_cost.equal za zb)
+
+let test_explain_render () =
+  let inst = Qo.Gen_inst.R.chain ~seed:3 ~n:4 () in
+  let p = OR_.dp inst in
+  let text = Qo.Explain.Rat.render inst p.OR_.seq in
+  Alcotest.(check bool) "mentions every relation" true
+    (List.for_all (fun r -> Astring_like.contains text r) [ "R0"; "R1"; "R2"; "R3" ]);
+  Alcotest.(check bool) "has total cost line" true (Astring_like.contains text "total cost");
+  let s = Qo.Explain.Rat.summary inst p.OR_.seq in
+  Alcotest.(check bool) "summary has cost" true (Astring_like.contains s "cost=")
+
+(* -------------------- Io round trips -------------------- *)
+
+let prop_io_rat_roundtrip =
+  QCheck2.Test.make ~name:"rational instance file round-trip preserves optimum" ~count:40
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 0 5000))
+    (fun (n, seed) ->
+      let inst = Qo.Gen_inst.R.random ~seed ~n ~p:0.5 () in
+      let inst' = Qo.Io.parse_rat (Qo.Io.dump_rat inst) in
+      Qo.Rat_cost.equal (OR_.dp inst).OR_.cost (OR_.dp inst').OR_.cost
+      && Graphlib.Ugraph.equal inst.NR.graph inst'.NR.graph)
+
+let prop_io_log_roundtrip =
+  QCheck2.Test.make ~name:"log instance file round-trip preserves costs" ~count:40
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 0 5000))
+    (fun (n, seed) ->
+      let inst = Qo.Gen_inst.L.random ~seed ~n ~p:0.5 () in
+      let inst' = Qo.Io.parse_log (Qo.Io.dump_log inst) in
+      let z = Array.init n (fun i -> i) in
+      Logreal.approx_equal ~tol:1e-9 (NL.cost inst z) (NL.cost inst' z))
+
+let test_io_errors () =
+  Alcotest.check_raises "bad line" (Invalid_argument "Qo.Io.parse: line 2: unrecognized \"junk\"")
+    (fun () -> ignore (Qo.Io.parse_rat "qon 1\njunk\n"));
+  Alcotest.check_raises "missing n" (Invalid_argument "Qo.Io.parse: missing or invalid n")
+    (fun () -> ignore (Qo.Io.parse_rat "qon 1\n"))
+
+let () =
+  Alcotest.run "qo"
+    [
+      ( "cost model",
+        [
+          Alcotest.test_case "hand example" `Quick test_hand_example;
+          Alcotest.test_case "cartesian products" `Quick test_cartesian_detection;
+          Alcotest.test_case "validation" `Quick test_validation_errors;
+        ] );
+      ( "optimizers",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_dp_equals_exhaustive;
+            prop_heuristics_upper_bound;
+            prop_dp_no_cartesian_dominates;
+            prop_dp_plan_cost_consistent;
+          ] );
+      ( "model properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_size_set_invariance; prop_log_matches_rational; prop_profile_sums; prop_uniform_instance ] );
+      ("ik", List.map QCheck_alcotest.to_alcotest [ prop_ik_tree_optimal ]);
+      ( "gen_inst + explain",
+        [ Alcotest.test_case "explain rendering" `Quick test_explain_render ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_gen_inst_valid; prop_gen_inst_deterministic ] );
+      ( "io",
+        [ Alcotest.test_case "parse errors" `Quick test_io_errors ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_io_rat_roundtrip; prop_io_log_roundtrip ] );
+    ]

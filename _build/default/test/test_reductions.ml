@@ -1,0 +1,374 @@
+(* Tests for the reduction suite - the paper's primary contribution.
+   Every reduction's promise properties are checked against exact
+   solvers on small instances. *)
+
+open Reductions
+module NL = Qo.Instances.Nl_log
+module OL = Qo.Instances.Opt_log
+
+let l2 = Logreal.to_log2
+
+(* -------------------- 3SAT -> VC (Thm 2 vehicle) -------------------- *)
+
+let gen_3cnf =
+  QCheck2.Gen.(
+    let* nvars = int_range 3 5 in
+    let* nclauses = int_range 2 8 in
+    let* seed = int_range 0 100_000 in
+    let st = Random.State.make [| seed |] in
+    let clause () =
+      let rec distinct k acc =
+        if k = 0 then acc
+        else begin
+          let v = 1 + Random.State.int st nvars in
+          if List.mem v acc then distinct k acc else distinct (k - 1) (v :: acc)
+        end
+      in
+      List.map (fun v -> if Random.State.bool st then v else -v) (distinct 3 [])
+    in
+    return (Sat.Cnf.make ~nvars (List.init nclauses (fun _ -> clause ()))))
+
+let prop_vc_reduction_yes =
+  QCheck2.Test.make ~name:"satisfiable => cover of size v+2m (and valid)" ~count:100 gen_3cnf
+    (fun f ->
+      match Sat.Dpll.solve f with
+      | Sat.Dpll.Unsat -> true
+      | Sat.Dpll.Sat a ->
+          let r = Sat_to_vc.reduce f in
+          let cover = Sat_to_vc.cover_of_assignment r a in
+          Graphlib.Vertex_cover.is_vertex_cover r.Sat_to_vc.graph cover
+          && List.length cover = r.Sat_to_vc.cover_target)
+
+let prop_vc_reduction_iff =
+  QCheck2.Test.make ~name:"min cover = v+2m iff satisfiable (exact)" ~count:40 gen_3cnf (fun f ->
+      QCheck2.assume (Sat.Cnf.nvars f + Sat.Cnf.nclauses f <= 10);
+      let r = Sat_to_vc.reduce f in
+      let vc = Graphlib.Vertex_cover.vertex_cover_number r.Sat_to_vc.graph in
+      if Sat.Dpll.is_satisfiable f then vc = r.Sat_to_vc.cover_target
+      else vc > r.Sat_to_vc.cover_target)
+
+let prop_vc_unsat_excess =
+  QCheck2.Test.make ~name:"cover excess >= number of unsatisfied clauses" ~count:60 gen_3cnf
+    (fun f ->
+      let r = Sat_to_vc.reduce f in
+      let a, best = Sat.Maxsat.best_assignment f in
+      let cover = Sat_to_vc.cover_of_assignment r a in
+      let unsat = Sat.Cnf.nclauses f - best in
+      Graphlib.Vertex_cover.is_vertex_cover r.Sat_to_vc.graph cover
+      && List.length cover = r.Sat_to_vc.cover_target + unsat)
+
+(* -------------------- Lemmas 3 and 4 -------------------- *)
+
+let prop_lemma3_exact =
+  QCheck2.Test.make ~name:"Lemma 3: omega = 5v+4m iff satisfiable" ~count:25 gen_3cnf (fun f ->
+      QCheck2.assume (Sat.Cnf.nvars f + Sat.Cnf.nclauses f <= 9);
+      let l = Lemma3.reduce f in
+      let omega = Graphlib.Clique.clique_number l.Lemma3.graph in
+      match Sat.Dpll.solve f with
+      | Sat.Dpll.Sat a ->
+          let cl = Lemma3.clique_of_assignment l a in
+          omega = l.Lemma3.yes_clique
+          && Graphlib.Ugraph.is_clique l.Lemma3.graph cl
+          && List.length cl = l.Lemma3.yes_clique
+      | Sat.Dpll.Unsat -> omega < l.Lemma3.yes_clique)
+
+let prop_lemma4_exact =
+  QCheck2.Test.make ~name:"Lemma 4: omega = 2n/3 iff satisfiable" ~count:25 gen_3cnf (fun f ->
+      QCheck2.assume (Sat.Cnf.nvars f + Sat.Cnf.nclauses f <= 9);
+      let l = Lemma4.reduce f in
+      let omega = Graphlib.Clique.clique_number l.Lemma4.graph in
+      l.Lemma4.n mod 3 = 0
+      && l.Lemma4.yes_clique = 2 * l.Lemma4.n / 3
+      &&
+      match Sat.Dpll.solve f with
+      | Sat.Dpll.Sat a ->
+          let cl = Lemma4.clique_of_assignment l a in
+          omega = l.Lemma4.yes_clique && Graphlib.Ugraph.is_clique l.Lemma4.graph cl
+      | Sat.Dpll.Unsat -> omega < l.Lemma4.yes_clique)
+
+let test_lemma3_unsat_bound () =
+  (* the all-sign block: every assignment misses exactly 1 clause *)
+  let f = Sat.Gen.all_sign_blocks ~blocks:1 in
+  let l = Lemma3.reduce f in
+  let omega = Graphlib.Clique.clique_number l.Lemma3.graph in
+  Alcotest.(check int) "omega = yes - 1" (l.Lemma3.no_clique_bound 1) omega;
+  (* degree defect stays within the promise for 3SAT(13) sources *)
+  Alcotest.(check bool) "defect <= 14" true (Lemma3.degree_defect l.Lemma3.graph <= 14)
+
+(* -------------------- f_N (Section 4) -------------------- *)
+
+let test_fn_postconditions () =
+  let g = Graphlib.Gen.with_clique_number ~n:14 ~omega:10 in
+  let r = Fn.reduce ~graph:g ~c:(10.0 /. 14.0) ~d:0.2 ~log2_a:8.0 in
+  let inst = r.Fn.instance in
+  (* t = a^{(c-d/2)n}; selectivity 1/a on edges; w = t/a *)
+  Alcotest.(check (float 1e-6)) "t exponent"
+    ((10.0 /. 14.0 -. 0.1) *. 14.0 *. 8.0)
+    (l2 r.Fn.t_size);
+  Alcotest.(check (float 1e-6)) "w = t/a" (l2 r.Fn.t_size -. 8.0) (l2 r.Fn.w_edge);
+  let i, j = List.hd (Graphlib.Ugraph.edges g) in
+  Alcotest.(check (float 1e-9)) "edge selectivity" (-8.0) (l2 inst.NL.sel.(i).(j));
+  (* gap exponent consistent *)
+  Alcotest.(check (float 1e-6)) "gap exponent"
+    (l2 r.Fn.no_lower_bound -. l2 r.Fn.k_cd)
+    (Fn.gap_exponent r);
+  Alcotest.check_raises "a < 4 rejected" (Invalid_argument "Fn.reduce: need a >= 4 (log2_a >= 2)")
+    (fun () -> ignore (Fn.reduce ~graph:g ~c:0.7 ~d:0.2 ~log2_a:1.0))
+
+let prop_fn_gap_small =
+  QCheck2.Test.make ~name:"f_N: DP optimum respects both certified bounds" ~count:12
+    QCheck2.Gen.(int_range 10 16)
+    (fun n ->
+      let omega_yes = (3 * n) / 4 and omega_no = n / 2 in
+      QCheck2.assume (omega_yes > omega_no && omega_no >= 2);
+      let c = float_of_int omega_yes /. float_of_int n in
+      let d = float_of_int (omega_yes - omega_no) /. float_of_int n in
+      let gy = Graphlib.Gen.with_clique_number ~n ~omega:omega_yes in
+      let gn = Graphlib.Gen.with_clique_number ~n ~omega:omega_no in
+      let ry = Fn.reduce ~graph:gy ~c ~d ~log2_a:6.0 in
+      let rn = Fn.reduce ~graph:gn ~c ~d ~log2_a:6.0 in
+      let oy = (OL.dp ry.Fn.instance).OL.cost in
+      let on_ = (OL.dp rn.Fn.instance).OL.cost in
+      Logreal.compare oy ry.Fn.k_cd <= 0
+      && Logreal.compare on_ rn.Fn.no_lower_bound >= 0
+      && Logreal.compare oy on_ < 0)
+
+let test_clique_first_rejects () =
+  let g = Graphlib.Gen.with_clique_number ~n:10 ~omega:6 in
+  let r = Fn.reduce ~graph:g ~c:0.6 ~d:0.2 ~log2_a:4.0 in
+  Alcotest.check_raises "non-clique rejected" (Invalid_argument "Fn.clique_first_seq: not a clique")
+    (fun () ->
+      (* two vertices of the same cluster are non-adjacent *)
+      let cl = Graphlib.Clique.max_clique g in
+      let v = List.hd cl in
+      let non_neighbor =
+        List.find
+          (fun u -> u <> v && not (Graphlib.Ugraph.has_edge g u v))
+          (List.init 10 (fun i -> i))
+      in
+      ignore (Fn.clique_first_seq r [ v; non_neighbor ]))
+
+(* -------------------- f_H (Section 5) -------------------- *)
+
+let test_fh_postconditions () =
+  let g = Graphlib.Gen.with_clique_number ~n:12 ~omega:8 in
+  let r = Fh.reduce ~graph:g ~log2_a:8.0 () in
+  let inst = r.Fh.instance in
+  (* hub forced first *)
+  Alcotest.(check bool) "hjmin(t0) > M" true
+    (Logreal.compare (Logreal.pow r.Fh.t0 inst.Qo.Hash.nu) r.Fh.memory > 0);
+  (* hub connected to everyone *)
+  Alcotest.(check int) "hub degree" 12 (Graphlib.Ugraph.degree inst.Qo.Hash.graph r.Fh.v0);
+  (* t = a^{(n-1)/2} *)
+  Alcotest.(check (float 1e-6)) "t exponent" (11.0 /. 2.0 *. 8.0) (l2 r.Fh.t_size);
+  (* hub selectivities are 1/2 *)
+  Alcotest.(check (float 1e-9)) "hub selectivity" (-1.0) (l2 inst.Qo.Hash.sel.(r.Fh.v0).(0));
+  (* witness plan is a valid decomposition *)
+  let clique = Graphlib.Clique.max_clique g in
+  let seq, decomp = Fh.lemma12_plan r ~clique in
+  let cost = Qo.Hash.cost_of_decomposition inst seq decomp in
+  Alcotest.(check bool) "witness feasible" true (Logreal.compare cost Logreal.infinity < 0);
+  Alcotest.(check int) "witness starts at hub" r.Fh.v0 seq.(0);
+  Alcotest.check_raises "n not divisible by 3"
+    (Invalid_argument "Fh.reduce: n must be >= 6 and divisible by 3") (fun () ->
+      ignore (Fh.reduce ~graph:(Graphlib.Gen.with_clique_number ~n:10 ~omega:5) ~log2_a:8.0 ()))
+
+let test_fh_gap_exhaustive () =
+  (* exact optimum at n=6 respects L and G *)
+  let gy = Graphlib.Gen.with_clique_number ~n:6 ~omega:4 in
+  let gn = Graphlib.Gen.with_clique_number ~n:6 ~omega:3 in
+  let ry = Fh.reduce ~graph:gy ~log2_a:8.0 () in
+  let rn = Fh.reduce ~graph:gn ~log2_a:8.0 () in
+  let oy = (Qo.Hash.exhaustive ry.Fh.instance).Qo.Hash.cost in
+  let on_ = (Qo.Hash.exhaustive rn.Fh.instance).Qo.Hash.cost in
+  Alcotest.(check bool) "yes optimum within O(1) of L" true
+    (l2 oy -. l2 ry.Fh.l_bound < 24.0);
+  Alcotest.(check bool) "no optimum >= G within O(1)" true
+    (l2 on_ >= l2 (Fh.g_bound rn ~eps:0.5) -. 24.0);
+  Alcotest.(check bool) "yes < no" true (Logreal.compare oy on_ < 0)
+
+(* -------------------- sparse reductions (Section 6) -------------------- *)
+
+let test_fne () =
+  let n = 8 in
+  let g = Graphlib.Gen.with_clique_number ~n ~omega:6 in
+  let lo, hi = Fne.edge_budget ~graph:g ~k:2 in
+  Alcotest.(check bool) "budget sane" true (lo <= hi);
+  let e m = Stdlib.max lo (m + int_of_float (Float.pow (float_of_int m) 0.8)) in
+  let r = Fne.reduce ~graph:g ~c:0.75 ~d:0.25 ~k:2 ~e () in
+  Alcotest.(check int) "m = n^k" 64 r.Fne.m;
+  Alcotest.(check int) "edge count exact" (e 64) (Graphlib.Ugraph.edge_count r.Fne.instance.NL.graph);
+  Alcotest.(check bool) "query graph connected" true
+    (Graphlib.Ugraph.is_connected r.Fne.instance.NL.graph);
+  (* witness sequence: a valid permutation without cartesian products *)
+  let clique = Graphlib.Clique.max_clique g in
+  let seq = Fne.witness_seq r ~clique in
+  Alcotest.(check int) "witness length" r.Fne.m (Array.length seq);
+  Alcotest.(check bool) "witness avoids cartesian products" false
+    (NL.has_cartesian r.Fne.instance seq);
+  Alcotest.check_raises "unachievable budget"
+    (Invalid_argument
+       (Printf.sprintf "Fne.reduce: e(m)=%d outside achievable [%d,%d]" (lo - 1) lo hi))
+    (fun () -> ignore (Fne.reduce ~graph:g ~c:0.75 ~d:0.25 ~k:2 ~e:(fun _ -> lo - 1) ()))
+
+let test_fhe () =
+  let n = 6 in
+  let g = Graphlib.Gen.with_clique_number ~n ~omega:4 in
+  let lo, _ = Fhe.edge_budget ~graph:g ~k:2 in
+  let e m = Stdlib.max lo (m + m / 2) in
+  let r = Fhe.reduce ~graph:g ~k:2 ~e () in
+  Alcotest.(check int) "m = n^k" 36 r.Fhe.m;
+  Alcotest.(check int) "edges exact" (e 36) (Graphlib.Ugraph.edge_count r.Fhe.instance.Qo.Hash.graph);
+  let clique = Graphlib.Clique.max_clique g in
+  let seq, decomp = Fhe.witness_plan r ~clique in
+  let cost = Qo.Hash.cost_of_decomposition r.Fhe.instance seq decomp in
+  Alcotest.(check bool) "witness feasible" true (Logreal.compare cost Logreal.infinity < 0);
+  (* witness cost stays within O(1) powers of the embedded L bound *)
+  Alcotest.(check bool) "witness ~ L" true
+    (l2 cost -. l2 r.Fhe.fh.Fh.l_bound < 3.0 *. r.Fhe.fh.Fh.log2_a)
+
+(* -------------------- Appendix A: PARTITION -> SPPCS -------------------- *)
+
+let gen_partition_even =
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let* bs = list_size (return n) (int_range 0 12) in
+    let total = List.fold_left ( + ) 0 bs in
+    let bs = if total mod 2 = 1 then (List.hd bs + 1) :: List.tl bs else bs in
+    if List.fold_left ( + ) 0 bs < 2 then return [ 1; 1 ] else return bs)
+
+let prop_partition_to_sppcs_equiv =
+  QCheck2.Test.make ~name:"PARTITION <=> SPPCS through the reduction" ~count:60
+    gen_partition_even (fun bs ->
+      let r = Partition_to_sppcs.reduce bs in
+      Sqo.Partition.decide bs = Sqo.Sppcs.decide r.Partition_to_sppcs.sppcs)
+
+let prop_partition_witness_maps =
+  QCheck2.Test.make ~name:"PARTITION witness maps to an SPPCS witness" ~count:60
+    gen_partition_even (fun bs ->
+      match Sqo.Partition.solve bs with
+      | None -> true
+      | Some subset ->
+          let r = Partition_to_sppcs.reduce bs in
+          let a = Partition_to_sppcs.witness_of_partition r subset in
+          Bignum.Bignat.compare
+            (Sqo.Sppcs.objective r.Partition_to_sppcs.sppcs a)
+            r.Partition_to_sppcs.sppcs.Sqo.Sppcs.target
+          <= 0)
+
+(* -------------------- Appendix B: SPPCS -> SQO-CP -------------------- *)
+
+let gen_sppcs_wlog =
+  QCheck2.Gen.(
+    let* m = int_range 2 4 in
+    let* pairs = list_size (return m) (pair (int_range 2 5) (int_range 1 12)) in
+    let* target = int_range 1 60 in
+    return (Sqo.Sppcs.make_ints pairs ~target))
+
+let prop_sppcs_to_sqocp_equiv =
+  QCheck2.Test.make ~name:"SPPCS <=> SQO-CP through the reduction" ~count:40 gen_sppcs_wlog
+    (fun src ->
+      let r = Sppcs_to_sqocp.reduce src in
+      Sppcs_to_sqocp.check_invariants r;
+      (* the reduction clamps the target at U-1; compare against the
+         clamped source *)
+      Sqo.Sppcs.decide r.Sppcs_to_sqocp.source = Sppcs_to_sqocp.decide r)
+
+let prop_appendix_chain =
+  QCheck2.Test.make ~name:"full appendix chain consistent" ~count:25 gen_partition_even
+    (fun bs ->
+      QCheck2.assume (List.length bs <= 4);
+      let ch = Chain.appendix bs in
+      ch.Chain.partitionable = ch.Chain.sppcs_yes && ch.Chain.sppcs_yes = ch.Chain.sqocp_yes)
+
+(* -------------------- Theorem chains -------------------- *)
+
+let test_theorem9_chain () =
+  let sat_f = Sat.Gen.planted ~seed:2 ~nvars:6 ~nclauses:16 in
+  let ch = Chain.theorem9 sat_f in
+  Alcotest.(check bool) "sat detected" true ch.Chain.satisfiable;
+  (match ch.Chain.witness_cost with
+  | Some c -> Alcotest.(check bool) "witness finite" true (Logreal.compare c Logreal.infinity < 0)
+  | None -> Alcotest.fail "witness expected");
+  let ch_u = Chain.theorem9 (Sat.Gen.all_sign_blocks ~blocks:2) in
+  Alcotest.(check bool) "unsat detected" false ch_u.Chain.satisfiable;
+  Alcotest.(check bool) "no witness" true (ch_u.Chain.witness_cost = None)
+
+let test_theorem15_chain () =
+  let sat_f = Sat.Gen.planted ~seed:3 ~nvars:6 ~nclauses:16 in
+  let ch = Chain.theorem15 sat_f in
+  Alcotest.(check bool) "sat" true ch.Chain.satisfiable;
+  (match ch.Chain.witness_cost with
+  | Some c ->
+      Alcotest.(check bool) "witness within O(1) of L" true
+        (l2 c -. l2 ch.Chain.fh.Fh.l_bound < 3.0 *. ch.Chain.fh.Fh.log2_a)
+  | None -> Alcotest.fail "witness expected")
+
+let test_sparse_chains () =
+  (* one-block sparse end-to-end compositions: structurally correct;
+     the certified YES/NO separation needs ~14 blocks (m ~ 850k query
+     relations), beyond dense-matrix reach - see EXPERIMENTS.md E5/E6 *)
+  let f = Sat.Gen.planted_blocks ~seed:2 ~blocks:1 in
+  let ch = Chain.theorem16 ~k:2 ~tau:0.8 f in
+  Alcotest.(check bool) "thm16 sat" true ch.Chain.satisfiable;
+  Alcotest.(check int) "thm16 m = n^2" (ch.Chain.lemma3.Lemma3.n * ch.Chain.lemma3.Lemma3.n)
+    ch.Chain.fne.Fne.m;
+  Alcotest.(check int) "thm16 edges exact" ch.Chain.fne.Fne.edges
+    (Graphlib.Ugraph.edge_count ch.Chain.fne.Fne.instance.NL.graph);
+  (match ch.Chain.witness_cost with
+  | None -> Alcotest.fail "witness expected"
+  | Some c ->
+      (* the V2 extension contributes alpha^{O(1)} above K_{c,d}
+         (Theorem 16 proof sketch); 8 powers is ample *)
+      Alcotest.(check bool) "thm16 witness within alpha^O(1) of K" true
+        (l2 c -. l2 ch.Chain.fne.Fne.k_cd < 8.0 *. ch.Chain.fne.Fne.log2_alpha));
+  let ch17 = Chain.theorem17 ~k:2 ~tau:0.8 f in
+  Alcotest.(check bool) "thm17 sat" true ch17.Chain.satisfiable;
+  Alcotest.(check int) "thm17 edges exact" ch17.Chain.fhe.Fhe.edges
+    (Graphlib.Ugraph.edge_count ch17.Chain.fhe.Fhe.instance.Qo.Hash.graph);
+  match ch17.Chain.witness_cost with
+  | None -> Alcotest.fail "witness expected"
+  | Some c ->
+      Alcotest.(check bool) "thm17 witness within O(1) powers of L" true
+        (l2 c -. l2 ch17.Chain.fhe.Fhe.fh.Fh.l_bound < 8.0 *. ch17.Chain.fhe.Fhe.fh.Fh.log2_a)
+
+let () =
+  Alcotest.run "reductions"
+    [
+      ( "sat_to_vc",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_vc_reduction_yes; prop_vc_reduction_iff; prop_vc_unsat_excess ] );
+      ( "lemmas 3+4",
+        [ Alcotest.test_case "unsat bound tight" `Quick test_lemma3_unsat_bound ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_lemma3_exact; prop_lemma4_exact ] );
+      ( "f_N",
+        [
+          Alcotest.test_case "postconditions" `Quick test_fn_postconditions;
+          Alcotest.test_case "clique_first_seq validation" `Quick test_clique_first_rejects;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_fn_gap_small ] );
+      ( "f_H",
+        [
+          Alcotest.test_case "postconditions" `Quick test_fh_postconditions;
+          Alcotest.test_case "exhaustive gap at n=6" `Quick test_fh_gap_exhaustive;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "f_Ne" `Quick test_fne;
+          Alcotest.test_case "f_He" `Quick test_fhe;
+        ] );
+      ( "appendix",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_partition_to_sppcs_equiv;
+            prop_partition_witness_maps;
+            prop_sppcs_to_sqocp_equiv;
+            prop_appendix_chain;
+          ] );
+      ( "chains",
+        [
+          Alcotest.test_case "theorem 9" `Quick test_theorem9_chain;
+          Alcotest.test_case "theorem 15" `Quick test_theorem15_chain;
+          Alcotest.test_case "theorems 16+17 (sparse)" `Slow test_sparse_chains;
+        ] );
+    ]

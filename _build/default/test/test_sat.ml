@@ -1,0 +1,271 @@
+(* Tests for the SAT substrate: CNF, DPLL, MaxSAT, generators,
+   occurrence bounding, WalkSAT, DIMACS. *)
+
+open Sat
+
+(* Brute-force satisfiability / MaxSAT for cross-checking. *)
+let brute f =
+  let n = Cnf.nvars f in
+  let best = ref 0 in
+  let a = Array.make (n + 1) false in
+  for mask = 0 to (1 lsl n) - 1 do
+    for v = 1 to n do
+      a.(v) <- (mask lsr (v - 1)) land 1 = 1
+    done;
+    best := max !best (Cnf.count_satisfied f a)
+  done;
+  !best
+
+let gen_small_cnf =
+  QCheck2.Gen.(
+    let* nvars = int_range 3 6 in
+    let* nclauses = int_range 1 12 in
+    let lit = map2 (fun v s -> if s then v else -v) (int_range 1 nvars) bool in
+    let clause =
+      let* a = lit and* b = lit and* c = lit in
+      return [ a; b; c ]
+    in
+    let* raw = list_size (return nclauses) clause in
+    (* drop tautological clauses, dedup literals *)
+    let clean =
+      List.filter_map
+        (fun c ->
+          let c = List.sort_uniq compare c in
+          if List.exists (fun l -> List.mem (-l) c) c then None else Some c)
+        raw
+    in
+    if clean = [] then return (Cnf.make ~nvars [ [ 1 ] ]) else return (Cnf.make ~nvars clean))
+
+let test_cnf_validation () =
+  Alcotest.check_raises "empty clause" (Invalid_argument "Cnf.make: empty clause") (fun () ->
+      ignore (Cnf.make ~nvars:2 [ [] ]));
+  Alcotest.check_raises "tautology" (Invalid_argument "Cnf.make: tautological clause") (fun () ->
+      ignore (Cnf.make ~nvars:2 [ [ 1; -1 ] ]));
+  Alcotest.check_raises "range" (Invalid_argument "Cnf.make: literal 5 out of range (nvars=2)")
+    (fun () -> ignore (Cnf.make ~nvars:2 [ [ 5 ] ]));
+  let f = Cnf.make ~nvars:3 [ [ 1; 1; 2 ] ] in
+  Alcotest.(check int) "dedup literals" 2 (Array.length f.Cnf.clauses.(0))
+
+let test_eval () =
+  let f = Cnf.make ~nvars:3 [ [ 1; -2 ]; [ 2; 3 ]; [ -1; -3 ] ] in
+  let a = [| false; true; true; false |] in
+  Alcotest.(check int) "count" 3 (Cnf.count_satisfied f a);
+  Alcotest.(check bool) "satisfies" true (Cnf.satisfies f a);
+  a.(1) <- false;
+  Alcotest.(check int) "count after flip" 2 (Cnf.count_satisfied f a)
+
+let test_occurrences () =
+  let f = Cnf.make ~nvars:3 [ [ 1; 2; 3 ]; [ -1; 2; -3 ]; [ 1; -2; 3 ] ] in
+  Alcotest.(check (array int)) "occurrences" [| 0; 3; 3; 3 |] (Cnf.occurrences f);
+  Alcotest.(check int) "max occurrence" 3 (Cnf.max_occurrence f);
+  Alcotest.(check bool) "is_3sat13" true (Cnf.is_3sat13 f);
+  Alcotest.(check bool) "3cnf" true (Cnf.is_3cnf f)
+
+let test_conjunction () =
+  let a = Cnf.make ~nvars:2 [ [ 1; 2 ] ] in
+  let b = Cnf.make ~nvars:2 [ [ -1; 2 ] ] in
+  let c = Cnf.conjunction a b in
+  Alcotest.(check int) "nvars" 4 (Cnf.nvars c);
+  Alcotest.(check int) "nclauses" 2 (Cnf.nclauses c);
+  Alcotest.(check (array int)) "shifted" [| -3; 4 |] c.Cnf.clauses.(1)
+
+let prop_dpll_complete =
+  QCheck2.Test.make ~name:"DPLL agrees with brute force" ~count:300 gen_small_cnf (fun f ->
+      Dpll.is_satisfiable f = (brute f = Cnf.nclauses f))
+
+let prop_dpll_model_valid =
+  QCheck2.Test.make ~name:"DPLL models satisfy the formula" ~count:300 gen_small_cnf (fun f ->
+      match Dpll.solve f with
+      | Dpll.Sat a -> Cnf.satisfies f a
+      | Dpll.Unsat -> true)
+
+let prop_maxsat_exact =
+  QCheck2.Test.make ~name:"MaxSAT matches brute force" ~count:150 gen_small_cnf (fun f ->
+      Maxsat.max_satisfiable f = brute f)
+
+let prop_maxsat_assignment =
+  QCheck2.Test.make ~name:"MaxSAT best assignment achieves its count" ~count:150 gen_small_cnf
+    (fun f ->
+      let a, k = Maxsat.best_assignment f in
+      Cnf.count_satisfied f a = k)
+
+let test_planted_satisfiable () =
+  for seed = 1 to 10 do
+    let f = Gen.planted ~seed ~nvars:20 ~nclauses:80 in
+    Alcotest.(check bool) "planted is sat" true (Dpll.is_satisfiable f)
+  done
+
+let test_all_sign_blocks () =
+  let f = Gen.all_sign_blocks ~blocks:2 in
+  Alcotest.(check int) "nvars" 6 (Cnf.nvars f);
+  Alcotest.(check int) "nclauses" 16 (Cnf.nclauses f);
+  Alcotest.(check bool) "unsat" false (Dpll.is_satisfiable f);
+  Alcotest.(check int) "maxsat = 7/8 exactly" 14 (Maxsat.max_satisfiable f);
+  Alcotest.(check bool) "within 3SAT(13)" true (Cnf.is_3sat13 f);
+  Alcotest.(check (float 1e-9)) "fraction" (7.0 /. 8.0) (Maxsat.max_fraction f)
+
+let test_pigeonhole () =
+  Alcotest.(check bool) "php 4-3 unsat" false (Dpll.is_satisfiable (Gen.pigeonhole ~holes:3));
+  Alcotest.(check bool) "php 3-2 unsat" false (Dpll.is_satisfiable (Gen.pigeonhole ~holes:2))
+
+let prop_bounded13 =
+  QCheck2.Test.make ~name:"Bounded13 equisatisfiable and occurrence-bounded" ~count:100
+    gen_small_cnf (fun f ->
+      let g = Bounded13.transform f in
+      Cnf.max_occurrence g <= 13 && Dpll.is_satisfiable g = Dpll.is_satisfiable f)
+
+let test_bounded13_dense () =
+  let clauses = List.init 40 (fun i -> [ 1; (if i mod 2 = 0 then 2 else -2); 3 ]) in
+  let f = Cnf.make ~nvars:3 clauses in
+  Alcotest.(check bool) "source above 13" true (Cnf.max_occurrence f > 13);
+  let g, map = Bounded13.transform_with_map f in
+  Alcotest.(check bool) "bounded" true (Cnf.max_occurrence g <= 13);
+  Alcotest.(check bool) "equisatisfiable" (Dpll.is_satisfiable f) (Dpll.is_satisfiable g);
+  (match Dpll.solve g with
+  | Dpll.Sat a ->
+      let proj = Array.make (Cnf.nvars f + 1) false in
+      for v = 1 to Cnf.nvars f do
+        proj.(v) <- a.(map.(v))
+      done;
+      Alcotest.(check bool) "projection satisfies source" true (Cnf.satisfies f proj)
+  | Dpll.Unsat -> Alcotest.fail "expected satisfiable")
+
+let test_walksat () =
+  let f = Gen.planted ~seed:3 ~nvars:25 ~nclauses:90 in
+  (match Walksat.solve ~seed:1 ~max_flips:200_000 f with
+  | Some a -> Alcotest.(check bool) "walksat model valid" true (Cnf.satisfies f a)
+  | None -> ());
+  let _, best = Walksat.best_found ~seed:1 (Gen.all_sign_blocks ~blocks:2) in
+  Alcotest.(check bool) "walksat cannot exceed maxsat" true (best <= 14)
+
+let test_dimacs_roundtrip () =
+  let f = Gen.planted ~seed:9 ~nvars:12 ~nclauses:30 in
+  let g = Dimacs.parse (Dimacs.print f) in
+  Alcotest.(check int) "nvars" (Cnf.nvars f) (Cnf.nvars g);
+  Alcotest.(check int) "nclauses" (Cnf.nclauses f) (Cnf.nclauses g);
+  Alcotest.(check bool) "same satisfiability" (Dpll.is_satisfiable f) (Dpll.is_satisfiable g)
+
+let test_dimacs_parse () =
+  let f = Dimacs.parse "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  Alcotest.(check int) "nvars" 3 (Cnf.nvars f);
+  Alcotest.(check int) "nclauses" 2 (Cnf.nclauses f);
+  Alcotest.check_raises "clause count mismatch"
+    (Invalid_argument "Dimacs.parse: header says 5 clauses, found 1") (fun () ->
+      ignore (Dimacs.parse "p cnf 2 5\n1 2 0\n"))
+
+let prop_dpll_stats =
+  QCheck2.Test.make ~name:"decision count nonnegative" ~count:50 gen_small_cnf (fun f ->
+      snd (Dpll.solve_with_stats f) >= 0)
+
+(* -------------------- Simplify -------------------- *)
+
+let prop_simplify_equisat =
+  QCheck2.Test.make ~name:"simplification preserves satisfiability" ~count:300 gen_small_cnf
+    (fun f -> Simplify.equisatisfiable f = Dpll.is_satisfiable f)
+
+let prop_simplify_models_extend =
+  QCheck2.Test.make ~name:"models of the residue extend to the input" ~count:200 gen_small_cnf
+    (fun f ->
+      let r = Simplify.simplify f in
+      if r.Simplify.trivially_unsat then not (Dpll.is_satisfiable f)
+      else
+        match r.Simplify.simplified with
+        | None ->
+            (* trivially satisfied: the forced+pure assignment works *)
+            let a = Simplify.extend_model r (Array.make (Cnf.nvars f + 1) false) in
+            Cnf.satisfies f a
+        | Some g -> (
+            match Dpll.solve g with
+            | Dpll.Unsat -> not (Dpll.is_satisfiable f)
+            | Dpll.Sat a -> Cnf.satisfies f (Simplify.extend_model r a)))
+
+let test_simplify_cases () =
+  (* unit chain: x1, x1->x2, x2->x3 collapses entirely *)
+  let f = Cnf.make ~nvars:3 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] in
+  let r = Simplify.simplify f in
+  Alcotest.(check bool) "trivially sat" true r.Simplify.trivially_sat;
+  Alcotest.(check (list int)) "forced chain" [ 1; 2; 3 ] (List.sort compare (r.Simplify.forced @ r.Simplify.pure));
+  (* contradiction *)
+  let g = Cnf.make ~nvars:1 [ [ 1 ]; [ -1 ] ] in
+  Alcotest.(check bool) "trivially unsat" true (Simplify.simplify g).Simplify.trivially_unsat;
+  (* subsumption: (1|2) subsumes (1|2|3) *)
+  let h = Cnf.make ~nvars:4 [ [ 1; 2 ]; [ 1; 2; 3 ]; [ -1; 4 ]; [ -2; -4 ]; [-1; -2] ] in
+  let rh = Simplify.simplify h in
+  Alcotest.(check bool) "removed some clauses" true (rh.Simplify.removed_clauses > 0)
+
+(* -------------------- CDCL -------------------- *)
+
+let prop_cdcl_complete =
+  QCheck2.Test.make ~name:"CDCL agrees with brute force" ~count:300 gen_small_cnf (fun f ->
+      Cdcl.is_satisfiable f = (brute f = Cnf.nclauses f))
+
+let prop_cdcl_model_valid =
+  QCheck2.Test.make ~name:"CDCL models satisfy the formula" ~count:300 gen_small_cnf (fun f ->
+      match Cdcl.solve f with
+      | Cdcl.Sat a -> Cnf.satisfies f a
+      | Cdcl.Unsat -> true)
+
+let prop_cdcl_matches_dpll =
+  QCheck2.Test.make ~name:"CDCL agrees with DPLL on random 3SAT" ~count:200
+    QCheck2.Gen.(triple (int_range 3 12) (int_range 3 45) (int_range 0 100000))
+    (fun (nvars, nclauses, seed) ->
+      let f = Gen.random_3sat ~seed ~nvars ~nclauses in
+      Cdcl.is_satisfiable f = Dpll.is_satisfiable f)
+
+let test_cdcl_structured () =
+  Alcotest.(check bool) "all-sign blocks unsat" false
+    (Cdcl.is_satisfiable (Gen.all_sign_blocks ~blocks:6));
+  Alcotest.(check bool) "php(7,6) unsat" false (Cdcl.is_satisfiable (Gen.pigeonhole ~holes:6));
+  let f = Gen.planted ~seed:11 ~nvars:150 ~nclauses:450 in
+  (match Cdcl.solve_with_stats f with
+  | Cdcl.Sat a, st ->
+      Alcotest.(check bool) "planted model valid" true (Cnf.satisfies f a);
+      Alcotest.(check bool) "stats sane" true
+        (st.Cdcl.decisions >= 0 && st.Cdcl.learned = st.Cdcl.conflicts)
+  | Cdcl.Unsat, _ -> Alcotest.fail "planted must be satisfiable");
+  (* trivia *)
+  (match Cdcl.solve (Cnf.make ~nvars:1 [ [ 1 ] ]) with
+  | Cdcl.Sat a -> Alcotest.(check bool) "unit" true a.(1)
+  | Cdcl.Unsat -> Alcotest.fail "unit sat");
+  Alcotest.(check bool) "contradiction" false
+    (Cdcl.is_satisfiable (Cnf.make ~nvars:1 [ [ 1 ]; [ -1 ] ]))
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "cnf",
+        [
+          Alcotest.test_case "validation" `Quick test_cnf_validation;
+          Alcotest.test_case "evaluation" `Quick test_eval;
+          Alcotest.test_case "occurrences" `Quick test_occurrences;
+          Alcotest.test_case "conjunction" `Quick test_conjunction;
+        ] );
+      ( "dpll",
+        [ Alcotest.test_case "pigeonhole" `Quick test_pigeonhole ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_dpll_complete; prop_dpll_model_valid; prop_dpll_stats ] );
+      ( "maxsat",
+        List.map QCheck_alcotest.to_alcotest [ prop_maxsat_exact; prop_maxsat_assignment ] );
+      ( "generators",
+        [
+          Alcotest.test_case "planted satisfiable" `Quick test_planted_satisfiable;
+          Alcotest.test_case "all-sign blocks" `Quick test_all_sign_blocks;
+        ] );
+      ( "bounded13",
+        [ Alcotest.test_case "dense split" `Quick test_bounded13_dense ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_bounded13 ] );
+      ("walksat", [ Alcotest.test_case "planted + cap" `Quick test_walksat ]);
+      ( "cdcl",
+        [ Alcotest.test_case "structured instances" `Quick test_cdcl_structured ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_cdcl_complete; prop_cdcl_model_valid; prop_cdcl_matches_dpll ] );
+      ( "simplify",
+        [ Alcotest.test_case "cases" `Quick test_simplify_cases ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_simplify_equisat; prop_simplify_models_extend ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "parse" `Quick test_dimacs_parse;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the SQO-CP star-query model, SPPCS and PARTITION. *)
+
+open Sqo
+open Bignum
+
+let bigq = Alcotest.testable (fun fmt q -> Bigq.pp fmt q) Bigq.equal
+
+(* -------------------- PARTITION -------------------- *)
+
+let brute_partition bs =
+  let arr = Array.of_list bs in
+  let n = Array.length arr in
+  let total = List.fold_left ( + ) 0 bs in
+  if total mod 2 <> 0 then false
+  else begin
+    let found = ref false in
+    for mask = 0 to (1 lsl n) - 1 do
+      let s = ref 0 in
+      for i = 0 to n - 1 do
+        if (mask lsr i) land 1 = 1 then s := !s + arr.(i)
+      done;
+      if 2 * !s = total then found := true
+    done;
+    !found
+  end
+
+let prop_partition_exact =
+  QCheck2.Test.make ~name:"partition DP matches brute force" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 10) (int_range 0 30))
+    (fun bs ->
+      QCheck2.assume (List.fold_left ( + ) 0 bs mod 2 = 0);
+      Partition.decide bs = brute_partition bs)
+
+let prop_partition_witness =
+  QCheck2.Test.make ~name:"partition witness sums to half" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 10) (int_range 0 30))
+    (fun bs ->
+      QCheck2.assume (List.fold_left ( + ) 0 bs mod 2 = 0);
+      match Partition.solve bs with
+      | None -> true
+      | Some idx ->
+          let arr = Array.of_list bs in
+          let s = List.fold_left (fun acc i -> acc + arr.(i)) 0 idx in
+          2 * s = List.fold_left ( + ) 0 bs)
+
+let test_partition_families () =
+  for seed = 1 to 8 do
+    Alcotest.(check bool) "yes family" true
+      (Partition.decide (Partition.yes_instance ~seed ~n:9 ~max:40))
+  done;
+  Alcotest.(check bool) "no family" false (Partition.decide (Partition.no_instance ~n:10));
+  Alcotest.check_raises "odd total rejected" (Invalid_argument "Partition.solve: odd total")
+    (fun () -> ignore (Partition.solve [ 1; 2 ]))
+
+(* -------------------- SPPCS -------------------- *)
+
+let brute_sppcs (t : Sppcs.t) =
+  let m = Array.length t.Sppcs.pairs in
+  let best = ref None in
+  for mask = 0 to (1 lsl m) - 1 do
+    let a = List.filter (fun i -> (mask lsr i) land 1 = 1) (List.init m (fun i -> i)) in
+    let v = Sppcs.objective t a in
+    match !best with
+    | Some b when Bignat.compare b v <= 0 -> ()
+    | _ -> best := Some v
+  done;
+  Option.get !best
+
+let gen_sppcs =
+  QCheck2.Gen.(
+    let* m = int_range 1 8 in
+    let* pairs = list_size (return m) (pair (int_range 1 9) (int_range 0 20)) in
+    let* target = int_range 0 200 in
+    return (Sppcs.make_ints pairs ~target))
+
+let prop_sppcs_best =
+  QCheck2.Test.make ~name:"SPPCS branch-and-bound finds the true minimum" ~count:150 gen_sppcs
+    (fun t ->
+      let _, v = Sppcs.best_subset t in
+      Bignat.equal v (brute_sppcs t))
+
+let prop_sppcs_decide =
+  QCheck2.Test.make ~name:"SPPCS decision = minimum <= target" ~count:150 gen_sppcs (fun t ->
+      Sppcs.decide t = (Bignat.compare (brute_sppcs t) t.Sppcs.target <= 0))
+
+let prop_sppcs_witness =
+  QCheck2.Test.make ~name:"SPPCS witness achieves the target" ~count:150 gen_sppcs (fun t ->
+      match Sppcs.solve t with
+      | None -> true
+      | Some a -> Bignat.compare (Sppcs.objective t a) t.Sppcs.target <= 0)
+
+let test_sppcs_validation () =
+  Alcotest.check_raises "zero p rejected" (Invalid_argument "Sppcs.make: p_i must be >= 1")
+    (fun () -> ignore (Sppcs.make_ints [ (0, 5) ] ~target:10));
+  (* objective: empty set = sum of all c; full set = product of all p *)
+  let t = Sppcs.make_ints [ (2, 3); (4, 5) ] ~target:100 in
+  Alcotest.(check string) "empty" "9" (Bignat.to_string (Sppcs.objective t []));
+  Alcotest.(check string) "full" "8" (Bignat.to_string (Sppcs.objective t [ 0; 1 ]));
+  Alcotest.(check string) "mixed" "7" (Bignat.to_string (Sppcs.objective t [ 0 ]))
+
+(* -------------------- Star / SQO-CP -------------------- *)
+
+let gen_star =
+  QCheck2.Gen.(
+    let* m = int_range 2 5 in
+    let* seed = int_range 0 100000 in
+    let st = Random.State.make [| seed |] in
+    let nt = Array.init (m + 1) (fun _ -> Bignat.of_int (2 + Random.State.int st 60)) in
+    let bp = Array.map (fun n -> Bignat.max Bignat.one (Bignat.div n Bignat.two)) nt in
+    let sc = Array.map (fun b -> Bignat.mul_int b 4) bp in
+    let sel =
+      Array.init (m + 1) (fun i ->
+          if i = 0 then Bigq.one else Bigq.of_ints 1 (1 + Random.State.int st 12))
+    in
+    let w =
+      Array.init (m + 1) (fun i ->
+          if i = 0 then Bignat.zero else Bignat.of_int (1 + Random.State.int st 25))
+    in
+    let w0 =
+      Array.init (m + 1) (fun i ->
+          if i = 0 then Bignat.zero else Bignat.of_int (1 + Random.State.int st 25))
+    in
+    return (Star.make ~ks:4 ~ntuples:nt ~bpages:bp ~sort_cost:sc ~sel ~w ~w0))
+
+let prop_star_dp_exact =
+  QCheck2.Test.make ~name:"subset DP = exhaustive on star queries" ~count:80 gen_star (fun t ->
+      let cd, pd = Star.optimal t and ce, _ = Star.optimal_exhaustive t in
+      Bigq.equal cd ce && Star.is_feasible t pd && Bigq.equal (Star.cost t pd) cd)
+
+let prop_star_feasibility =
+  QCheck2.Test.make ~name:"feasibility detects cartesian products" ~count:50 gen_star (fun t ->
+      let m = t.Star.m in
+      let sats = List.init m (fun i -> (i + 1, Star.NL)) in
+      (* starting from satellite 1 without R_0 second is infeasible for m >= 2 *)
+      match sats with
+      | (s1, _) :: rest when rest <> [] ->
+          let bad = { Star.first = s1; joins = rest @ [ (0, Star.NL) ] } in
+          not (Star.is_feasible t bad)
+      | _ -> true)
+
+let test_star_hand_example () =
+  (* R_0: 10 tuples/5 pages; R_1: 20 tuples/10 pages, s_1 = 1/2, w_1 = 3,
+     w_{0,1} = 4, ks = 4, A_i = 4 * b_i.
+     Plans: R_0 then R_1 by NL: b_0 + w_1 n_0 = 5 + 30 = 35.
+            R_0 then R_1 by SM: A_0 + A_1 = 20 + 40 = 60.
+            R_1 then R_0 by NL: b_1 + w01 n_1 = 10 + 80 = 90.
+            R_1 then R_0 by SM: A_1 + A_0 = 60. *)
+  let nt = [| Bignat.of_int 10; Bignat.of_int 20 |] in
+  let bp = [| Bignat.of_int 5; Bignat.of_int 10 |] in
+  let sc = Array.map (fun b -> Bignat.mul_int b 4) bp in
+  let sel = [| Bigq.one; Bigq.of_ints 1 2 |] in
+  let w = [| Bignat.zero; Bignat.of_int 3 |] in
+  let w0 = [| Bignat.zero; Bignat.of_int 4 |] in
+  let t = Star.make ~ks:4 ~ntuples:nt ~bpages:bp ~sort_cost:sc ~sel ~w ~w0 in
+  Alcotest.(check bigq) "NL from R_0" (Bigq.of_int 35)
+    (Star.cost t { Star.first = 0; joins = [ (1, Star.NL) ] });
+  Alcotest.(check bigq) "SM from R_0" (Bigq.of_int 60)
+    (Star.cost t { Star.first = 0; joins = [ (1, Star.SM) ] });
+  Alcotest.(check bigq) "NL from R_1" (Bigq.of_int 90)
+    (Star.cost t { Star.first = 1; joins = [ (0, Star.NL) ] });
+  let c, p = Star.optimal t in
+  Alcotest.(check bigq) "optimal = 35" (Bigq.of_int 35) c;
+  Alcotest.(check int) "optimal starts R_0" 0 p.Star.first;
+  Alcotest.(check bool) "decide at threshold" true (Star.decide t ~threshold:(Bignat.of_int 35));
+  Alcotest.(check bool) "decide below" false (Star.decide t ~threshold:(Bignat.of_int 34))
+
+let test_star_intermediate () =
+  let nt = [| Bignat.of_int 10; Bignat.of_int 20; Bignat.of_int 30 |] in
+  let bp = [| Bignat.of_int 5; Bignat.of_int 10; Bignat.of_int 15 |] in
+  let sc = Array.map (fun b -> Bignat.mul_int b 4) bp in
+  let sel = [| Bigq.one; Bigq.of_ints 1 2; Bigq.of_ints 1 3 |] in
+  let w = [| Bignat.zero; Bignat.of_int 3; Bignat.of_int 4 |] in
+  let w0 = [| Bignat.zero; Bignat.of_int 4; Bignat.of_int 5 |] in
+  let t = Star.make ~ks:4 ~ntuples:nt ~bpages:bp ~sort_cost:sc ~sel ~w ~w0 in
+  (* n({0,1,2}) = 10 * 20/2 * 30/3 = 1000 *)
+  Alcotest.(check bigq) "n(all)" (Bigq.of_int 1000) (Star.intermediate_tuples t [ 0; 1; 2 ]);
+  Alcotest.(check bigq) "singleton" (Bigq.of_int 20) (Star.intermediate_tuples t [ 1 ]);
+  Alcotest.check_raises "cartesian prefix rejected"
+    (Invalid_argument "Star.intermediate_tuples: prefix without R_0 is a cartesian product")
+    (fun () -> ignore (Star.intermediate_tuples t [ 1; 2 ]))
+
+let test_star_render () =
+  let nt = [| Bignat.of_int 10; Bignat.of_int 20; Bignat.of_int 30 |] in
+  let bp = [| Bignat.of_int 5; Bignat.of_int 10; Bignat.of_int 15 |] in
+  let sc = Array.map (fun b -> Bignat.mul_int b 4) bp in
+  let sel = [| Bigq.one; Bigq.of_ints 1 2; Bigq.of_ints 1 3 |] in
+  let w = [| Bignat.zero; Bignat.of_int 3; Bignat.of_int 4 |] in
+  let w0 = [| Bignat.zero; Bignat.of_int 4; Bignat.of_int 5 |] in
+  let t = Star.make ~ks:4 ~ntuples:nt ~bpages:bp ~sort_cost:sc ~sel ~w ~w0 in
+  let _, p = Star.optimal t in
+  let txt = Star.render t p in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Alcotest.(check bool) "mentions total cost" true (contains txt "total cost");
+  Alcotest.(check bool) "mentions operators" true (contains txt "by NL" || contains txt "by SM");
+  Alcotest.check_raises "infeasible rejected" (Invalid_argument "Star.render: infeasible plan")
+    (fun () -> ignore (Star.render t { Star.first = 1; joins = [ (2, Star.NL); (0, Star.NL) ] }))
+
+let () =
+  Alcotest.run "sqo"
+    [
+      ( "partition",
+        [ Alcotest.test_case "families and errors" `Quick test_partition_families ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_partition_exact; prop_partition_witness ] );
+      ( "sppcs",
+        [ Alcotest.test_case "validation and objective" `Quick test_sppcs_validation ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_sppcs_best; prop_sppcs_decide; prop_sppcs_witness ] );
+      ( "star",
+        [
+          Alcotest.test_case "hand example" `Quick test_star_hand_example;
+          Alcotest.test_case "intermediates" `Quick test_star_intermediate;
+          Alcotest.test_case "render" `Quick test_star_render;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_star_dp_exact; prop_star_feasibility ] );
+    ]
