@@ -191,15 +191,63 @@ let scaling_series () =
         (if Float.is_nan dpll then "skipped" else Printf.sprintf "%.4f" dpll))
     [ 40; 80; 160; 320 ]
 
+(* ------------------------------------------------------------------ *)
+(* Sequential-vs-parallel: the layer-parallel subset DP must be
+   bit-identical to the sequential DP, and the wall-clock ratio on the
+   E1-sized instances documents the speedup (≥ 1.5x expected with
+   --jobs 4 on a 4-core host; ~1.0x on a single core). *)
+
+let parallel_dp_check ~jobs =
+  Printf.printf "\n== Parallel subset DP: equivalence + speedup (jobs=%d) ==\n" jobs;
+  Printf.printf "%6s %12s %12s %9s %12s\n" "n" "seq (s)" "par (s)" "speedup" "bit-identical";
+  let mismatches = ref 0 in
+  Pool.with_pool ~jobs (fun pool ->
+      List.iter
+        (fun n ->
+          let r = fn_instance ~n ~omega:(3 * n / 4) in
+          let t0 = Unix.gettimeofday () in
+          let seq = OL.dp r.Fn.instance in
+          let t_seq = Unix.gettimeofday () -. t0 in
+          let t0 = Unix.gettimeofday () in
+          let par = OL.dp ~pool r.Fn.instance in
+          let t_par = Unix.gettimeofday () -. t0 in
+          let same = Logreal.compare seq.OL.cost par.OL.cost = 0 && seq.OL.seq = par.OL.seq in
+          if not same then incr mismatches;
+          Printf.printf "%6d %12.4f %12.4f %8.2fx %12s\n" n t_seq t_par
+            (if t_par > 0.0 then t_seq /. t_par else Float.nan)
+            (if same then "yes" else "NO"))
+        [ 16; 18 ]);
+  !mismatches
+
 let () =
   let t0 = Unix.gettimeofday () in
+  let jobs =
+    let rec scan = function
+      | "--jobs" :: v :: _ | "-j" :: v :: _ -> int_of_string_opt v
+      | _ :: rest -> scan rest
+      | [] -> None
+    in
+    match scan (Array.to_list Sys.argv) with
+    | Some j when j >= 1 -> j
+    | Some _ -> Pool.recommended_jobs ()  (* --jobs 0: auto *)
+    | None -> ( match Pool.env_jobs () with Some j -> j | None -> 1)
+  in
   print_endline "=====================================================================";
   print_endline " Reproduction: 'On the Complexity of Approximate Query Optimization'";
   print_endline " Experiment tables E1..E10 (see EXPERIMENTS.md for the index)";
   print_endline "=====================================================================\n";
-  let results = Harness.Experiments.all () in
+  Printf.printf "(experiment harness running with --jobs %d; set QOPT_JOBS to override)\n\n" jobs;
+  let runs = Harness.Experiments.run_all ~jobs () in
+  let results = List.map (fun r -> (r.Harness.Experiments.name, r.Harness.Experiments.checks)) runs in
   let total = List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 results in
   let fails = Harness.Experiments.failures results in
+  Printf.printf "\n== Wall-clock per experiment (jobs=%d) ==\n" jobs;
+  List.iter
+    (fun r ->
+      Printf.printf "  %-4s %8.2fs  (%d checks)\n" r.Harness.Experiments.name
+        r.Harness.Experiments.seconds
+        (List.length r.Harness.Experiments.checks))
+    runs;
   Printf.printf "\n== Check summary: %d checks, %d failures (%.1fs) ==\n" total
     (List.length fails)
     (Unix.gettimeofday () -. t0);
@@ -208,6 +256,7 @@ let () =
       Printf.printf "  FAIL %s: %s (%s)\n" e c.Harness.Experiments.label
         c.Harness.Experiments.detail)
     fails;
+  let dp_mismatches = parallel_dp_check ~jobs:(Stdlib.max jobs 2) in
   run_benchmarks ();
   scaling_series ();
-  if fails <> [] then exit 1
+  if fails <> [] || dp_mismatches > 0 then exit 1

@@ -10,6 +10,19 @@
 
 open Cmdliner
 
+(* --jobs N / QOPT_JOBS: worker-domain count for the parallel paths
+   (0 = auto-detect via Domain.recommended_domain_count). *)
+let jobs_term =
+  let doc =
+    "Worker domains for the parallel paths (experiment suite, subset DP). 0 auto-detects \
+     the host's recommended domain count. Defaults to 1 (sequential); results are \
+     bit-identical at every setting."
+  in
+  let env = Cmd.Env.info "QOPT_JOBS" ~doc:"Default for $(b,--jobs)." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~env ~docv:"N" ~doc)
+
+let resolve_jobs jobs = if jobs <= 0 then Pool.recommended_jobs () else jobs
+
 let exit_of_fails fails =
   if fails = [] then 0
   else begin
@@ -30,7 +43,8 @@ let experiment_cmd =
       & pos 0 string "all"
       & info [] ~docv:"ID" ~doc:"Experiment id: e1..e15 or 'all'.")
   in
-  let run id =
+  let run id jobs =
+    let jobs = resolve_jobs jobs in
     let open Harness.Experiments in
     let pick = function
       | "e1" -> [ ("E1", e1_qon_gap ()) ]
@@ -48,7 +62,7 @@ let experiment_cmd =
       | "e13" -> [ ("E13", e13_nu_sweep ()) ]
       | "e14" -> [ ("E14", e14_tree_frontier ()) ]
       | "e15" -> [ ("E15", e15_printed_vs_reconstructed ()) ]
-      | "all" -> all ()
+      | "all" -> all ~jobs ()
       | other ->
           Printf.eprintf "unknown experiment %S\n" other;
           exit 2
@@ -61,7 +75,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run reproduction experiments (tables + checks)")
-    Term.(const run $ id)
+    Term.(const run $ id $ jobs_term)
 
 (* ---------------- solve ---------------- *)
 
@@ -92,11 +106,12 @@ let optimize_cmd =
   let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Query-graph vertices.") in
   let omega = Arg.(value & opt int 12 & info [ "omega" ] ~doc:"Planted clique number.") in
   let log2a = Arg.(value & opt float 8.0 & info [ "log2a" ] ~doc:"log2 of the parameter a.") in
-  let run n omega log2a =
+  let run n omega log2a jobs =
     if omega < 1 || omega > n then begin
       Printf.eprintf "omega must be in [1, n]\n";
       exit 2
     end;
+    let jobs = resolve_jobs jobs in
     let module OL = Qo.Instances.Opt_log in
     let g = Graphlib.Gen.with_clique_number ~n ~omega in
     let c = float_of_int omega /. float_of_int n in
@@ -110,7 +125,8 @@ let optimize_cmd =
     Printf.printf "f_N instance: n=%d omega=%d log2(t)=%.1f K_cd=2^%.1f\n" n omega
       (Logreal.to_log2 r.Reductions.Fn.t_size)
       (Logreal.to_log2 r.Reductions.Fn.k_cd);
-    if n <= 22 then show "exact (subset DP)" (OL.dp inst);
+    if n <= 22 then
+      Pool.with_pool ~jobs (fun pool -> show "exact (subset DP)" (OL.dp ~pool inst));
     show "greedy (min cost)" (OL.greedy ~mode:OL.Min_cost inst);
     show "greedy (min size)" (OL.greedy ~mode:OL.Min_size inst);
     show "iterative improve" (OL.iterative_improvement inst);
@@ -119,7 +135,7 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Build an f_N instance and compare the optimizer portfolio")
-    Term.(const run $ n $ omega $ log2a)
+    Term.(const run $ n $ omega $ log2a $ jobs_term)
 
 (* ---------------- shared instance building ---------------- *)
 
@@ -147,7 +163,11 @@ let explain_cmd =
     let module Opt = Qo.Instances.Opt_rat in
     let inst =
       match file with
-      | Some path -> Qo.Io.load_rat path
+      | Some path -> (
+          try Qo.Io.load_rat path
+          with Invalid_argument msg | Sys_error msg ->
+            Printf.eprintf "qopt: %s\n" msg;
+            exit 2)
       | None -> build_instance n seed shape
     in
     let best = Opt.dp inst in

@@ -1,11 +1,13 @@
 (* Exact maximum clique: branch and bound with greedy colouring bound
    (Tomita & Seki style, simplified). State sets are bitsets. *)
 
-(* Greedy colouring of the candidate set [p]: returns vertices in an
-   order such that the i-th vertex has colour bound [bounds.(i)]; a
-   clique inside the first i vertices has size <= bounds.(i). *)
-let colour_order g p =
-  let cap = Bitset.capacity p in
+(* Greedy colouring of the candidate set [p], capped: a vertex whose
+   colour bound is <= [cap] cannot extend the incumbent clique (a
+   clique inside its colour-class prefix has size <= its colour), so it
+   is left out of the returned branching order entirely — it stays in
+   [p] as a candidate for deeper levels. Returned vertices are in
+   decreasing colour order (we prepend in increasing colour). *)
+let colour_order g ~cap p =
   let order = ref [] in
   let uncoloured = Bitset.copy p in
   let colour = ref 0 in
@@ -21,51 +23,88 @@ let colour_order g p =
           Bitset.remove uncoloured v;
           (* v's neighbours cannot share its colour *)
           Bitset.iter (fun u -> if Bitset.mem avail u then Bitset.remove avail u) (Ugraph.neighbors g v);
-          order := (v, !colour) :: !order
+          if !colour > cap then order := (v, !colour) :: !order
     done
   done;
-  ignore cap;
-  (* Vertices in increasing colour; branch from the END (highest colour
-     first is standard, we consume the list which is reversed). *)
   !order
+
+(* Branch-and-bound core shared by the sequential and parallel solvers.
+   [current] has [depth] vertices; [get_best]/[record]/[stop] abstract
+   the incumbent so the parallel solver can share it across domains
+   (stale reads of the incumbent only weaken pruning, never
+   exactness). Leaves (empty candidate set) are recorded. *)
+let rec expand g ~get_best ~record ~stop current depth p =
+  if not (stop ()) then begin
+    let coloured = colour_order g ~cap:(get_best () - depth) p in
+    (* coloured is in decreasing colour order *)
+    let p = Bitset.copy p in
+    List.iter
+      (fun (v, c) ->
+        if (not (stop ())) && depth + c > get_best () then begin
+          if Bitset.mem p v then begin
+            let current' = v :: current in
+            let p' = Bitset.inter p (Ugraph.neighbors g v) in
+            if Bitset.is_empty p' then record current'
+            else expand g ~get_best ~record ~stop current' (depth + 1) p';
+            Bitset.remove p v
+          end
+        end)
+      coloured
+  end
 
 let max_clique_bounded g target =
   let n = Ugraph.vertex_count g in
   let best = ref [] in
   let best_size = ref 0 in
   let stop = ref false in
-  let rec expand current p =
-    if !stop then ()
-    else begin
-      let coloured = colour_order g p in
-      (* coloured is in decreasing colour order *)
-      let p = Bitset.copy p in
-      List.iter
-        (fun (v, c) ->
-          if (not !stop) && List.length current + c > !best_size then begin
-            if Bitset.mem p v then begin
-              let current' = v :: current in
-              let p' = Bitset.inter p (Ugraph.neighbors g v) in
-              if Bitset.is_empty p' then begin
-                if List.length current' > !best_size then begin
-                  best := current';
-                  best_size := List.length current';
-                  match target with
-                  | Some t when !best_size >= t -> stop := true
-                  | _ -> ()
-                end
-              end
-              else expand current' p';
-              Bitset.remove p v
-            end
-          end)
-        coloured
+  let record c =
+    let l = List.length c in
+    if l > !best_size then begin
+      best := c;
+      best_size := l;
+      match target with Some t when l >= t -> stop := true | _ -> ()
     end
   in
-  expand [] (Bitset.full n);
+  expand g
+    ~get_best:(fun () -> !best_size)
+    ~record
+    ~stop:(fun () -> !stop)
+    [] 0 (Bitset.full n);
   !best
 
 let max_clique g = List.sort Stdlib.compare (max_clique_bounded g None)
+
+(* Parallel exact max clique: one root subproblem per vertex [v]
+   (cliques whose smallest vertex is [v]), dynamically scheduled on the
+   pool; the incumbent size is shared through an [Atomic] so every
+   subproblem prunes against the global best. The returned clique's
+   size is exact; which maximum clique is returned may vary from run to
+   run (whichever domain records it first wins ties). *)
+let max_clique_par ?pool g =
+  let n = Ugraph.vertex_count g in
+  match pool with
+  | None -> max_clique g
+  | Some pool when Pool.jobs pool <= 1 || n = 0 -> max_clique g
+  | Some pool ->
+      let m = Mutex.create () in
+      let best = ref [] in
+      let best_size = Atomic.make 0 in
+      let record c =
+        let l = List.length c in
+        Mutex.lock m;
+        if l > Atomic.get best_size then begin
+          best := c;
+          Atomic.set best_size l
+        end;
+        Mutex.unlock m
+      in
+      let get_best () = Atomic.get best_size in
+      Pool.parallel_for pool ~chunks:n ~lo:0 ~hi:(n - 1) (fun v ->
+          let p = Bitset.create n in
+          Bitset.iter (fun u -> if u > v then Bitset.add p u) (Ugraph.neighbors g v);
+          if Bitset.is_empty p then record [ v ]
+          else expand g ~get_best ~record ~stop:(fun () -> false) [ v ] 1 p);
+      List.sort Stdlib.compare !best
 let clique_number g = List.length (max_clique_bounded g None)
 let has_clique g k = k <= 0 || List.length (max_clique_bounded g (Some k)) >= k
 

@@ -8,7 +8,20 @@ module IK = Qo.Instances.Ik_log
 type check = { label : string; ok : bool; detail : string }
 
 let check label ok detail = { label; ok; detail }
-let maybe_print quiet tbl = if not quiet then Tables.print tbl
+
+(* Experiment output is routed through a domain-local sink so that a
+   parallel run (run_all ~jobs) can buffer each experiment's tables and
+   print them in experiment order once everything has finished —
+   parallel output is byte-identical to sequential output. Outside a
+   captured run the sink is unset and tables go straight to stdout. *)
+let sink_key : Buffer.t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let emit s =
+  match !(Domain.DLS.get sink_key) with
+  | Some buf -> Buffer.add_string buf s
+  | None -> print_string s
+
+let maybe_print quiet tbl = if not quiet then emit (Tables.render tbl)
 let l2 = Logreal.to_log2
 
 (* ------------------------------------------------------------------ *)
@@ -650,7 +663,17 @@ let e10_crossval ?(quiet = false) () =
     let expect = Float.ceil ((2.0 ** 30.0) *. Float.exp (float_of_int num /. 8.0)) in
     if Float.abs (Bignum.Bignat.to_float c -. expect) > 1.0 then fx_ok := false
   done;
-  ignore quiet;
+  let tbl =
+    Tables.create ~title:"E10: cross-validation summary"
+      ~header:[ "validation"; "result" ]
+  in
+  Tables.add_row tbl
+    [ "log-domain vs exact rational optimum (25 instances), max |log2 diff|";
+      Printf.sprintf "%g" !max_diff ];
+  Tables.add_row tbl [ "f_N access-path constraints t_j s <= w <= t_j"; Tables.cell_bool !w_ok ];
+  Tables.add_row tbl [ "f_H hub hash table exceeds memory"; Tables.cell_bool hub_infeasible ];
+  Tables.add_row tbl [ "fixed-point exp matches float ceiling at q=30"; Tables.cell_bool !fx_ok ];
+  maybe_print quiet tbl;
   !checks
   @ [
       check "E10 f_N access-path constraints t_j s <= w <= t_j" !w_ok "";
@@ -901,29 +924,55 @@ let e15_printed_vs_reconstructed ?(quiet = false) () =
       (Printf.sprintf "printed agrees only %d/%d" !printed_ok total);
   ]
 
-let all ?(quiet = false) () =
-  (* sequenced lets: OCaml evaluates list elements right-to-left, which
-     would print the tables in reverse *)
-  let e1 = e1_qon_gap ~quiet () in
-  let e2 = e2_profile ~quiet () in
-  let e3 = e3_qoh_gap ~quiet () in
-  let e4 = e4_memory ~quiet () in
-  let e5 = e5_sparse_qon ~quiet () in
-  let e6 = e6_sparse_qoh ~quiet () in
-  let e7 = e7_chain ~quiet () in
-  let e8 = e8_appendix ~quiet () in
-  let e9 = e9_competitive ~quiet () in
-  let e10 = e10_crossval ~quiet () in
-  let e11 = e11_alpha_sweep ~quiet () in
-  let e12 = e12_memory_sweep ~quiet () in
-  let e13 = e13_nu_sweep ~quiet () in
-  let e14 = e14_tree_frontier ~quiet () in
-  let e15 = e15_printed_vs_reconstructed ~quiet () in
-  [
-    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
-    ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
-    ("E15", e15);
-  ]
+type run = { name : string; checks : check list; output : string; seconds : float }
+
+let registry : (string * (bool -> check list)) array =
+  [|
+    ("E1", fun q -> e1_qon_gap ~quiet:q ());
+    ("E2", fun q -> e2_profile ~quiet:q ());
+    ("E3", fun q -> e3_qoh_gap ~quiet:q ());
+    ("E4", fun q -> e4_memory ~quiet:q ());
+    ("E5", fun q -> e5_sparse_qon ~quiet:q ());
+    ("E6", fun q -> e6_sparse_qoh ~quiet:q ());
+    ("E7", fun q -> e7_chain ~quiet:q ());
+    ("E8", fun q -> e8_appendix ~quiet:q ());
+    ("E9", fun q -> e9_competitive ~quiet:q ());
+    ("E10", fun q -> e10_crossval ~quiet:q ());
+    ("E11", fun q -> e11_alpha_sweep ~quiet:q ());
+    ("E12", fun q -> e12_memory_sweep ~quiet:q ());
+    ("E13", fun q -> e13_nu_sweep ~quiet:q ());
+    ("E14", fun q -> e14_tree_frontier ~quiet:q ());
+    ("E15", fun q -> e15_printed_vs_reconstructed ~quiet:q ());
+  |]
+
+(* Every experiment is independent (own tables, own Random.State seeds),
+   so they can run concurrently; each one's output is captured in a
+   buffer and the buffers are flushed in E1..E15 order at the end, so
+   the printed report does not depend on [jobs]. *)
+let run_all ?(quiet = false) ?(jobs = 1) () =
+  let run_one (name, f) =
+    let slot = Domain.DLS.get sink_key in
+    let saved = !slot in
+    let buf = Buffer.create 256 in
+    slot := Some buf;
+    let t0 = Unix.gettimeofday () in
+    let checks =
+      Fun.protect
+        ~finally:(fun () -> (Domain.DLS.get sink_key) := saved)
+        (fun () -> f quiet)
+    in
+    { name; checks; output = Buffer.contents buf; seconds = Unix.gettimeofday () -. t0 }
+  in
+  let runs =
+    if jobs <= 1 then Array.map run_one registry
+    else Pool.with_pool ~jobs (fun pool -> Pool.parallel_map pool run_one registry)
+  in
+  let runs = Array.to_list runs in
+  List.iter (fun r -> print_string r.output) runs;
+  runs
+
+let all ?quiet ?jobs () =
+  List.map (fun r -> (r.name, r.checks)) (run_all ?quiet ?jobs ())
 
 let failures results =
   List.concat_map

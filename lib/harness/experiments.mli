@@ -70,7 +70,18 @@ val e15_printed_vs_reconstructed : ?quiet:bool -> unit -> check list
     they demonstrably fail, documenting why {!Reductions.Partition_to_sppcs.reduce}
     uses the derived reconstruction. *)
 
-val all : ?quiet:bool -> unit -> (string * check list) list
-(** Run every experiment in order. *)
+type run = { name : string; checks : check list; output : string; seconds : float }
+(** One experiment's outcome: its checks, the tables it printed
+    (captured), and its wall-clock duration in seconds. *)
+
+val run_all : ?quiet:bool -> ?jobs:int -> unit -> run list
+(** Run every experiment. With [jobs > 1] the (independent) experiments
+    run concurrently on a domain pool; each experiment's table output
+    is buffered and flushed in E1..E15 order once all are done, so the
+    printed report is byte-identical to a sequential run — only the
+    wall-clock changes. [seconds] records per-experiment wall time. *)
+
+val all : ?quiet:bool -> ?jobs:int -> unit -> (string * check list) list
+(** Run every experiment in order ({!run_all} without the timings). *)
 
 val failures : (string * check list) list -> (string * check) list

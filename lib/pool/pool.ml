@@ -1,0 +1,156 @@
+(* Work pool over Domain/Mutex/Condition.
+
+   The pool keeps a queue of task thunks. parallel_for pushes one
+   "helper" thunk per worker and then claims chunks itself from a
+   per-batch cursor, so the submitting domain always makes progress
+   even when every worker is busy with other batches (the helpers
+   become harmless no-ops once the batch is drained). Completion is a
+   per-batch countdown guarded by the batch mutex. *)
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let env_jobs () =
+  match Sys.getenv_opt "QOPT_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None)
+
+let recommended_jobs () =
+  match env_jobs () with
+  | Some j -> j
+  | None -> Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  let rec next () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.closing then None
+    else begin
+      Condition.wait t.nonempty t.m;
+      next ()
+    end
+  in
+  let task = next () in
+  Mutex.unlock t.m;
+  match task with
+  | None -> ()
+  | Some task ->
+      task ();
+      worker_loop t
+
+let jobs t = t.jobs
+
+let create ?jobs () =
+  let jobs = Stdlib.max 1 (match jobs with Some j -> j | None -> recommended_jobs ()) in
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.closing <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  let ws = t.workers in
+  t.workers <- [];
+  List.iter Domain.join ws
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let parallel_for t ?chunks ~lo ~hi body =
+  let n = hi - lo + 1 in
+  if n <= 0 then ()
+  else if t.jobs <= 1 || n = 1 then
+    for i = lo to hi do
+      body i
+    done
+  else begin
+    let nchunks =
+      let d = match chunks with Some c -> Stdlib.max 1 c | None -> 4 * t.jobs in
+      Stdlib.min n d
+    in
+    let bm = Mutex.create () in
+    let finished = Condition.create () in
+    let cursor = ref 0 in
+    let unfinished = ref nchunks in
+    let failure = ref None in
+    let chunk_bounds c =
+      (* spread the remainder over the first chunks *)
+      let base = n / nchunks and extra = n mod nchunks in
+      let clo = lo + (c * base) + Stdlib.min c extra in
+      let len = base + if c < extra then 1 else 0 in
+      (clo, clo + len - 1)
+    in
+    let run_chunk c =
+      (try
+         let clo, chi = chunk_bounds c in
+         for i = clo to chi do
+           body i
+         done
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock bm;
+         (match !failure with None -> failure := Some (e, bt) | Some _ -> ());
+         Mutex.unlock bm);
+      Mutex.lock bm;
+      decr unfinished;
+      if !unfinished = 0 then Condition.broadcast finished;
+      Mutex.unlock bm
+    in
+    let rec drain () =
+      Mutex.lock bm;
+      let c = !cursor in
+      let claimed = c < nchunks in
+      if claimed then incr cursor;
+      Mutex.unlock bm;
+      if claimed then begin
+        run_chunk c;
+        drain ()
+      end
+    in
+    (* one helper per worker; stale helpers no-op once the batch drains *)
+    Mutex.lock t.m;
+    for _ = 2 to t.jobs do
+      Queue.push drain t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    drain ();
+    Mutex.lock bm;
+    while !unfinished > 0 do
+      Condition.wait finished bm
+    done;
+    Mutex.unlock bm;
+    match !failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for t ~lo:0 ~hi:(n - 1) (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end

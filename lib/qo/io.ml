@@ -27,53 +27,79 @@ let dump_generic ~scalar_to_string ~(n : int) ~graph ~sizes ~sel ~w =
 
 type 'a parsed = {
   p_n : int;
-  p_sizes : (int * 'a) list;
-  p_edges : (int * int * 'a * 'a * 'a) list;
+  p_sizes : (int * int * 'a) list;  (** line, vertex, size *)
+  p_edges : (int * int * int * 'a * 'a * 'a) list;  (** line, i, j, sel, wij, wji *)
 }
+
+let fail fmt = Printf.ksprintf (fun m -> invalid_arg ("Qo.Io.parse: " ^ m)) fmt
 
 let parse_generic ~scalar_of_string text =
   let lines = String.split_on_char '\n' text in
+  let header = ref false in
   let n = ref (-1) in
   let sizes = ref [] in
   let edges = ref [] in
-  let fail fmt = Printf.ksprintf (fun m -> invalid_arg ("Qo.Io.parse: " ^ m)) fmt in
   List.iteri
     (fun lineno line ->
+      let ln = lineno + 1 in
+      let int_of s =
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> fail "line %d: invalid integer %S" ln s
+      in
+      let scalar_of s =
+        try scalar_of_string s
+        with _ -> fail "line %d: invalid scalar %S" ln s
+      in
       let line = String.trim line in
       if line = "" || line.[0] = '#' then ()
       else begin
         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-        | [ "qon"; "1" ] -> ()
-        | [ "n"; v ] -> n := int_of_string v
-        | [ "size"; v; s ] -> sizes := (int_of_string v, scalar_of_string s) :: !sizes
+        | [ "qon"; "1" ] -> header := true
+        | "qon" :: rest -> fail "line %d: unsupported version %S" ln (String.concat " " rest)
+        | [ "n"; v ] ->
+            if !n >= 0 then fail "line %d: duplicate n line" ln;
+            n := int_of v
+        | [ "size"; v; s ] -> sizes := (ln, int_of v, scalar_of s) :: !sizes
         | [ "edge"; i; j; "sel"; s; "wij"; wij; "wji"; wji ] ->
-            edges :=
-              ( int_of_string i,
-                int_of_string j,
-                scalar_of_string s,
-                scalar_of_string wij,
-                scalar_of_string wji )
-              :: !edges
-        | _ -> fail "line %d: unrecognized %S" (lineno + 1) line
+            edges := (ln, int_of i, int_of j, scalar_of s, scalar_of wij, scalar_of wji) :: !edges
+        | _ -> fail "line %d: unrecognized %S" ln line
       end)
     lines;
   if !n <= 0 then fail "missing or invalid n";
-  if List.length !sizes <> !n then fail "expected %d size lines, found %d" !n (List.length !sizes);
-  { p_n = !n; p_sizes = List.rev !sizes; p_edges = List.rev !edges }
+  if not !header then fail "missing \"qon 1\" header";
+  let nn = !n in
+  (* each relation sized exactly once, in range *)
+  let seen_size = Array.make nn false in
+  List.iter
+    (fun (ln, v, _) ->
+      if v < 0 || v >= nn then fail "line %d: size relation %d out of range [0,%d)" ln v nn;
+      if seen_size.(v) then fail "line %d: duplicate size line for relation %d" ln v;
+      seen_size.(v) <- true)
+    (List.rev !sizes);
+  if List.length !sizes <> nn then fail "expected %d size lines, found %d" nn (List.length !sizes);
+  (* edge endpoints in range, no self-loops, each unordered pair once *)
+  let seen_edge = Hashtbl.create 16 in
+  List.iter
+    (fun (ln, i, j, _, _, _) ->
+      if i < 0 || i >= nn || j < 0 || j >= nn then
+        fail "line %d: edge endpoint out of range [0,%d) in \"edge %d %d\"" ln nn i j;
+      if i = j then fail "line %d: self-loop edge %d %d" ln i j;
+      let key = (Stdlib.min i j, Stdlib.max i j) in
+      if Hashtbl.mem seen_edge key then fail "line %d: duplicate edge %d %d" ln i j;
+      Hashtbl.add seen_edge key ())
+    (List.rev !edges);
+  { p_n = nn; p_sizes = List.rev !sizes; p_edges = List.rev !edges }
 
 let build ~make ~one p =
   let n = p.p_n in
   let graph = Graphlib.Ugraph.create n in
   let sizes = Array.make n one in
-  List.iter
-    (fun (v, s) ->
-      if v < 0 || v >= n then invalid_arg "Qo.Io.parse: size vertex out of range";
-      sizes.(v) <- s)
-    p.p_sizes;
+  List.iter (fun (_, v, s) -> sizes.(v) <- s) p.p_sizes;
   let sel = Array.make_matrix n n one in
   let w = Array.init n (fun i -> Array.init n (fun _ -> sizes.(i))) in
   List.iter
-    (fun (i, j, s, wij, wji) ->
+    (fun (_, i, j, s, wij, wji) ->
       Graphlib.Ugraph.add_edge graph i j;
       sel.(i).(j) <- s;
       sel.(j).(i) <- s;

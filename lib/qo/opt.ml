@@ -74,7 +74,17 @@ module Make (C : Cost.S) = struct
 
   let max_dp_n = 23
 
-  let dp_generic ~no_cartesian (inst : I.t) =
+  (* The subset-lattice DP, sequential or layer-parallel.
+
+     Both paths call the same per-subset transition functions below, so
+     the parallel result is structurally bit-identical to the
+     sequential one: [sizes.(s)] and [dp.(s)] depend only on strict
+     subsets of [s] (one fewer bit), every write goes to its own slot,
+     and the candidate iteration order inside one subset never changes.
+     The sequential loop visits masks in increasing numeric order, the
+     parallel one in popcount layers; both respect the dependency
+     order. Property-tested against each other in [test/test_qo.ml]. *)
+  let dp_generic ?pool ~no_cartesian (inst : I.t) =
     let n = I.n inst in
     if n > max_dp_n then
       invalid_arg (Printf.sprintf "Opt.dp: n=%d too large (max %d)" n max_dp_n);
@@ -98,7 +108,7 @@ module Make (C : Cost.S) = struct
     in
     (* N(S) for every subset *)
     let sizes = Array.make (full + 1) C.one in
-    for s = 1 to full do
+    let fill_size s =
       let b = lowest_bit s in
       let v = bit_index b in
       let rest = s lxor b in
@@ -111,7 +121,7 @@ module Make (C : Cost.S) = struct
         common := !common lxor ub
       done;
       sizes.(s) <- !acc
-    done;
+    in
     (* min_{k in S} w_{j,k} over mask S *)
     let min_w_mask j s =
       let best = ref C.infinity in
@@ -131,26 +141,67 @@ module Make (C : Cost.S) = struct
       dp.(1 lsl v) <- C.zero;
       parent.(1 lsl v) <- v
     done;
-    for s = 1 to full do
-      (* only consider subsets with >= 2 elements *)
-      if s land (s - 1) <> 0 then begin
-        let m = ref s in
-        while !m <> 0 do
-          let b = lowest_bit !m in
-          let j = bit_index b in
-          let rest = s lxor b in
-          let allowed = (not no_cartesian) || rest land adj.(j) <> 0 in
-          if allowed && C.is_finite dp.(rest) then begin
-            let cand = C.add dp.(rest) (C.mul sizes.(rest) (min_w_mask j rest)) in
-            if C.compare cand dp.(s) < 0 then begin
-              dp.(s) <- cand;
-              parent.(s) <- j
-            end
-          end;
-          m := !m lxor b
+    (* transition for a subset with >= 2 elements *)
+    let fill_dp s =
+      let m = ref s in
+      while !m <> 0 do
+        let b = lowest_bit !m in
+        let j = bit_index b in
+        let rest = s lxor b in
+        let allowed = (not no_cartesian) || rest land adj.(j) <> 0 in
+        if allowed && C.is_finite dp.(rest) then begin
+          let cand = C.add dp.(rest) (C.mul sizes.(rest) (min_w_mask j rest)) in
+          if C.compare cand dp.(s) < 0 then begin
+            dp.(s) <- cand;
+            parent.(s) <- j
+          end
+        end;
+        m := !m lxor b
+      done
+    in
+    (match pool with
+    | Some pool when Pool.jobs pool > 1 ->
+        (* sort masks by popcount once (counting sort); each layer is
+           embarrassingly parallel given the previous one *)
+        let popcount m =
+          let c = ref 0 and v = ref m in
+          while !v <> 0 do
+            incr c;
+            v := !v land (!v - 1)
+          done;
+          !c
+        in
+        let off = Array.make (n + 2) 0 in
+        for s = 0 to full do
+          let k = popcount s in
+          off.(k + 1) <- off.(k + 1) + 1
+        done;
+        for k = 1 to n + 1 do
+          off.(k) <- off.(k) + off.(k - 1)
+        done;
+        let cursor = Array.copy off in
+        let by_layer = Array.make (full + 1) 0 in
+        for s = 0 to full do
+          let k = popcount s in
+          by_layer.(cursor.(k)) <- s;
+          cursor.(k) <- cursor.(k) + 1
+        done;
+        for k = 1 to n do
+          Pool.parallel_for pool ~lo:off.(k) ~hi:(off.(k + 1) - 1) (fun idx ->
+              fill_size by_layer.(idx))
+        done;
+        for k = 2 to n do
+          Pool.parallel_for pool ~lo:off.(k) ~hi:(off.(k + 1) - 1) (fun idx ->
+              fill_dp by_layer.(idx))
         done
-      end
-    done;
+    | _ ->
+        for s = 1 to full do
+          fill_size s
+        done;
+        for s = 1 to full do
+          (* only consider subsets with >= 2 elements *)
+          if s land (s - 1) <> 0 then fill_dp s
+        done);
     (* reconstruct *)
     if not (C.is_finite dp.(full)) then { cost = C.infinity; seq = [||] }
     else begin
@@ -164,12 +215,14 @@ module Make (C : Cost.S) = struct
       { cost = dp.(full); seq }
     end
 
-  (** Exact optimum by subset DP. *)
-  let dp inst = dp_generic ~no_cartesian:false inst
+  (** Exact optimum by subset DP. With [?pool] (and more than one
+      job) the lattice is evaluated popcount-layer by popcount-layer in
+      parallel; the result is bit-identical to the sequential path. *)
+  let dp ?pool inst = dp_generic ?pool ~no_cartesian:false inst
 
   (** Exact optimum over cartesian-product-free sequences; cost is
       [C.infinity] (empty sequence) when none exists. *)
-  let dp_no_cartesian inst = dp_generic ~no_cartesian:true inst
+  let dp_no_cartesian ?pool inst = dp_generic ?pool ~no_cartesian:true inst
 
   (* ------------------------------------------------------------- *)
 

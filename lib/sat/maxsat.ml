@@ -4,7 +4,6 @@
 let best_assignment (f : Cnf.t) =
   let n = Cnf.nvars f in
   let clauses = f.Cnf.clauses in
-  let m = Array.length clauses in
   let assign = Array.make (n + 1) 0 in
   let best = Array.make (n + 1) false in
   let best_count = ref (-1) in
@@ -48,7 +47,6 @@ let best_assignment (f : Cnf.t) =
     end
   in
   go 1;
-  ignore m;
   (best, !best_count)
 
 let max_satisfiable f = snd (best_assignment f)

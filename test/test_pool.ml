@@ -1,0 +1,86 @@
+(* Unit tests for the domain work pool: exactly-once index coverage,
+   result ordering, exception propagation, the jobs=1 inline fallback,
+   and nested parallel sections (the shape the harness + parallel DP
+   combination produces). *)
+
+let test_parallel_for_coverage () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 10_000 in
+      let hits = Array.make n 0 in
+      (* chunks write to disjoint slots, so plain int cells are safe *)
+      Pool.parallel_for pool ~lo:0 ~hi:(n - 1) (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "every index exactly once" true (Array.for_all (( = ) 1) hits);
+      (* empty and one-element ranges *)
+      let called = ref 0 in
+      Pool.parallel_for pool ~lo:5 ~hi:4 (fun _ -> incr called);
+      Alcotest.(check int) "empty range" 0 !called;
+      Pool.parallel_for pool ~lo:7 ~hi:7 (fun i -> called := i);
+      Alcotest.(check int) "single index" 7 !called)
+
+let test_parallel_map_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let arr = Array.init 1000 (fun i -> i) in
+      let out = Pool.parallel_map pool (fun x -> (x * x) + 1) arr in
+      Alcotest.(check bool) "slot i holds f arr.(i)" true
+        (out = Array.map (fun x -> (x * x) + 1) arr);
+      Alcotest.(check bool) "empty array" true (Pool.parallel_map pool (fun x -> x) [||] = [||]))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let raised =
+        try
+          Pool.parallel_for pool ~lo:0 ~hi:99 (fun i -> if i = 42 then raise (Boom i));
+          None
+        with Boom i -> Some i
+      in
+      Alcotest.(check (option int)) "Boom reaches the caller" (Some 42) raised;
+      (* the pool survives a failed batch *)
+      let hits = Array.make 10 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:9 (fun i -> hits.(i) <- 1);
+      Alcotest.(check bool) "pool usable after exception" true (Array.for_all (( = ) 1) hits))
+
+let test_jobs1_fallback () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs clamped to 1" 1 (Pool.jobs pool);
+      let sum = ref 0 in
+      (* inline path: same domain, strictly sequential, in order *)
+      let order = ref [] in
+      Pool.parallel_for pool ~lo:1 ~hi:100 (fun i ->
+          sum := !sum + i;
+          order := i :: !order);
+      Alcotest.(check int) "sum 1..100" 5050 !sum;
+      Alcotest.(check bool) "sequential order" true
+        (!order = List.rev (List.init 100 (fun i -> i + 1))))
+
+let test_nested () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let outer = 8 and inner = 500 in
+      let table = Array.make_matrix outer inner 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:(outer - 1) (fun i ->
+          Pool.parallel_for pool ~lo:0 ~hi:(inner - 1) (fun j -> table.(i).(j) <- i + j));
+      let ok = ref true in
+      for i = 0 to outer - 1 do
+        for j = 0 to inner - 1 do
+          if table.(i).(j) <> i + j then ok := false
+        done
+      done;
+      Alcotest.(check bool) "nested parallel_for completes correctly" true !ok)
+
+let test_recommended_jobs () =
+  Alcotest.(check bool) "recommended_jobs >= 1" true (Pool.recommended_jobs () >= 1)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_coverage;
+          Alcotest.test_case "parallel_map ordering" `Quick test_parallel_map_order;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "jobs=1 fallback" `Quick test_jobs1_fallback;
+          Alcotest.test_case "nested sections" `Quick test_nested;
+          Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs;
+        ] );
+    ]

@@ -248,6 +248,57 @@ let test_explain_render () =
   let s = Qo.Explain.Rat.summary inst p.OR_.seq in
   Alcotest.(check bool) "summary has cost" true (Astring_like.contains s "cost=")
 
+(* -------------------- parallel DP ≡ sequential DP -------------------- *)
+
+(* The layer-parallel subset DP must be bit-identical to the sequential
+   path: same cost, same sequence, in both cost domains, including
+   instances large enough (n up to 14) for real multi-chunk layers. *)
+
+let gen_big_instance =
+  QCheck2.Gen.(
+    let* n = int_range 8 14 in
+    let* seed = int_range 0 10_000 in
+    return (Qo.Gen_inst.R.random ~seed ~n ~p:0.5 ()))
+
+let with_test_pool f = Pool.with_pool ~jobs:4 f
+
+let prop_dp_parallel_equiv_rat =
+  QCheck2.Test.make ~name:"parallel dp ≡ sequential dp (rational)" ~count:40 gen_instance
+    (fun inst ->
+      with_test_pool (fun pool ->
+          let s = OR_.dp inst and p = OR_.dp ~pool inst in
+          RC.equal s.OR_.cost p.OR_.cost && s.OR_.seq = p.OR_.seq))
+
+let prop_dp_parallel_equiv_rat_big =
+  QCheck2.Test.make ~name:"parallel dp ≡ sequential dp (rational, n up to 14)" ~count:8
+    gen_big_instance (fun inst ->
+      with_test_pool (fun pool ->
+          let s = OR_.dp inst and p = OR_.dp ~pool inst in
+          RC.equal s.OR_.cost p.OR_.cost && s.OR_.seq = p.OR_.seq))
+
+let prop_dp_nc_parallel_equiv_rat =
+  QCheck2.Test.make ~name:"parallel dp_no_cartesian ≡ sequential (rational)" ~count:40
+    gen_instance (fun inst ->
+      with_test_pool (fun pool ->
+          let s = OR_.dp_no_cartesian inst and p = OR_.dp_no_cartesian ~pool inst in
+          RC.equal s.OR_.cost p.OR_.cost && s.OR_.seq = p.OR_.seq))
+
+let prop_dp_parallel_equiv_log =
+  QCheck2.Test.make ~name:"parallel dp ≡ sequential dp (log domain, n up to 14)" ~count:12
+    gen_big_instance (fun inst ->
+      let li = Qo.Instances.log_of_rat inst in
+      with_test_pool (fun pool ->
+          let s = OL.dp li and p = OL.dp ~pool li in
+          Logreal.compare s.OL.cost p.OL.cost = 0 && s.OL.seq = p.OL.seq))
+
+let prop_dp_nc_parallel_equiv_log =
+  QCheck2.Test.make ~name:"parallel dp_no_cartesian ≡ sequential (log domain)" ~count:30
+    gen_tree_instance (fun inst ->
+      let li = Qo.Instances.log_of_rat inst in
+      with_test_pool (fun pool ->
+          let s = OL.dp_no_cartesian li and p = OL.dp_no_cartesian ~pool li in
+          Logreal.compare s.OL.cost p.OL.cost = 0 && s.OL.seq = p.OL.seq))
+
 (* -------------------- Io round trips -------------------- *)
 
 let prop_io_rat_roundtrip =
@@ -274,6 +325,39 @@ let test_io_errors () =
   Alcotest.check_raises "missing n" (Invalid_argument "Qo.Io.parse: missing or invalid n")
     (fun () -> ignore (Qo.Io.parse_rat "qon 1\n"))
 
+(* Malformed files must fail with a Qo.Io.parse error, never an array
+   bounds crash; every rejection below used to either crash [build] or
+   silently corrupt the instance. *)
+let test_io_malformed () =
+  let base =
+    "qon 1\nn 3\nsize 0 10\nsize 1 10\nsize 2 10\n\
+     edge 0 1 sel 1/2 wij 5 wji 5\n"
+  in
+  let expect_parse_error name text =
+    match Qo.Io.parse_rat text with
+    | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          (name ^ ": error is a parse error (" ^ msg ^ ")")
+          true
+          (String.length msg >= 12 && String.sub msg 0 12 = "Qo.Io.parse:")
+    | _ -> Alcotest.fail (name ^ ": malformed input accepted")
+  in
+  (* out-of-range / self-loop edges crashed with Index out of bounds *)
+  expect_parse_error "edge endpoint out of range" (base ^ "edge 0 99 sel 1/2 wij 5 wji 5\n");
+  expect_parse_error "negative endpoint" (base ^ "edge -1 2 sel 1/2 wij 5 wji 5\n");
+  expect_parse_error "self-loop edge" (base ^ "edge 2 2 sel 1/2 wij 5 wji 5\n");
+  expect_parse_error "duplicate edge" (base ^ "edge 1 0 sel 1/2 wij 5 wji 5\n");
+  (* duplicate size lines defeated the size-count check *)
+  expect_parse_error "duplicate size line" (base ^ "size 1 20\n");
+  expect_parse_error "size vertex out of range" ("qon 1\nn 2\nsize 0 10\nsize 7 10\n");
+  expect_parse_error "missing header" "n 2\nsize 0 10\nsize 1 10\n";
+  expect_parse_error "unsupported version" "qon 2\nn 2\nsize 0 10\nsize 1 10\n";
+  expect_parse_error "duplicate n" (base ^ "n 3\n");
+  expect_parse_error "bad integer" "qon 1\nn x\n";
+  expect_parse_error "bad scalar" "qon 1\nn 1\nsize 0 banana\n";
+  (* the well-formed base still parses *)
+  Alcotest.(check int) "well-formed base parses" 3 (Qo.Io.parse_rat base).NR.n
+
 let () =
   Alcotest.run "qo"
     [
@@ -295,11 +379,23 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_size_set_invariance; prop_log_matches_rational; prop_profile_sums; prop_uniform_instance ] );
       ("ik", List.map QCheck_alcotest.to_alcotest [ prop_ik_tree_optimal ]);
+      ( "parallel dp",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_dp_parallel_equiv_rat;
+            prop_dp_parallel_equiv_rat_big;
+            prop_dp_nc_parallel_equiv_rat;
+            prop_dp_parallel_equiv_log;
+            prop_dp_nc_parallel_equiv_log;
+          ] );
       ( "gen_inst + explain",
         [ Alcotest.test_case "explain rendering" `Quick test_explain_render ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_gen_inst_valid; prop_gen_inst_deterministic ] );
       ( "io",
-        [ Alcotest.test_case "parse errors" `Quick test_io_errors ]
+        [
+          Alcotest.test_case "parse errors" `Quick test_io_errors;
+          Alcotest.test_case "malformed inputs" `Quick test_io_malformed;
+        ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_io_rat_roundtrip; prop_io_log_roundtrip ] );
     ]
