@@ -219,6 +219,70 @@ let parallel_dp_check ~jobs =
         [ 16; 18 ]);
   !mismatches
 
+(* ------------------------------------------------------------------ *)
+(* Connected-subgraph DP (Ccp.dp_connected) vs the lattice DP: the
+   plans must be bit-identical where both enumerators run, and the ccp
+   table — sized by the number of connected subsets instead of 2^n —
+   reaches sparse instances past the lattice's max_dp_n = 23. *)
+
+module CCP = Qo.Instances.Ccp_log
+
+let ccp_dp_check ~jobs =
+  Printf.printf "\n== Connected-subgraph DP vs lattice DP (sparse reach) ==\n";
+  let mismatches = ref 0 in
+  Printf.printf "%-10s %4s %16s %12s %12s %9s %14s\n" "graph" "n" "csg / 2^n"
+    "lattice (s)" "ccp (s)" "speedup" "bit-identical";
+  List.iter
+    (fun (name, graph) ->
+      let inst = Qo.Gen_inst.L.over_graph ~seed:11 ~graph () in
+      let n = NL.n inst in
+      let t0 = Unix.gettimeofday () in
+      let lat = OL.dp_no_cartesian inst in
+      let t_lat = Unix.gettimeofday () -. t0 in
+      let t0 = Unix.gettimeofday () in
+      let ccp = CCP.dp_connected inst in
+      let t_ccp = Unix.gettimeofday () -. t0 in
+      let same =
+        Logreal.compare lat.OL.cost ccp.OL.cost = 0 && lat.OL.seq = ccp.OL.seq
+      in
+      if not same then incr mismatches;
+      Printf.printf "%-10s %4d %16s %12.4f %12.4f %8.1fx %14s\n" name n
+        (Printf.sprintf "%d / %d" (CCP.csg_count inst) (1 lsl n))
+        t_lat t_ccp
+        (if t_ccp > 0.0 then t_lat /. t_ccp else Float.nan)
+        (if same then "yes" else "NO"))
+    [
+      ("chain", Graphlib.Gen.path 20);
+      ("tree", Graphlib.Gen.random_tree ~seed:3 ~n:20);
+      ("cycle", Graphlib.Gen.cycle 20);
+      ("grid-4x5", Graphlib.Gen.grid ~rows:4 ~cols:5);
+    ];
+  (* past the lattice limit: the 2^n table no longer fits, the
+     connected-subset table still does *)
+  Printf.printf "\n%-10s %4s %16s %12s %12s\n" "graph" "n" "csg (vs 2^n)" "ccp (s)" "cost";
+  Pool.with_pool ~jobs (fun pool ->
+      List.iter
+        (fun (name, graph) ->
+          let inst = Qo.Gen_inst.L.over_graph ~seed:11 ~graph () in
+          let n = NL.n inst in
+          let t0 = Unix.gettimeofday () in
+          let p = CCP.dp_connected ~pool inst in
+          let t = Unix.gettimeofday () -. t0 in
+          (* a full-length sequence is the invariant a wrong enumeration
+             would break first (missing connected sets -> no plan) *)
+          if Array.length p.OL.seq <> n then incr mismatches;
+          Printf.printf "%-10s %4d %16s %12.4f %12s\n" name n
+            (Printf.sprintf "%d / 2^%d" (CCP.csg_count inst) n)
+            t
+            (Printf.sprintf "2^%.1f" (Logreal.to_log2 p.OL.cost)))
+        [
+          ("chain", Graphlib.Gen.path 28);
+          ("tree", Graphlib.Gen.random_tree ~seed:9 ~n:28);
+          ("cycle", Graphlib.Gen.cycle 28);
+          ("grid-4x6", Graphlib.Gen.grid ~rows:4 ~cols:6);
+        ]);
+  !mismatches
+
 let () =
   let t0 = Unix.gettimeofday () in
   let jobs =
@@ -257,6 +321,7 @@ let () =
         c.Harness.Experiments.detail)
     fails;
   let dp_mismatches = parallel_dp_check ~jobs:(Stdlib.max jobs 2) in
+  let ccp_mismatches = ccp_dp_check ~jobs:(Stdlib.max jobs 2) in
   run_benchmarks ();
   scaling_series ();
-  if fails <> [] || dp_mismatches > 0 then exit 1
+  if fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 then exit 1

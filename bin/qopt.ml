@@ -23,6 +23,25 @@ let jobs_term =
 
 let resolve_jobs jobs = if jobs <= 0 then Pool.recommended_jobs () else jobs
 
+(* Hand [f] a pool only when it would actually be used — [with_pool] at
+   jobs = 1 still spawns a domain. *)
+let with_jobs jobs f =
+  if jobs > 1 then Pool.with_pool ~jobs (fun pool -> f (Some pool)) else f None
+
+(* --algo: which exact optimizer backs the run. The lattice DP walks
+   all 2^n subsets; the connected-subgraph DP (dp_connected) only the
+   connected ones — bit-identical plans, far larger reach on sparse
+   graphs. *)
+let algo_conv = Arg.enum [ ("lattice", `Lattice); ("ccp", `Ccp) ]
+
+let algo_term =
+  let doc =
+    "Exact optimizer: $(b,lattice) (subset DP over all $(i,2^n) subsets) or $(b,ccp) \
+     (connected-subgraph DP, same plan bit-for-bit, table sized by the number of connected \
+     subsets — use it on sparse graphs past the lattice limit)."
+  in
+  Arg.(value & opt algo_conv `Lattice & info [ "algo" ] ~docv:"ALGO" ~doc)
+
 let exit_of_fails fails =
   if fails = [] then 0
   else begin
@@ -46,21 +65,25 @@ let experiment_cmd =
   let run id jobs =
     let jobs = resolve_jobs jobs in
     let open Harness.Experiments in
+    (* single-experiment runs thread the resolved job count into the
+       experiments with a parallel DP inner loop (the others are
+       sequential by nature) — "qopt experiment e9 --jobs 8" must not
+       silently run on one domain *)
     let pick = function
-      | "e1" -> [ ("E1", e1_qon_gap ()) ]
+      | "e1" -> [ ("E1", e1_qon_gap ~jobs ()) ]
       | "e2" -> [ ("E2", e2_profile ()) ]
       | "e3" -> [ ("E3", e3_qoh_gap ()) ]
       | "e4" -> [ ("E4", e4_memory ()) ]
-      | "e5" -> [ ("E5", e5_sparse_qon ()) ]
+      | "e5" -> [ ("E5", e5_sparse_qon ~jobs ()) ]
       | "e6" -> [ ("E6", e6_sparse_qoh ()) ]
       | "e7" -> [ ("E7", e7_chain ()) ]
       | "e8" -> [ ("E8", e8_appendix ()) ]
-      | "e9" -> [ ("E9", e9_competitive ()) ]
+      | "e9" -> [ ("E9", e9_competitive ~jobs ()) ]
       | "e10" -> [ ("E10", e10_crossval ()) ]
-      | "e11" -> [ ("E11", e11_alpha_sweep ()) ]
+      | "e11" -> [ ("E11", e11_alpha_sweep ~jobs ()) ]
       | "e12" -> [ ("E12", e12_memory_sweep ()) ]
       | "e13" -> [ ("E13", e13_nu_sweep ()) ]
-      | "e14" -> [ ("E14", e14_tree_frontier ()) ]
+      | "e14" -> [ ("E14", e14_tree_frontier ~jobs ()) ]
       | "e15" -> [ ("E15", e15_printed_vs_reconstructed ()) ]
       | "all" -> all ~jobs ()
       | other ->
@@ -106,13 +129,14 @@ let optimize_cmd =
   let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Query-graph vertices.") in
   let omega = Arg.(value & opt int 12 & info [ "omega" ] ~doc:"Planted clique number.") in
   let log2a = Arg.(value & opt float 8.0 & info [ "log2a" ] ~doc:"log2 of the parameter a.") in
-  let run n omega log2a jobs =
+  let run n omega log2a algo jobs =
     if omega < 1 || omega > n then begin
       Printf.eprintf "omega must be in [1, n]\n";
       exit 2
     end;
     let jobs = resolve_jobs jobs in
     let module OL = Qo.Instances.Opt_log in
+    let module CCP = Qo.Instances.Ccp_log in
     let g = Graphlib.Gen.with_clique_number ~n ~omega in
     let c = float_of_int omega /. float_of_int n in
     let r = Reductions.Fn.reduce ~graph:g ~c ~d:(c /. 2.0) ~log2_a:log2a in
@@ -125,8 +149,15 @@ let optimize_cmd =
     Printf.printf "f_N instance: n=%d omega=%d log2(t)=%.1f K_cd=2^%.1f\n" n omega
       (Logreal.to_log2 r.Reductions.Fn.t_size)
       (Logreal.to_log2 r.Reductions.Fn.k_cd);
-    if n <= 22 then
-      Pool.with_pool ~jobs (fun pool -> show "exact (subset DP)" (OL.dp ~pool inst));
+    (match algo with
+    | `Lattice ->
+        if n <= 22 then
+          with_jobs jobs (fun pool -> show "exact (subset DP)" (OL.dp ?pool inst))
+        else Printf.printf "exact (subset DP)      skipped: n > 22 (try --algo ccp)\n"
+    | `Ccp ->
+        Printf.printf "connected subsets: %d of 2^%d\n" (CCP.csg_count inst) n;
+        with_jobs jobs (fun pool ->
+            show "exact CF (connected DP)" (CCP.dp_connected ?pool inst)));
     show "greedy (min cost)" (OL.greedy ~mode:OL.Min_cost inst);
     show "greedy (min size)" (OL.greedy ~mode:OL.Min_size inst);
     show "iterative improve" (OL.iterative_improvement inst);
@@ -135,7 +166,7 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Build an f_N instance and compare the optimizer portfolio")
-    Term.(const run $ n $ omega $ log2a $ jobs_term)
+    Term.(const run $ n $ omega $ log2a $ algo_term $ jobs_term)
 
 (* ---------------- shared instance building ---------------- *)
 
@@ -158,9 +189,11 @@ let explain_cmd =
   let file =
     Arg.(value & opt (some file) None & info [ "file"; "f" ] ~doc:"Load a QO_N instance file instead of generating.")
   in
-  let run n seed shape file =
+  let run n seed shape file algo jobs =
     let module NR = Qo.Instances.Nl_rat in
     let module Opt = Qo.Instances.Opt_rat in
+    let module CCP = Qo.Instances.Ccp_rat in
+    let jobs = resolve_jobs jobs in
     let inst =
       match file with
       | Some path -> (
@@ -170,8 +203,17 @@ let explain_cmd =
             exit 2)
       | None -> build_instance n seed shape
     in
-    let best = Opt.dp inst in
-    Printf.printf "Optimal plan (exact subset DP):\n\n%s\n"
+    let label, best =
+      match algo with
+      | `Lattice ->
+          ("exact subset DP", with_jobs jobs (fun pool -> Opt.dp ?pool inst))
+      | `Ccp ->
+          (* cartesian-product-free only: on a disconnected query graph
+             this renders the infeasibility block (and still exits 0) *)
+          ( "exact CF connected DP",
+            with_jobs jobs (fun pool -> CCP.dp_connected ?pool inst) )
+    in
+    Printf.printf "Optimal plan (%s):\n\n%s\n" label
       (Qo.Explain.Rat.render inst best.Opt.seq);
     let g = Opt.greedy inst in
     Printf.printf "Greedy plan for comparison:\n\n%s"
@@ -180,7 +222,7 @@ let explain_cmd =
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Generate (or load) a query, optimize it, and explain the plans")
-    Term.(const run $ n $ seed $ shape $ file)
+    Term.(const run $ n $ seed $ shape $ file $ algo_term $ jobs_term)
 
 (* ---------------- gen ---------------- *)
 

@@ -62,6 +62,18 @@ let star m =
   done;
   g
 
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Gen.grid: need >= 1 row and column";
+  let g = Ugraph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Ugraph.add_edge g (id r c) (id r (c + 1));
+      if r + 1 < rows then Ugraph.add_edge g (id r c) (id (r + 1) c)
+    done
+  done;
+  g
+
 let random_tree ~seed ~n =
   if n <= 0 then invalid_arg "Gen.random_tree"
   else if n = 1 then Ugraph.create 1

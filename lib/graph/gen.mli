@@ -31,6 +31,11 @@ val cycle : int -> Ugraph.t
 val star : int -> Ugraph.t
 (** [star m] has center [0] and leaves [1..m]: [m+1] vertices. *)
 
+val grid : rows:int -> cols:int -> Ugraph.t
+(** [rows * cols] vertices in row-major order, 4-neighbour mesh edges —
+    the bounded-degree benchmark family for the connected-subgraph DP.
+    @raise Invalid_argument unless both dimensions are positive. *)
+
 val random_tree : seed:int -> n:int -> Ugraph.t
 (** Uniform random labelled tree (random Prüfer sequence). *)
 

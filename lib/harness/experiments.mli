@@ -9,9 +9,13 @@
 
 type check = { label : string; ok : bool; detail : string }
 
-val e1_qon_gap : ?quiet:bool -> unit -> check list
+val e1_qon_gap : ?quiet:bool -> ?jobs:int -> unit -> check list
 (** Lemmas 6 & 8, Theorem 9: the [QO_N] YES/NO cost gap on certified
-    co-cluster CLIQUE families, with exact optima by subset DP. *)
+    co-cluster CLIQUE families, with exact optima by subset DP.
+
+    Experiments whose inner loop is a subset DP take [?jobs] and fill
+    the DP layers on a domain pool; results are bit-identical at every
+    job count. *)
 
 val e2_profile : ?quiet:bool -> unit -> check list
 (** Lemma 5: the per-join cost profile [H_i] along a clique-first
@@ -24,8 +28,11 @@ val e3_qoh_gap : ?quiet:bool -> unit -> check list
 val e4_memory : ?quiet:bool -> unit -> check list
 (** Lemma 10: optimal pipeline memory allocation (cases 1–3). *)
 
-val e5_sparse_qon : ?quiet:bool -> unit -> check list
-(** Theorem 16: the [QO_N] gap survives prescribed edge counts. *)
+val e5_sparse_qon : ?quiet:bool -> ?jobs:int -> unit -> check list
+(** Theorem 16: the [QO_N] gap survives prescribed edge counts. On the
+    small case the connected-subgraph DP ({!Qo.Ccp.Make.dp_connected})
+    computes the exact CF optima on both sides of the promise, checked
+    bit-for-bit against the lattice DP. *)
 
 val e6_sparse_qoh : ?quiet:bool -> unit -> check list
 (** Theorem 17: the [QO_H] gap survives prescribed edge counts. *)
@@ -39,7 +46,7 @@ val e8_appendix : ?quiet:bool -> unit -> check list
 (** Appendix A+B: PARTITION -> SPPCS -> SQO-CP, all three deciders
     agreeing on YES and NO instances. *)
 
-val e9_competitive : ?quiet:bool -> unit -> check list
+val e9_competitive : ?quiet:bool -> ?jobs:int -> unit -> check list
 (** Section 1/6.3 consequence: competitive ratios of the
     polynomial-time optimizer portfolio against the exact optimum on
     the hard family, and IK = exact on tree queries. *)
@@ -48,7 +55,7 @@ val e10_crossval : ?quiet:bool -> unit -> check list
 (** Cost-model cross-validation: log-domain vs exact rationals, and
     reduction post-conditions. *)
 
-val e11_alpha_sweep : ?quiet:bool -> unit -> check list
+val e11_alpha_sweep : ?quiet:bool -> ?jobs:int -> unit -> check list
 (** Ablation: the YES/NO gap is linear in [log a] — the dial Theorem 9
     turns ([a = 4^{n^{1/delta}}]) to reach [2^{log^{1-delta} K}]. *)
 
@@ -60,9 +67,12 @@ val e13_nu_sweep : ?quiet:bool -> unit -> check list
 (** Ablation: the [hjmin(b) = b^nu] exponent; the f_H structure
     (forced hub, witness ~ L) is invariant across [nu]. *)
 
-val e14_tree_frontier : ?quiet:bool -> unit -> check list
+val e14_tree_frontier : ?quiet:bool -> ?jobs:int -> unit -> check list
 (** Section 6.3's boundary: IK is exact on trees; chords beyond the
-    spanning tree leave only exponential exactness or heuristics. *)
+    spanning tree leave only exponential exactness or heuristics. The
+    cartesian-product-free optimum is computed by the connected-subgraph
+    DP and confirmed bit-for-bit by the lattice DP at every chord
+    count. *)
 
 val e15_printed_vs_reconstructed : ?quiet:bool -> unit -> check list
 (** Reproduction archaeology: the Appendix A.5 constants as printed in

@@ -1,0 +1,261 @@
+(** Connected-subgraph dynamic programming for [QO_N] — the sparse-graph
+    companion of {!Opt.Make.dp_no_cartesian}.
+
+    The lattice DP walks all [2^n] subsets even though a
+    cartesian-product-free join sequence only ever realises {e connected}
+    subsets of the query graph: every feasible prefix is connected, and
+    [dp S] is finite exactly when [S] induces a connected subgraph. On a
+    chain there are [n(n+1)/2] such subsets, on a tree [O(n^2)]-ish, on
+    bounded-degree graphs exponentially fewer than [2^n] — precisely the
+    instances the paper's sparse theorems (16, 17) generate.
+
+    This module enumerates connected subsets once each, DPccp-style
+    (Moerkotte–Neumann: neighborhood-restricted expansion with forbidden
+    sets), keeps [dp]/[sizes] entries only for them in a compact
+    hash-indexed table, and maintains each subset's neighborhood mask
+    incrementally from its parent instead of rescanning all [n] bits.
+
+    {b Equivalence guarantee.} {!Make.dp_connected} is {e bit-identical}
+    to {!Opt.Make.dp_no_cartesian} (cost and sequence) in both cost
+    domains: the intermediate sizes [N(S)] are evaluated with the exact
+    same lowest-bit-first multiplication order as the lattice
+    [fill_size], the candidate last-vertices of a subset are scanned in
+    the same ascending order with the same strict-improvement rule, and
+    a subset [S \ {j}] contributes a candidate iff it is connected —
+    which is exactly when the lattice's [dp] entry for it is finite.
+    Property-tested against the lattice in [test/test_qo.ml]. *)
+
+module Make (C : Cost.S) = struct
+  module I = Nl.Make (C)
+  module O = Opt.Make (C)
+
+  (* Masks are OCaml ints (63-bit); keep one spare bit for the
+     [1 lsl (v + 1)] forbidden-prefix arithmetic. *)
+  let max_ccp_n = 61
+
+  let lowest_bit m = m land -m
+
+  (* index of a single set bit: trailing-zero count by halving (same
+     routine as the lattice DP, so the scan costs match) *)
+  let bit_index b =
+    let i = ref 0 and v = ref b in
+    while !v land 1 = 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    !i
+
+  let adjacency_masks (inst : I.t) n =
+    let adj = Array.make n 0 in
+    for v = 0 to n - 1 do
+      Graphlib.Bitset.iter
+        (fun u -> adj.(v) <- adj.(v) lor (1 lsl u))
+        (Graphlib.Ugraph.neighbors inst.I.graph v)
+    done;
+    adj
+
+  (* DPccp-style EnumerateCsg: call [emit] exactly once per connected
+     subset of the graph given by [adj]. Start points are visited from
+     the highest vertex down; the forbidden set of start [v] is
+     [{0..v}], so every connected set is generated only from its
+     minimum vertex. The recursion extends a set [s] by every nonempty
+     subset of its neighborhood outside the forbidden set, then forbids
+     that whole neighborhood — the Moerkotte–Neumann argument makes
+     each (set, extension) pair unique. The neighborhood mask [nbr]
+     (i.e. [N(s) \ s]) travels through the recursion and is updated
+     incrementally from the parent's. *)
+  let enumerate_csg ~n ~(adj : int array) emit =
+    let rec expand s x nbr =
+      let cand = nbr land lnot x in
+      if cand <> 0 then begin
+        let x' = x lor cand in
+        let sub = ref cand in
+        while !sub <> 0 do
+          let s' = s lor !sub in
+          emit s';
+          (* neighborhood of s' incrementally: add the adjacency of the
+             new vertices, drop members of s' *)
+          let add = ref 0 and m = ref !sub in
+          while !m <> 0 do
+            let b = lowest_bit !m in
+            add := !add lor adj.(bit_index b);
+            m := !m lxor b
+          done;
+          expand s' x' ((nbr lor !add) land lnot s');
+          sub := (!sub - 1) land cand
+        done
+      end
+    in
+    for v = n - 1 downto 0 do
+      let s = 1 lsl v in
+      emit s;
+      expand s ((1 lsl (v + 1)) - 1) (adj.(v) land lnot s)
+    done
+
+  let popcount m =
+    let c = ref 0 and v = ref m in
+    while !v <> 0 do
+      incr c;
+      v := !v land (!v - 1)
+    done;
+    !c
+
+  (* All connected subsets grouped by cardinality (layer [k] holds the
+     k-subsets, sorted ascending for determinism and locality). *)
+  let connected_layers ~n ~adj =
+    let acc = ref [] and count = ref 0 in
+    enumerate_csg ~n ~adj (fun s ->
+        acc := s :: !acc;
+        incr count);
+    let per_layer = Array.make (n + 1) 0 in
+    List.iter (fun s -> per_layer.(popcount s) <- per_layer.(popcount s) + 1) !acc;
+    let layers = Array.init (n + 1) (fun k -> Array.make per_layer.(k) 0) in
+    let cursor = Array.make (n + 1) 0 in
+    List.iter
+      (fun s ->
+        let k = popcount s in
+        layers.(k).(cursor.(k)) <- s;
+        cursor.(k) <- cursor.(k) + 1)
+      !acc;
+    Array.iter (fun layer -> Array.sort compare layer) layers;
+    (layers, !count)
+
+  (** Number of connected subsets of the query graph — the table size
+      {!dp_connected} allocates, against the lattice's [2^n]. *)
+  let csg_count (inst : I.t) =
+    let n = I.n inst in
+    if n = 0 then 0
+    else begin
+      if n > max_ccp_n then
+        invalid_arg (Printf.sprintf "Ccp.csg_count: n=%d too large (max %d)" n max_ccp_n);
+      let adj = adjacency_masks inst n in
+      let _, count = connected_layers ~n ~adj in
+      count
+    end
+
+  (** Exact optimum over cartesian-product-free join sequences by
+      connected-subgraph DP; bit-identical to
+      {!Opt.Make.dp_no_cartesian} (cost [C.infinity] and an empty
+      sequence when the query graph is disconnected), but with
+      [O(#csg)] table entries instead of [2^n] — far beyond
+      [Opt.max_dp_n] on sparse graphs. With [?pool] (and more than one
+      job) each cardinality layer is filled in parallel; the result is
+      bit-identical at every job count.
+      @raise Invalid_argument above {!max_ccp_n} vertices. *)
+  let dp_connected ?pool (inst : I.t) : O.plan =
+    let n = I.n inst in
+    if n > max_ccp_n then
+      invalid_arg (Printf.sprintf "Ccp.dp_connected: n=%d too large (max %d)" n max_ccp_n);
+    if n = 0 then invalid_arg "Ccp.dp_connected: empty instance";
+    let adj = adjacency_masks inst n in
+    let layers, count = connected_layers ~n ~adj in
+    (* mask -> compact index *)
+    let idx = Hashtbl.create (2 * count) in
+    let next = ref 0 in
+    Array.iter
+      (fun layer ->
+        Array.iter
+          (fun s ->
+            Hashtbl.add idx s !next;
+            incr next)
+          layer)
+      layers;
+    (* N(S), evaluated with the lattice DP's lowest-bit-first order and
+       memoized: [S \ {lowest}] can be disconnected, so the memo also
+       holds the (shared) disconnected tails the recursion peels
+       through. Total extra entries are bounded by n * #csg. *)
+    let size_memo = Hashtbl.create (4 * count) in
+    let rec size_of s =
+      if s = 0 then C.one
+      else
+        match Hashtbl.find_opt size_memo s with
+        | Some v -> v
+        | None ->
+            let b = lowest_bit s in
+            let v = bit_index b in
+            let rest = s lxor b in
+            let size_rest = size_of rest in
+            let acc = ref (C.mul size_rest inst.I.sizes.(v)) in
+            let common = ref (rest land adj.(v)) in
+            let row = inst.I.sel.(v) in
+            while !common <> 0 do
+              let ub = lowest_bit !common in
+              acc := C.mul !acc row.(bit_index ub);
+              common := !common lxor ub
+            done;
+            Hashtbl.add size_memo s !acc;
+            !acc
+    in
+    (* compact per-connected-subset tables *)
+    let sizes = Array.make (Stdlib.max 1 count) C.one in
+    Array.iter
+      (fun layer -> Array.iter (fun s -> sizes.(Hashtbl.find idx s) <- size_of s) layer)
+      layers;
+    let dp = Array.make (Stdlib.max 1 count) C.infinity in
+    let parent = Array.make (Stdlib.max 1 count) (-1) in
+    Array.iter
+      (fun s ->
+        let i = Hashtbl.find idx s in
+        dp.(i) <- C.zero;
+        parent.(i) <- bit_index s)
+      layers.(1);
+    (* same transition, candidate order and tie-break as the lattice
+       [fill_dp]; a candidate exists iff [s \ {j}] is connected, i.e.
+       present in the table *)
+    let min_w_mask j s =
+      let best = ref C.infinity in
+      let row = inst.I.w.(j) in
+      let m = ref s in
+      while !m <> 0 do
+        let b = lowest_bit !m in
+        let c = row.(bit_index b) in
+        if C.compare c !best < 0 then best := c;
+        m := !m lxor b
+      done;
+      !best
+    in
+    let fill_dp s =
+      let i = Hashtbl.find idx s in
+      let m = ref s in
+      while !m <> 0 do
+        let b = lowest_bit !m in
+        let j = bit_index b in
+        let rest = s lxor b in
+        (match Hashtbl.find_opt idx rest with
+        | Some ri ->
+            let cand = C.add dp.(ri) (C.mul sizes.(ri) (min_w_mask j rest)) in
+            if C.compare cand dp.(i) < 0 then begin
+              dp.(i) <- cand;
+              parent.(i) <- j
+            end
+        | None -> ());
+        m := !m lxor b
+      done
+    in
+    (* layer k only reads layer k-1 (dp, sizes) and writes its own
+       slots, so the layers parallelise exactly like the lattice's
+       popcount layers; [idx] and [sizes] are read-only here *)
+    (match pool with
+    | Some pool when Pool.jobs pool > 1 ->
+        for k = 2 to n do
+          let layer = layers.(k) in
+          Pool.parallel_for pool ~lo:0 ~hi:(Array.length layer - 1) (fun t ->
+              fill_dp layer.(t))
+        done
+    | _ ->
+        for k = 2 to n do
+          Array.iter fill_dp layers.(k)
+        done);
+    let full = (1 lsl n) - 1 in
+    match Hashtbl.find_opt idx full with
+    | None -> { O.cost = C.infinity; seq = [||] }
+    | Some fi ->
+        let seq = Array.make n (-1) in
+        let s = ref full in
+        for pos = n - 1 downto 0 do
+          let j = parent.(Hashtbl.find idx !s) in
+          seq.(pos) <- j;
+          s := !s lxor (1 lsl j)
+        done;
+        { O.cost = dp.(fi); seq }
+end

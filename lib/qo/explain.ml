@@ -13,8 +13,17 @@ module Make (C : Cost.S) = struct
     if Float.abs l <= 40.0 && Float.is_finite l then Format.asprintf "%a" C.pp c
     else Printf.sprintf "2^%.1f" l
 
-  (** [render inst seq] formats the execution of [seq] step by step. *)
+  let infeasible_line = "infeasible: no cartesian-product-free join sequence"
+
+  (** [render inst seq] formats the execution of [seq] step by step.
+      The empty sequence — what {!Opt.Make.dp_no_cartesian} and
+      {!Ccp.Make.dp_connected} return on a disconnected query graph —
+      renders as an explicit infeasibility block instead of crashing. *)
   let render (inst : I.t) (seq : int array) =
+    if Array.length seq = 0 then
+      Printf.sprintf "%s\n  (the query graph on %d relation(s) is disconnected: every join\n   sequence must cross a cartesian product)\n"
+        infeasible_line (I.n inst)
+    else
     let h, ns = I.profile inst seq in
     let buf = Buffer.create 512 in
     Buffer.add_string buf
@@ -34,11 +43,14 @@ module Make (C : Cost.S) = struct
 
   let print inst seq = print_string (render inst seq)
 
-  (** One-line summary: cost + sequence. *)
+  (** One-line summary: cost + sequence (or the infeasibility marker
+      for the empty sequence). *)
   let summary (inst : I.t) (seq : int array) =
-    Printf.sprintf "cost=%s seq=[%s]"
-      (cell (I.cost inst seq))
-      (String.concat " " (Array.to_list (Array.map string_of_int seq)))
+    if Array.length seq = 0 then Printf.sprintf "cost=inf seq=[] (%s)" infeasible_line
+    else
+      Printf.sprintf "cost=%s seq=[%s]"
+        (cell (I.cost inst seq))
+        (String.concat " " (Array.to_list (Array.map string_of_int seq)))
 end
 
 module Log = Make (Log_cost)

@@ -15,6 +15,13 @@ module Opt_rat = Opt.Make (Rat_cost)
 module Ik_log = Ik.Make (Log_cost)
 module Ik_rat = Ik.Make (Rat_cost)
 
+module Ccp_log = Ccp.Make (Log_cost)
+(** Connected-subgraph DP ([dp_connected]) in the log domain — the
+    sparse-graph exact optimizer; plans are [Opt_log.plan] values. *)
+
+module Ccp_rat = Ccp.Make (Rat_cost)
+(** Connected-subgraph DP over exact rationals. *)
+
 (** Convert an exact-rational instance to the log domain (for
     cross-validation: costs must agree up to float tolerance). *)
 let log_of_rat (inst : Nl_rat.t) : Nl_log.t =

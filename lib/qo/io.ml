@@ -52,16 +52,27 @@ let parse_generic ~scalar_of_string text =
         with _ -> fail "line %d: invalid scalar %S" ln s
       in
       let line = String.trim line in
+      (* the documented format is line-oriented: one "qon 1" header
+         first, then data lines — enforce both directions *)
+      let require_header () =
+        if not !header then fail "line %d: data line before the \"qon 1\" header" ln
+      in
       if line = "" || line.[0] = '#' then ()
       else begin
         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-        | [ "qon"; "1" ] -> header := true
+        | [ "qon"; "1" ] ->
+            if !header then fail "line %d: duplicate \"qon 1\" header" ln;
+            header := true
         | "qon" :: rest -> fail "line %d: unsupported version %S" ln (String.concat " " rest)
         | [ "n"; v ] ->
+            require_header ();
             if !n >= 0 then fail "line %d: duplicate n line" ln;
             n := int_of v
-        | [ "size"; v; s ] -> sizes := (ln, int_of v, scalar_of s) :: !sizes
+        | [ "size"; v; s ] ->
+            require_header ();
+            sizes := (ln, int_of v, scalar_of s) :: !sizes
         | [ "edge"; i; j; "sel"; s; "wij"; wij; "wji"; wji ] ->
+            require_header ();
             edges := (ln, int_of i, int_of j, scalar_of s, scalar_of wij, scalar_of wji) :: !edges
         | _ -> fail "line %d: unrecognized %S" ln line
       end)

@@ -238,6 +238,15 @@ let test_gnp_extremes () =
   Alcotest.(check int) "p=1" 45 (Ugraph.edge_count (Gen.gnp ~seed:1 ~n:10 ~p:1.0));
   Alcotest.(check int) "star" 6 (Ugraph.edge_count (Gen.star 6))
 
+let prop_grid =
+  QCheck2.Test.make ~name:"grid has mesh edge count and is connected" ~count:60
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 1 8))
+    (fun (rows, cols) ->
+      let g = Gen.grid ~rows ~cols in
+      Ugraph.vertex_count g = rows * cols
+      && Ugraph.edge_count g = (rows * (cols - 1)) + (cols * (rows - 1))
+      && Ugraph.is_connected g)
+
 let prop_connected_with_edges =
   QCheck2.Test.make ~name:"connected_with_edges exact and connected" ~count:80
     QCheck2.Gen.(pair (int_range 2 30) (int_range 0 1000))
@@ -348,5 +357,11 @@ let () =
           Alcotest.test_case "gnp extremes" `Quick test_gnp_extremes;
         ]
         @ List.map QCheck_alcotest.to_alcotest
-            [ prop_with_clique_number; prop_random_tree; prop_connected_with_edges; prop_random_connected ] );
+            [
+              prop_with_clique_number;
+              prop_random_tree;
+              prop_grid;
+              prop_connected_with_edges;
+              prop_random_connected;
+            ] );
     ]

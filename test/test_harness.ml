@@ -1,10 +1,26 @@
 (* The experiment suite doubles as an integration test: every check in
    E1..E10 must pass. Runs the full harness quietly (~1-2 minutes). *)
 
+(* Regression for the --jobs plumbing: a single experiment run with
+   jobs > 1 must produce exactly the checks of the sequential run (the
+   parallel DP layers are bit-identical, so label/ok/detail all agree).
+   Before the fix, single-experiment runs dropped the jobs argument on
+   the floor and silently ran sequentially. *)
+let jobs_regression () =
+  let strip c =
+    (c.Harness.Experiments.label, c.Harness.Experiments.ok, c.Harness.Experiments.detail)
+  in
+  let seq = List.map strip (Harness.Experiments.e14_tree_frontier ~quiet:true ()) in
+  let par = List.map strip (Harness.Experiments.e14_tree_frontier ~quiet:true ~jobs:2 ()) in
+  Alcotest.(check bool) "e14 with --jobs 2 matches sequential run" true (seq = par)
+
 let () =
   let results = Harness.Experiments.all ~quiet:true () in
   let total = List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 results in
   let fails = Harness.Experiments.failures results in
+  let jobs_cases =
+    [ ("jobs plumbing", [ Alcotest.test_case "e14 ~jobs:2 ≡ sequential" `Slow jobs_regression ]) ]
+  in
   let cases =
     List.map
       (fun (name, checks) ->
@@ -19,4 +35,4 @@ let () =
       results
   in
   Printf.printf "experiment checks: %d total, %d failing\n%!" total (List.length fails);
-  Alcotest.run "experiments" cases
+  Alcotest.run "experiments" (cases @ jobs_cases)

@@ -299,6 +299,86 @@ let prop_dp_nc_parallel_equiv_log =
           let s = OL.dp_no_cartesian li and p = OL.dp_no_cartesian ~pool li in
           Logreal.compare s.OL.cost p.OL.cost = 0 && s.OL.seq = p.OL.seq))
 
+(* ------------- connected-subgraph DP ≡ lattice DP ------------- *)
+
+(* Ccp.dp_connected promises bit-identity with Opt.dp_no_cartesian —
+   cost AND sequence, in both cost domains — on every instance, sparse
+   or dense, connected or not. n up to 14 exercises multi-layer tables
+   well past the toy range. *)
+
+module CCPR = Qo.Instances.Ccp_rat
+module CCPL = Qo.Instances.Ccp_log
+
+let gen_connected_sparse =
+  QCheck2.Gen.(
+    let* n = int_range 2 14 in
+    let* seed = int_range 0 10_000 in
+    let* extra = int_range 0 3 in
+    let m = Stdlib.min (n * (n - 1) / 2) (n - 1 + extra) in
+    let g = Graphlib.Gen.random_connected ~seed ~n ~m in
+    return (Qo.Gen_inst.R.over_graph ~seed ~graph:g ()))
+
+let prop_ccp_lattice_rat =
+  QCheck2.Test.make ~name:"ccp ≡ dp_no_cartesian bit-identical (rational, sparse n≤14)"
+    ~count:60 gen_connected_sparse (fun inst ->
+      let a = OR_.dp_no_cartesian inst and b = CCPR.dp_connected inst in
+      RC.equal a.OR_.cost b.OR_.cost && a.OR_.seq = b.OR_.seq)
+
+let prop_ccp_lattice_log =
+  QCheck2.Test.make ~name:"ccp ≡ dp_no_cartesian bit-identical (log domain, sparse n≤14)"
+    ~count:60 gen_connected_sparse (fun inst ->
+      let li = Qo.Instances.log_of_rat inst in
+      let a = OL.dp_no_cartesian li and b = CCPL.dp_connected li in
+      Logreal.compare a.OL.cost b.OL.cost = 0 && a.OL.seq = b.OL.seq)
+
+let prop_ccp_lattice_gnp =
+  QCheck2.Test.make ~name:"ccp ≡ dp_no_cartesian on G(n,p), disconnected included"
+    ~count:60 gen_instance (fun inst ->
+      let a = OR_.dp_no_cartesian inst and b = CCPR.dp_connected inst in
+      (RC.is_finite a.OR_.cost = RC.is_finite b.OR_.cost)
+      && ((not (RC.is_finite a.OR_.cost)) || RC.equal a.OR_.cost b.OR_.cost)
+      && a.OR_.seq = b.OR_.seq)
+
+let prop_ccp_parallel_equiv =
+  QCheck2.Test.make ~name:"parallel ccp ≡ sequential ccp (both domains)" ~count:30
+    gen_connected_sparse (fun inst ->
+      let li = Qo.Instances.log_of_rat inst in
+      with_test_pool (fun pool ->
+          let sr = CCPR.dp_connected inst and pr = CCPR.dp_connected ~pool inst in
+          let sl = CCPL.dp_connected li and pl = CCPL.dp_connected ~pool li in
+          RC.equal sr.OR_.cost pr.OR_.cost
+          && sr.OR_.seq = pr.OR_.seq
+          && Logreal.compare sl.OL.cost pl.OL.cost = 0
+          && sl.OL.seq = pl.OL.seq))
+
+let test_ccp_infeasible () =
+  (* two components: no cartesian-product-free sequence exists; both
+     DPs must agree, and Explain must render the infeasibility instead
+     of crashing on seq.(0) *)
+  let g = Graphlib.Ugraph.of_edges 4 [ (0, 1); (2, 3) ] in
+  let inst = Qo.Gen_inst.R.over_graph ~seed:3 ~graph:g () in
+  let a = OR_.dp_no_cartesian inst and b = CCPR.dp_connected inst in
+  Alcotest.(check bool) "lattice infeasible" false (RC.is_finite a.OR_.cost);
+  Alcotest.(check bool) "ccp infeasible" false (RC.is_finite b.OR_.cost);
+  Alcotest.(check int) "lattice seq empty" 0 (Array.length a.OR_.seq);
+  Alcotest.(check int) "ccp seq empty" 0 (Array.length b.OR_.seq);
+  let rendered = Qo.Explain.Rat.render inst b.OR_.seq in
+  Alcotest.(check bool) "render reports infeasibility" true
+    (Astring_like.contains rendered "infeasible: no cartesian-product-free join sequence");
+  Alcotest.(check bool) "summary reports infeasibility" true
+    (Astring_like.contains (Qo.Explain.Rat.summary inst b.OR_.seq) "infeasible")
+
+let test_csg_count () =
+  let count g = CCPR.csg_count (Qo.Gen_inst.R.over_graph ~seed:1 ~graph:g ()) in
+  (* chain: one connected set per (start, length) pair *)
+  Alcotest.(check int) "path 20" (20 * 21 / 2) (count (Graphlib.Gen.path 20));
+  (* star: any set containing the center, or a singleton leaf *)
+  Alcotest.(check int) "star 5" ((1 lsl 5) + 5) (count (Graphlib.Gen.star 5));
+  (* complete graph: every nonempty subset is connected *)
+  Alcotest.(check int) "K4" 15 (count (Graphlib.Ugraph.complete 4));
+  (* cycle: full set + n arcs of each length 1..n-1 *)
+  Alcotest.(check int) "cycle 6" (1 + (6 * 5)) (count (Graphlib.Gen.cycle 6))
+
 (* -------------------- Io round trips -------------------- *)
 
 let prop_io_rat_roundtrip =
@@ -318,6 +398,73 @@ let prop_io_log_roundtrip =
       let inst' = Qo.Io.parse_log (Qo.Io.dump_log inst) in
       let z = Array.init n (fun i -> i) in
       Logreal.approx_equal ~tol:1e-9 (NL.cost inst z) (NL.cost inst' z))
+
+(* save/load through an actual file: the loaded instance must re-dump
+   to the identical byte string (scalar formatting is canonical in both
+   domains: exact rationals, 2^%.17g exponents). *)
+let with_temp_file f =
+  let path = Filename.temp_file "qopt_test" ".qon" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let prop_io_rat_file_roundtrip =
+  QCheck2.Test.make ~name:"save_rat/load_rat file round-trip is byte-exact" ~count:25
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 0 5000))
+    (fun (n, seed) ->
+      let inst = Qo.Gen_inst.R.random ~seed ~n ~p:0.5 () in
+      with_temp_file (fun path ->
+          Qo.Io.save_rat path inst;
+          Qo.Io.dump_rat (Qo.Io.load_rat path) = Qo.Io.dump_rat inst))
+
+let prop_io_log_file_roundtrip =
+  QCheck2.Test.make ~name:"save_log/load_log file round-trip is byte-exact" ~count:25
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 0 5000))
+    (fun (n, seed) ->
+      let inst = Qo.Gen_inst.L.random ~seed ~n ~p:0.5 () in
+      with_temp_file (fun path ->
+          Qo.Io.save_log path inst;
+          Qo.Io.dump_log (Qo.Io.load_log path) = Qo.Io.dump_log inst))
+
+(* Extreme scalars: huge/tiny log exponents, full-17-digit mantissas,
+   big rational numerators, and w at its exact bounds (t*s and t) must
+   all survive the file format losslessly. *)
+let test_io_extremes () =
+  let lg = Graphlib.Ugraph.of_edges 2 [ (0, 1) ] in
+  (* log domain: exponents at ±1e9 and floats needing all 17 digits *)
+  let t0 = Logreal.of_log2 1e9 and t1 = Logreal.of_log2 (-1e9) in
+  let s = Logreal.of_float 0.1 in
+  let sel = [| [| Logreal.one; s |]; [| s; Logreal.one |] |] in
+  let sizes = [| t0; t1 |] in
+  (* w_01 at the lower bound t*s exactly; w_10 at the upper bound t *)
+  let w = [| [| t0; Logreal.mul t0 s |]; [| t1; t1 |] |] in
+  let module L = Qo.Instances.Nl_log in
+  let inst = L.make ~graph:lg ~sel ~sizes ~w in
+  with_temp_file (fun path ->
+      Qo.Io.save_log path inst;
+      let inst' = Qo.Io.load_log path in
+      Alcotest.(check string) "log dump byte-exact" (Qo.Io.dump_log inst)
+        (Qo.Io.dump_log inst');
+      (* bit-exact exponents, not just approx *)
+      Alcotest.(check bool) "sizes bit-exact" true
+        (Logreal.to_log2 inst'.L.sizes.(0) = 1e9 && Logreal.to_log2 inst'.L.sizes.(1) = -1e9);
+      Alcotest.(check bool) "sel bit-exact" true
+        (Logreal.compare inst'.L.sel.(0).(1) s = 0);
+      Alcotest.(check bool) "w boundary bit-exact" true
+        (Logreal.compare inst'.L.w.(0).(1) (Logreal.mul t0 s) = 0
+        && Logreal.compare inst'.L.w.(1).(0) t1 = 0));
+  (* rational domain: numerators far past 2^63, w on its exact bounds *)
+  let big = RC.of_bigq (Bignum.Bigq.of_string "123456789012345678901234567890123456789") in
+  let tiny = RC.of_bigq (Bignum.Bigq.of_string "1/987654321987654321987654321") in
+  let sel_r = [| [| RC.one; tiny |]; [| tiny; RC.one |] |] in
+  let sizes_r = [| big; RC.of_int 7 |] in
+  let w_r = [| [| RC.zero; RC.mul big tiny |]; [| RC.of_int 7; RC.zero |] |] in
+  let inst_r = NR.make ~graph:lg ~sel:sel_r ~sizes:sizes_r ~w:w_r in
+  with_temp_file (fun path ->
+      Qo.Io.save_rat path inst_r;
+      let inst' = Qo.Io.load_rat path in
+      Alcotest.(check string) "rat dump byte-exact" (Qo.Io.dump_rat inst_r)
+        (Qo.Io.dump_rat inst');
+      Alcotest.(check rc) "big size exact" big inst'.NR.sizes.(0);
+      Alcotest.(check rc) "w at t*s bound exact" (RC.mul big tiny) inst'.NR.w.(0).(1))
 
 let test_io_errors () =
   Alcotest.check_raises "bad line" (Invalid_argument "Qo.Io.parse: line 2: unrecognized \"junk\"")
@@ -352,6 +499,14 @@ let test_io_malformed () =
   expect_parse_error "size vertex out of range" ("qon 1\nn 2\nsize 0 10\nsize 7 10\n");
   expect_parse_error "missing header" "n 2\nsize 0 10\nsize 1 10\n";
   expect_parse_error "unsupported version" "qon 2\nn 2\nsize 0 10\nsize 1 10\n";
+  (* a second header used to be silently accepted, as was a header
+     arriving after data lines — both now fail with the line number *)
+  Alcotest.check_raises "duplicate header"
+    (Invalid_argument "Qo.Io.parse: line 7: duplicate \"qon 1\" header") (fun () ->
+      ignore (Qo.Io.parse_rat (base ^ "qon 1\n")));
+  Alcotest.check_raises "header after data"
+    (Invalid_argument "Qo.Io.parse: line 1: data line before the \"qon 1\" header") (fun () ->
+      ignore (Qo.Io.parse_rat "n 3\nqon 1\nsize 0 10\nsize 1 10\nsize 2 10\n"));
   expect_parse_error "duplicate n" (base ^ "n 3\n");
   expect_parse_error "bad integer" "qon 1\nn x\n";
   expect_parse_error "bad scalar" "qon 1\nn 1\nsize 0 banana\n";
@@ -392,10 +547,29 @@ let () =
         [ Alcotest.test_case "explain rendering" `Quick test_explain_render ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_gen_inst_valid; prop_gen_inst_deterministic ] );
+      ( "connected dp",
+        [
+          Alcotest.test_case "disconnected graph is infeasible" `Quick test_ccp_infeasible;
+          Alcotest.test_case "csg counts on known families" `Quick test_csg_count;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_ccp_lattice_rat;
+              prop_ccp_lattice_log;
+              prop_ccp_lattice_gnp;
+              prop_ccp_parallel_equiv;
+            ] );
       ( "io",
         [
           Alcotest.test_case "parse errors" `Quick test_io_errors;
           Alcotest.test_case "malformed inputs" `Quick test_io_malformed;
+          Alcotest.test_case "extreme scalars round-trip" `Quick test_io_extremes;
         ]
-        @ List.map QCheck_alcotest.to_alcotest [ prop_io_rat_roundtrip; prop_io_log_roundtrip ] );
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_io_rat_roundtrip;
+              prop_io_log_roundtrip;
+              prop_io_rat_file_roundtrip;
+              prop_io_log_file_roundtrip;
+            ] );
     ]
