@@ -127,7 +127,7 @@ let run_benchmarks () =
   Printf.printf "\n== Timing benchmarks (one kernel per experiment) ==\n";
   Printf.printf "%-34s %14s %8s\n" "kernel" "time/run" "r^2";
   Printf.printf "%s\n" (String.make 58 '-');
-  List.iter
+  List.map
     (fun (name, ols) ->
       let time_ns =
         match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
@@ -139,7 +139,8 @@ let run_benchmarks () =
         else Printf.sprintf "%.0f ns" time_ns
       in
       let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
-      Printf.printf "%-34s %14s %8.4f\n" name pretty r2)
+      Printf.printf "%-34s %14s %8.4f\n" name pretty r2;
+      (name, time_ns, r2))
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -148,11 +149,7 @@ let run_benchmarks () =
    polynomial methods keep going). *)
 
 let median3 f =
-  let t () =
-    let t0 = Unix.gettimeofday () in
-    ignore (f ());
-    Unix.gettimeofday () -. t0
-  in
+  let t () = snd (Obs.time (fun () -> ignore (f ()))) in
   let a = t () and b = t () and c = t () in
   List.nth (List.sort compare [ a; b; c ]) 1
 
@@ -201,23 +198,22 @@ let parallel_dp_check ~jobs =
   Printf.printf "\n== Parallel subset DP: equivalence + speedup (jobs=%d) ==\n" jobs;
   Printf.printf "%6s %12s %12s %9s %12s\n" "n" "seq (s)" "par (s)" "speedup" "bit-identical";
   let mismatches = ref 0 in
-  Pool.with_pool ~jobs (fun pool ->
-      List.iter
-        (fun n ->
-          let r = fn_instance ~n ~omega:(3 * n / 4) in
-          let t0 = Unix.gettimeofday () in
-          let seq = OL.dp r.Fn.instance in
-          let t_seq = Unix.gettimeofday () -. t0 in
-          let t0 = Unix.gettimeofday () in
-          let par = OL.dp ~pool r.Fn.instance in
-          let t_par = Unix.gettimeofday () -. t0 in
-          let same = Logreal.compare seq.OL.cost par.OL.cost = 0 && seq.OL.seq = par.OL.seq in
-          if not same then incr mismatches;
-          Printf.printf "%6d %12.4f %12.4f %8.2fx %12s\n" n t_seq t_par
-            (if t_par > 0.0 then t_seq /. t_par else Float.nan)
-            (if same then "yes" else "NO"))
-        [ 16; 18 ]);
-  !mismatches
+  let rows =
+    Pool.with_pool ~jobs (fun pool ->
+        List.map
+          (fun n ->
+            let r = fn_instance ~n ~omega:(3 * n / 4) in
+            let seq, t_seq = Obs.time (fun () -> OL.dp r.Fn.instance) in
+            let par, t_par = Obs.time (fun () -> OL.dp ~pool r.Fn.instance) in
+            let same = Logreal.compare seq.OL.cost par.OL.cost = 0 && seq.OL.seq = par.OL.seq in
+            if not same then incr mismatches;
+            Printf.printf "%6d %12.4f %12.4f %8.2fx %12s\n" n t_seq t_par
+              (if t_par > 0.0 then t_seq /. t_par else Float.nan)
+              (if same then "yes" else "NO");
+            (n, t_seq, t_par, same))
+          [ 16; 18 ])
+  in
+  (!mismatches, rows)
 
 (* ------------------------------------------------------------------ *)
 (* Connected-subgraph DP (Ccp.dp_connected) vs the lattice DP: the
@@ -232,59 +228,146 @@ let ccp_dp_check ~jobs =
   let mismatches = ref 0 in
   Printf.printf "%-10s %4s %16s %12s %12s %9s %14s\n" "graph" "n" "csg / 2^n"
     "lattice (s)" "ccp (s)" "speedup" "bit-identical";
-  List.iter
-    (fun (name, graph) ->
-      let inst = Qo.Gen_inst.L.over_graph ~seed:11 ~graph () in
-      let n = NL.n inst in
-      let t0 = Unix.gettimeofday () in
-      let lat = OL.dp_no_cartesian inst in
-      let t_lat = Unix.gettimeofday () -. t0 in
-      let t0 = Unix.gettimeofday () in
-      let ccp = CCP.dp_connected inst in
-      let t_ccp = Unix.gettimeofday () -. t0 in
-      let same =
-        Logreal.compare lat.OL.cost ccp.OL.cost = 0 && lat.OL.seq = ccp.OL.seq
-      in
-      if not same then incr mismatches;
-      Printf.printf "%-10s %4d %16s %12.4f %12.4f %8.1fx %14s\n" name n
-        (Printf.sprintf "%d / %d" (CCP.csg_count inst) (1 lsl n))
-        t_lat t_ccp
-        (if t_ccp > 0.0 then t_lat /. t_ccp else Float.nan)
-        (if same then "yes" else "NO"))
-    [
-      ("chain", Graphlib.Gen.path 20);
-      ("tree", Graphlib.Gen.random_tree ~seed:3 ~n:20);
-      ("cycle", Graphlib.Gen.cycle 20);
-      ("grid-4x5", Graphlib.Gen.grid ~rows:4 ~cols:5);
-    ];
+  let vs_rows =
+    List.map
+      (fun (name, graph) ->
+        let inst = Qo.Gen_inst.L.over_graph ~seed:11 ~graph () in
+        let n = NL.n inst in
+        let lat, t_lat = Obs.time (fun () -> OL.dp_no_cartesian inst) in
+        let ccp, t_ccp = Obs.time (fun () -> CCP.dp_connected inst) in
+        let same =
+          Logreal.compare lat.OL.cost ccp.OL.cost = 0 && lat.OL.seq = ccp.OL.seq
+        in
+        if not same then incr mismatches;
+        Printf.printf "%-10s %4d %16s %12.4f %12.4f %8.1fx %14s\n" name n
+          (Printf.sprintf "%d / %d" (CCP.csg_count inst) (1 lsl n))
+          t_lat t_ccp
+          (if t_ccp > 0.0 then t_lat /. t_ccp else Float.nan)
+          (if same then "yes" else "NO");
+        (name, n, CCP.csg_count inst, t_lat, t_ccp, same))
+      [
+        ("chain", Graphlib.Gen.path 20);
+        ("tree", Graphlib.Gen.random_tree ~seed:3 ~n:20);
+        ("cycle", Graphlib.Gen.cycle 20);
+        ("grid-4x5", Graphlib.Gen.grid ~rows:4 ~cols:5);
+      ]
+  in
   (* past the lattice limit: the 2^n table no longer fits, the
      connected-subset table still does *)
   Printf.printf "\n%-10s %4s %16s %12s %12s\n" "graph" "n" "csg (vs 2^n)" "ccp (s)" "cost";
-  Pool.with_pool ~jobs (fun pool ->
-      List.iter
-        (fun (name, graph) ->
-          let inst = Qo.Gen_inst.L.over_graph ~seed:11 ~graph () in
-          let n = NL.n inst in
-          let t0 = Unix.gettimeofday () in
-          let p = CCP.dp_connected ~pool inst in
-          let t = Unix.gettimeofday () -. t0 in
-          (* a full-length sequence is the invariant a wrong enumeration
-             would break first (missing connected sets -> no plan) *)
-          if Array.length p.OL.seq <> n then incr mismatches;
-          Printf.printf "%-10s %4d %16s %12.4f %12s\n" name n
-            (Printf.sprintf "%d / 2^%d" (CCP.csg_count inst) n)
-            t
-            (Printf.sprintf "2^%.1f" (Logreal.to_log2 p.OL.cost)))
-        [
-          ("chain", Graphlib.Gen.path 28);
-          ("tree", Graphlib.Gen.random_tree ~seed:9 ~n:28);
-          ("cycle", Graphlib.Gen.cycle 28);
-          ("grid-4x6", Graphlib.Gen.grid ~rows:4 ~cols:6);
-        ]);
-  !mismatches
+  let beyond_rows =
+    Pool.with_pool ~jobs (fun pool ->
+        List.map
+          (fun (name, graph) ->
+            let inst = Qo.Gen_inst.L.over_graph ~seed:11 ~graph () in
+            let n = NL.n inst in
+            let p, t = Obs.time (fun () -> CCP.dp_connected ~pool inst) in
+            (* a full-length sequence is the invariant a wrong enumeration
+               would break first (missing connected sets -> no plan) *)
+            if Array.length p.OL.seq <> n then incr mismatches;
+            Printf.printf "%-10s %4d %16s %12.4f %12s\n" name n
+              (Printf.sprintf "%d / 2^%d" (CCP.csg_count inst) n)
+              t
+              (Printf.sprintf "2^%.1f" (Logreal.to_log2 p.OL.cost));
+            (name, n, CCP.csg_count inst, t, Logreal.to_log2 p.OL.cost))
+          [
+            ("chain", Graphlib.Gen.path 28);
+            ("tree", Graphlib.Gen.random_tree ~seed:9 ~n:28);
+            ("cycle", Graphlib.Gen.cycle 28);
+            ("grid-4x6", Graphlib.Gen.grid ~rows:4 ~cols:6);
+          ])
+  in
+  (!mismatches, vs_rows, beyond_rows)
+
+(* Machine-readable mirror of the tables above: schema-versioned, written
+   quietly at the repo root so CI can archive it without parsing stdout. *)
+let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels =
+  let open Obs.Json in
+  let speedup num den = if den > 0.0 then num /. den else Float.nan in
+  let report =
+    Obj
+      [
+        ("schema_version", Int 1);
+        ("kind", Str "qopt-bench-report");
+        ("jobs", Int jobs);
+        ( "experiments",
+          Arr
+            (List.map
+               (fun r ->
+                 let open Harness.Experiments in
+                 Obj
+                   [
+                     ("name", Str r.name);
+                     ("seconds", Float r.seconds);
+                     ("checks", Int (List.length r.checks));
+                     ( "failures",
+                       Int (List.length (List.filter (fun c -> not c.ok) r.checks)) );
+                   ])
+               runs) );
+        ( "totals",
+          Obj
+            [
+              ("checks", Int total);
+              ("failures", Int (List.length fails));
+              ("seconds", Float elapsed);
+            ] );
+        ( "parallel_dp",
+          Arr
+            (List.map
+               (fun (n, t_seq, t_par, same) ->
+                 Obj
+                   [
+                     ("n", Int n);
+                     ("seq_s", Float t_seq);
+                     ("par_s", Float t_par);
+                     ("speedup", Float (speedup t_seq t_par));
+                     ("bit_identical", Bool same);
+                   ])
+               dp_rows) );
+        ( "ccp_vs_lattice",
+          Arr
+            (List.map
+               (fun (name, n, csg, t_lat, t_ccp, same) ->
+                 Obj
+                   [
+                     ("graph", Str name);
+                     ("n", Int n);
+                     ("connected_subsets", Int csg);
+                     ("lattice_s", Float t_lat);
+                     ("ccp_s", Float t_ccp);
+                     ("speedup", Float (speedup t_lat t_ccp));
+                     ("bit_identical", Bool same);
+                   ])
+               vs_rows) );
+        ( "ccp_beyond_lattice",
+          Arr
+            (List.map
+               (fun (name, n, csg, t, log2_cost) ->
+                 Obj
+                   [
+                     ("graph", Str name);
+                     ("n", Int n);
+                     ("connected_subsets", Int csg);
+                     ("ccp_s", Float t);
+                     ("log2_cost", Float log2_cost);
+                   ])
+               beyond_rows) );
+        ( "kernels",
+          Arr
+            (List.map
+               (fun (name, time_ns, r2) ->
+                 Obj [ ("name", Str name); ("time_ns", Float time_ns); ("r_square", Float r2) ])
+               kernels) );
+        ( "counters",
+          Obj
+            (List.filter_map
+               (fun (k, v) -> if v = 0 then None else Some (k, Int v))
+               (Obs.snapshot ())) );
+      ]
+  in
+  write_file "BENCH_qopt.json" report
 
 let () =
-  let t0 = Unix.gettimeofday () in
   let jobs =
     let rec scan = function
       | "--jobs" :: v :: _ | "-j" :: v :: _ -> int_of_string_opt v
@@ -301,27 +384,33 @@ let () =
   print_endline " Experiment tables E1..E10 (see EXPERIMENTS.md for the index)";
   print_endline "=====================================================================\n";
   Printf.printf "(experiment harness running with --jobs %d; set QOPT_JOBS to override)\n\n" jobs;
-  let runs = Harness.Experiments.run_all ~jobs () in
-  let results = List.map (fun r -> (r.Harness.Experiments.name, r.Harness.Experiments.checks)) runs in
-  let total = List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 results in
-  let fails = Harness.Experiments.failures results in
-  Printf.printf "\n== Wall-clock per experiment (jobs=%d) ==\n" jobs;
-  List.iter
-    (fun r ->
-      Printf.printf "  %-4s %8.2fs  (%d checks)\n" r.Harness.Experiments.name
-        r.Harness.Experiments.seconds
-        (List.length r.Harness.Experiments.checks))
-    runs;
+  let (runs, total, fails), elapsed =
+    Obs.time (fun () ->
+        let runs = Harness.Experiments.run_all ~jobs () in
+        let results =
+          List.map (fun r -> (r.Harness.Experiments.name, r.Harness.Experiments.checks)) runs
+        in
+        let total = List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 results in
+        let fails = Harness.Experiments.failures results in
+        Printf.printf "\n== Wall-clock per experiment (jobs=%d) ==\n" jobs;
+        List.iter
+          (fun r ->
+            Printf.printf "  %-4s %8.2fs  (%d checks)\n" r.Harness.Experiments.name
+              r.Harness.Experiments.seconds
+              (List.length r.Harness.Experiments.checks))
+          runs;
+        (runs, total, fails))
+  in
   Printf.printf "\n== Check summary: %d checks, %d failures (%.1fs) ==\n" total
-    (List.length fails)
-    (Unix.gettimeofday () -. t0);
+    (List.length fails) elapsed;
   List.iter
     (fun (e, c) ->
       Printf.printf "  FAIL %s: %s (%s)\n" e c.Harness.Experiments.label
         c.Harness.Experiments.detail)
     fails;
-  let dp_mismatches = parallel_dp_check ~jobs:(Stdlib.max jobs 2) in
-  let ccp_mismatches = ccp_dp_check ~jobs:(Stdlib.max jobs 2) in
-  run_benchmarks ();
+  let dp_mismatches, dp_rows = parallel_dp_check ~jobs:(Stdlib.max jobs 2) in
+  let ccp_mismatches, vs_rows, beyond_rows = ccp_dp_check ~jobs:(Stdlib.max jobs 2) in
+  let kernels = run_benchmarks () in
   scaling_series ();
+  write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels;
   if fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 then exit 1

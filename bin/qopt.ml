@@ -42,6 +42,35 @@ let algo_term =
   in
   Arg.(value & opt algo_conv `Lattice & info [ "algo" ] ~docv:"ALGO" ~doc)
 
+(* ---------------- observability flags ---------------- *)
+
+(* Counters always count; these flags only control reporting, so the
+   default (flag-free) output of every subcommand stays byte-identical. *)
+let stats_conv = Arg.enum [ ("text", `Text); ("json", `Json) ]
+
+let stats_term =
+  let doc =
+    "Print the observability report (counters and spans) after the run. $(docv) is \
+     $(b,text) (default when the flag is given bare) or $(b,json)."
+  in
+  Arg.(value & opt (some stats_conv) None ~vopt:(Some `Text) & info [ "stats" ] ~docv:"FORMAT" ~doc)
+
+let trace_term =
+  let doc =
+    "Write the run's spans as Chrome trace-event JSON to $(docv) (open in \
+     chrome://tracing or https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let setup_obs stats trace = if stats <> None || trace <> None then Obs.set_enabled true
+
+let finish_obs stats trace =
+  (match trace with Some path -> Obs.write_trace path | None -> ());
+  match stats with
+  | Some `Text -> print_string (Obs.render_stats ())
+  | Some `Json -> print_endline (Obs.Json.to_string (Obs.stats_json ()))
+  | None -> ()
+
 let exit_of_fails fails =
   if fails = [] then 0
   else begin
@@ -62,43 +91,70 @@ let experiment_cmd =
       & pos 0 string "all"
       & info [] ~docv:"ID" ~doc:"Experiment id: e1..e15 or 'all'.")
   in
-  let run id jobs =
+  let report_term =
+    let doc = "Write a schema-versioned JSON run report (checks, timings, counters) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let run id jobs stats trace report =
     let jobs = resolve_jobs jobs in
+    setup_obs stats trace;
     let open Harness.Experiments in
     (* single-experiment runs thread the resolved job count into the
        experiments with a parallel DP inner loop (the others are
        sequential by nature) — "qopt experiment e9 --jobs 8" must not
        silently run on one domain *)
+    let single name f =
+      let before = Obs.snapshot () in
+      let checks, seconds = Obs.span ("experiment." ^ name) (fun () -> Obs.time f) in
+      [ { name; checks; output = ""; seconds; counters = Obs.diff before (Obs.snapshot ()) } ]
+    in
     let pick = function
-      | "e1" -> [ ("E1", e1_qon_gap ~jobs ()) ]
-      | "e2" -> [ ("E2", e2_profile ()) ]
-      | "e3" -> [ ("E3", e3_qoh_gap ()) ]
-      | "e4" -> [ ("E4", e4_memory ()) ]
-      | "e5" -> [ ("E5", e5_sparse_qon ~jobs ()) ]
-      | "e6" -> [ ("E6", e6_sparse_qoh ()) ]
-      | "e7" -> [ ("E7", e7_chain ()) ]
-      | "e8" -> [ ("E8", e8_appendix ()) ]
-      | "e9" -> [ ("E9", e9_competitive ~jobs ()) ]
-      | "e10" -> [ ("E10", e10_crossval ()) ]
-      | "e11" -> [ ("E11", e11_alpha_sweep ~jobs ()) ]
-      | "e12" -> [ ("E12", e12_memory_sweep ()) ]
-      | "e13" -> [ ("E13", e13_nu_sweep ()) ]
-      | "e14" -> [ ("E14", e14_tree_frontier ~jobs ()) ]
-      | "e15" -> [ ("E15", e15_printed_vs_reconstructed ()) ]
-      | "all" -> all ~jobs ()
+      | "e1" -> single "E1" (fun () -> e1_qon_gap ~jobs ())
+      | "e2" -> single "E2" (fun () -> e2_profile ())
+      | "e3" -> single "E3" (fun () -> e3_qoh_gap ())
+      | "e4" -> single "E4" (fun () -> e4_memory ())
+      | "e5" -> single "E5" (fun () -> e5_sparse_qon ~jobs ())
+      | "e6" -> single "E6" (fun () -> e6_sparse_qoh ())
+      | "e7" -> single "E7" (fun () -> e7_chain ())
+      | "e8" -> single "E8" (fun () -> e8_appendix ())
+      | "e9" -> single "E9" (fun () -> e9_competitive ~jobs ())
+      | "e10" -> single "E10" (fun () -> e10_crossval ())
+      | "e11" -> single "E11" (fun () -> e11_alpha_sweep ~jobs ())
+      | "e12" -> single "E12" (fun () -> e12_memory_sweep ())
+      | "e13" -> single "E13" (fun () -> e13_nu_sweep ())
+      | "e14" -> single "E14" (fun () -> e14_tree_frontier ~jobs ())
+      | "e15" -> single "E15" (fun () -> e15_printed_vs_reconstructed ())
+      | "all" -> run_all ~jobs ()
       | other ->
           Printf.eprintf "unknown experiment %S\n" other;
           exit 2
     in
-    let results = pick (String.lowercase_ascii id) in
+    let runs = pick (String.lowercase_ascii id) in
+    let results = List.map (fun r -> (r.name, r.checks)) runs in
     let total = List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 results in
     let fails = failures results in
     Printf.printf "\n%d checks, %d failures\n" total (List.length fails);
+    (match report with
+    | Some path -> Obs.Json.write_file path (report_json ~jobs runs)
+    | None -> ());
+    (match stats with
+    | Some `Text ->
+        Printf.printf "\n== per-experiment metrics (jobs=%d) ==\n" jobs;
+        List.iter
+          (fun r ->
+            Printf.printf "  %-4s %8.2fs  %3d checks\n" r.name r.seconds
+              (List.length r.checks);
+            List.iter
+              (fun (k, v) -> Printf.printf "         %-40s %12d\n" k v)
+              r.counters)
+          runs
+    | Some `Json | None -> ());
+    finish_obs stats trace;
     exit_of_fails fails
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run reproduction experiments (tables + checks)")
-    Term.(const run $ id $ jobs_term)
+    Term.(const run $ id $ jobs_term $ stats_term $ trace_term $ report_term)
 
 (* ---------------- solve ---------------- *)
 
@@ -106,22 +162,27 @@ let solve_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF file.")
   in
-  let run file =
+  let run file stats trace =
+    setup_obs stats trace;
     let f = Sat.Dimacs.load_file file in
-    match Sat.Dpll.solve_with_stats f with
-    | Sat.Dpll.Sat a, decisions ->
-        Printf.printf "s SATISFIABLE (%d decisions)\nv " decisions;
-        for v = 1 to Sat.Cnf.nvars f do
-          Printf.printf "%d " (if a.(v) then v else -v)
-        done;
-        print_endline "0";
-        0
-    | Sat.Dpll.Unsat, decisions ->
-        Printf.printf "s UNSATISFIABLE (%d decisions)\n" decisions;
-        0
+    let code =
+      match Obs.span "solve.dpll" (fun () -> Sat.Dpll.solve_with_stats f) with
+      | Sat.Dpll.Sat a, decisions ->
+          Printf.printf "s SATISFIABLE (%d decisions)\nv " decisions;
+          for v = 1 to Sat.Cnf.nvars f do
+            Printf.printf "%d " (if a.(v) then v else -v)
+          done;
+          print_endline "0";
+          0
+      | Sat.Dpll.Unsat, decisions ->
+          Printf.printf "s UNSATISFIABLE (%d decisions)\n" decisions;
+          0
+    in
+    finish_obs stats trace;
+    code
   in
   Cmd.v (Cmd.info "solve" ~doc:"Decide a DIMACS CNF with the built-in DPLL solver")
-    Term.(const run $ file)
+    Term.(const run $ file $ stats_term $ trace_term)
 
 (* ---------------- optimize ---------------- *)
 
@@ -129,26 +190,63 @@ let optimize_cmd =
   let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Query-graph vertices.") in
   let omega = Arg.(value & opt int 12 & info [ "omega" ] ~doc:"Planted clique number.") in
   let log2a = Arg.(value & opt float 8.0 & info [ "log2a" ] ~doc:"log2 of the parameter a.") in
-  let run n omega log2a algo jobs =
-    if omega < 1 || omega > n then begin
-      Printf.eprintf "omega must be in [1, n]\n";
-      exit 2
-    end;
+  let shape =
+    let family =
+      Arg.enum
+        [
+          ("cocluster", `Cocluster);
+          ("random", `Random);
+          ("tree", `Tree);
+          ("chain", `Chain);
+          ("star", `Star);
+        ]
+    in
+    let doc =
+      "Instance family: $(b,cocluster) (the hard f_N co-cluster instance; the default) or a \
+       random log-domain instance over a $(b,random), $(b,tree), $(b,chain) or $(b,star) \
+       query graph."
+    in
+    Arg.(value & opt family `Cocluster & info [ "shape" ] ~docv:"SHAPE" ~doc)
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed (non-cocluster shapes).")
+  in
+  let run n omega log2a shape seed algo jobs stats trace =
     let jobs = resolve_jobs jobs in
+    setup_obs stats trace;
     let module OL = Qo.Instances.Opt_log in
     let module CCP = Qo.Instances.Ccp_log in
-    let g = Graphlib.Gen.with_clique_number ~n ~omega in
-    let c = float_of_int omega /. float_of_int n in
-    let r = Reductions.Fn.reduce ~graph:g ~c ~d:(c /. 2.0) ~log2_a:log2a in
-    let inst = r.Reductions.Fn.instance in
+    let inst =
+      match shape with
+      | `Cocluster ->
+          if omega < 1 || omega > n then begin
+            Printf.eprintf "omega must be in [1, n]\n";
+            exit 2
+          end;
+          let g = Graphlib.Gen.with_clique_number ~n ~omega in
+          let c = float_of_int omega /. float_of_int n in
+          let r = Reductions.Fn.reduce ~graph:g ~c ~d:(c /. 2.0) ~log2_a:log2a in
+          Printf.printf "f_N instance: n=%d omega=%d log2(t)=%.1f K_cd=2^%.1f\n" n omega
+            (Logreal.to_log2 r.Reductions.Fn.t_size)
+            (Logreal.to_log2 r.Reductions.Fn.k_cd);
+          r.Reductions.Fn.instance
+      | (`Random | `Tree | `Chain | `Star) as s ->
+          let name, inst =
+            match s with
+            | `Random -> ("random", Qo.Gen_inst.L.random ~seed ~n ~p:0.5 ())
+            | `Tree -> ("tree", Qo.Gen_inst.L.tree ~seed ~n ())
+            | `Chain -> ("chain", Qo.Gen_inst.L.chain ~seed ~n ())
+            | `Star -> ("star", Qo.Gen_inst.L.star ~seed ~satellites:(n - 1) ())
+          in
+          Printf.printf "%s instance: n=%d edges=%d\n" name n
+            (Graphlib.Ugraph.edge_count inst.Qo.Instances.Nl_log.graph);
+          inst
+    in
     let show name (p : OL.plan) =
       Printf.printf "%-22s cost = 2^%.2f  seq = [%s]\n" name
         (Logreal.to_log2 p.OL.cost)
         (String.concat ";" (Array.to_list (Array.map string_of_int p.OL.seq)))
     in
-    Printf.printf "f_N instance: n=%d omega=%d log2(t)=%.1f K_cd=2^%.1f\n" n omega
-      (Logreal.to_log2 r.Reductions.Fn.t_size)
-      (Logreal.to_log2 r.Reductions.Fn.k_cd);
     (match algo with
     | `Lattice ->
         if n <= 22 then
@@ -162,11 +260,13 @@ let optimize_cmd =
     show "greedy (min size)" (OL.greedy ~mode:OL.Min_size inst);
     show "iterative improve" (OL.iterative_improvement inst);
     show "simulated anneal" (OL.simulated_annealing inst);
+    finish_obs stats trace;
     0
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Build an f_N instance and compare the optimizer portfolio")
-    Term.(const run $ n $ omega $ log2a $ algo_term $ jobs_term)
+    Term.(const run $ n $ omega $ log2a $ shape $ seed $ algo_term $ jobs_term $ stats_term
+          $ trace_term)
 
 (* ---------------- shared instance building ---------------- *)
 
@@ -189,11 +289,12 @@ let explain_cmd =
   let file =
     Arg.(value & opt (some file) None & info [ "file"; "f" ] ~doc:"Load a QO_N instance file instead of generating.")
   in
-  let run n seed shape file algo jobs =
+  let run n seed shape file algo jobs stats trace =
     let module NR = Qo.Instances.Nl_rat in
     let module Opt = Qo.Instances.Opt_rat in
     let module CCP = Qo.Instances.Ccp_rat in
     let jobs = resolve_jobs jobs in
+    setup_obs stats trace;
     let inst =
       match file with
       | Some path -> (
@@ -218,11 +319,12 @@ let explain_cmd =
     let g = Opt.greedy inst in
     Printf.printf "Greedy plan for comparison:\n\n%s"
       (Qo.Explain.Rat.render inst g.Opt.seq);
+    finish_obs stats trace;
     0
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Generate (or load) a query, optimize it, and explain the plans")
-    Term.(const run $ n $ seed $ shape $ file $ algo_term $ jobs_term)
+    Term.(const run $ n $ seed $ shape $ file $ algo_term $ jobs_term $ stats_term $ trace_term)
 
 (* ---------------- gen ---------------- *)
 

@@ -9,6 +9,10 @@ type t = {
   l_bound : Logreal.t;
 }
 
+let c_runs = Obs.counter "reduce.fh.runs"
+let c_out_vertices = Obs.counter "reduce.fh.out_vertices"
+let c_out_edges = Obs.counter "reduce.fh.out_edges"
+
 let reduce ?(nu = 0.5) ~graph ~log2_a () =
   let n = Graphlib.Ugraph.vertex_count graph in
   if n < 6 || n mod 3 <> 0 then invalid_arg "Fh.reduce: n must be >= 6 and divisible by 3";
@@ -43,6 +47,9 @@ let reduce ?(nu = 0.5) ~graph ~log2_a () =
   let sizes = Array.init (n + 1) (fun i -> if i = n then t0 else t_size) in
   let instance = Qo.Hash.make ~nu ~graph:q ~sel ~sizes ~memory () in
   let l_bound = Logreal.mul t0 (Logreal.of_log2 (nf *. nf /. 9.0 *. log2_a)) in
+  Obs.incr c_runs;
+  Obs.add c_out_vertices (n + 1);
+  Obs.add c_out_edges (Graphlib.Ugraph.edge_count q);
   { instance; n; v0 = n; log2_a; t_size; t0; memory; l_bound }
 
 let of_lemma4 ?nu (l : Lemma4.t) ~log2_a = reduce ?nu ~graph:l.Lemma4.graph ~log2_a ()

@@ -16,6 +16,11 @@ let edge_budget ~graph ~k =
   (* E1 + hub edges (n) + bridge (1) + G2 spanning tree .. G2 complete *)
   (e1 + n + 1 + (v2 - 1), e1 + n + 1 + (v2 * (v2 - 1) / 2))
 
+let c_runs = Obs.counter "reduce.fhe.runs"
+let c_in_vertices = Obs.counter "reduce.fhe.in_vertices"
+let c_out_vertices = Obs.counter "reduce.fhe.out_vertices"
+let c_out_edges = Obs.counter "reduce.fhe.out_edges"
+
 let reduce ~graph ~k ~e ?log2_a ?(nu = 0.5) () =
   let n = Graphlib.Ugraph.vertex_count graph in
   if n < 6 || n mod 3 <> 0 then invalid_arg "Fhe.reduce: n must be >= 6 and divisible by 3";
@@ -63,6 +68,10 @@ let reduce ~graph ~k ~e ?log2_a ?(nu = 0.5) () =
             else half (* E2 and bridge *)))
   in
   let instance = Qo.Hash.make ~nu ~graph:q ~sel ~sizes ~memory:fh.Fh.memory () in
+  Obs.incr c_runs;
+  Obs.add c_in_vertices n;
+  Obs.add c_out_vertices m;
+  Obs.add c_out_edges target_edges;
   { instance; fh; n; m; k; edges = target_edges; v0 = n }
 
 let witness_plan t ~clique =

@@ -38,6 +38,13 @@ let lemma8_exponent ~p_real ~omega_no =
   let d_bound = (mf *. (mf -. 1.0) /. 2.0) -. mf +. float_of_int (Stdlib.min m omega_no) in
   (p_real *. mf) -. d_bound
 
+(* Output-instance size counters (the f_N query graph is the input
+   graph itself; n and the edge count measure the reduction's blow-up
+   relative to the clique instance). *)
+let c_runs = Obs.counter "reduce.fn.runs"
+let c_out_vertices = Obs.counter "reduce.fn.out_vertices"
+let c_out_edges = Obs.counter "reduce.fn.out_edges"
+
 let reduce ~graph ~c ~d ~log2_a =
   if log2_a < 2.0 then invalid_arg "Fn.reduce: need a >= 4 (log2_a >= 2)";
   if c <= 0.0 || c > 1.0 || d <= 0.0 || d >= c then invalid_arg "Fn.reduce: bad promise constants";
@@ -57,7 +64,11 @@ let reduce ~graph ~c ~d ~log2_a =
   let no_lower_bound =
     Logreal.mul w_edge (Logreal.of_log2 (lemma8_exponent ~p_real:t_exp ~omega_no *. log2_a))
   in
-  { instance; n; log2_a; c; d; t_size; w_edge; k_cd; no_lower_bound }
+  let t = { instance; n; log2_a; c; d; t_size; w_edge; k_cd; no_lower_bound } in
+  Obs.incr c_runs;
+  Obs.add c_out_vertices n;
+  Obs.add c_out_edges (Graphlib.Ugraph.edge_count graph);
+  t
 
 let of_lemma3 (l : Lemma3.t) ~theta ~log2_a =
   reduce ~graph:l.Lemma3.graph ~c:l.Lemma3.c ~d:(l.Lemma3.d_of_theta theta) ~log2_a

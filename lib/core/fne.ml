@@ -21,6 +21,11 @@ let edge_budget ~graph ~k =
   let v2 = m - n in
   (e1 + 1 + (v2 - 1), e1 + 1 + (v2 * (v2 - 1) / 2))
 
+let c_runs = Obs.counter "reduce.fne.runs"
+let c_in_vertices = Obs.counter "reduce.fne.in_vertices"
+let c_out_vertices = Obs.counter "reduce.fne.out_vertices"
+let c_out_edges = Obs.counter "reduce.fne.out_edges"
+
 let reduce ~graph ~c ~d ~k ~e ?log2_alpha () =
   let n = Graphlib.Ugraph.vertex_count graph in
   if n < 2 then invalid_arg "Fne.reduce: need at least two vertices";
@@ -86,6 +91,10 @@ let reduce ~graph ~c ~d ~k ~e ?log2_alpha () =
     Logreal.mul w_edge
       (Logreal.of_log2 (Fn.lemma8_exponent ~p_real:t_exp ~omega_no *. log2_alpha))
   in
+  Obs.incr c_runs;
+  Obs.add c_in_vertices n;
+  Obs.add c_out_vertices m;
+  Obs.add c_out_edges target_edges;
   {
     instance;
     n;

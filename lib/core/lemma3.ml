@@ -12,6 +12,10 @@ type t = {
 let degree_defect g =
   Graphlib.Ugraph.vertex_count g - 1 - Graphlib.Ugraph.min_degree g
 
+let c_runs = Obs.counter "reduce.lemma3.runs"
+let c_out_vertices = Obs.counter "reduce.lemma3.out_vertices"
+let c_out_edges = Obs.counter "reduce.lemma3.out_edges"
+
 let reduce (f : Sat.Cnf.t) =
   let vc = Sat_to_vc.reduce f in
   let v = vc.Sat_to_vc.nvars and m = vc.Sat_to_vc.nclauses in
@@ -20,6 +24,9 @@ let reduce (f : Sat.Cnf.t) =
   let graph = Graphlib.Ugraph.add_universal comp pad in
   let n = Graphlib.Ugraph.vertex_count graph in
   assert (n = (6 * v) + (6 * m));
+  Obs.incr c_runs;
+  Obs.add c_out_vertices n;
+  Obs.add c_out_edges (Graphlib.Ugraph.edge_count graph);
   let yes_clique = (5 * v) + (4 * m) in
   {
     graph;

@@ -8,6 +8,10 @@ type t = {
   eps_of_unsat : int -> float;
 }
 
+let c_runs = Obs.counter "reduce.lemma4.runs"
+let c_out_vertices = Obs.counter "reduce.lemma4.out_vertices"
+let c_out_edges = Obs.counter "reduce.lemma4.out_edges"
+
 let reduce (f : Sat.Cnf.t) =
   let vc = Sat_to_vc.reduce f in
   let v = vc.Sat_to_vc.nvars and m = vc.Sat_to_vc.nclauses in
@@ -17,6 +21,9 @@ let reduce (f : Sat.Cnf.t) =
   let n = Graphlib.Ugraph.vertex_count graph in
   assert (n = (3 * v) + (6 * m));
   assert (n mod 3 = 0);
+  Obs.incr c_runs;
+  Obs.add c_out_vertices n;
+  Obs.add c_out_edges (Graphlib.Ugraph.edge_count graph);
   let yes_clique = (2 * v) + (4 * m) in
   assert (yes_clique = 2 * n / 3);
   {

@@ -8,6 +8,9 @@ type t = {
   s_scale : Bignat.t;
 }
 
+let c_runs = Obs.counter "reduce.partition_to_sppcs.runs"
+let c_out_pairs = Obs.counter "reduce.partition_to_sppcs.out_pairs"
+
 let reduce bs =
   let n = List.length bs in
   if n < 2 then invalid_arg "Partition_to_sppcs.reduce: need >= 2 elements";
@@ -114,4 +117,6 @@ let paper_text bs =
       (Bignat.add (sk3_half_times 1) (sk3_half_times (n * (n - 1))))
       (Bignat.add two_k (Bignat.mul s k_nat))
   in
+  Obs.incr c_runs;
+  Obs.add c_out_pairs (List.length reals + List.length dummies + 1);
   { sppcs = Sqo.Sppcs.make (reals @ dummies @ [ sentinel ]) ~target; n; k_total = k; q; s_scale = s }

@@ -9,6 +9,10 @@ type t = {
   clauses : Sat.Cnf.clause array;
 }
 
+let c_runs = Obs.counter "reduce.sat_to_vc.runs"
+let c_out_vertices = Obs.counter "reduce.sat_to_vc.out_vertices"
+let c_out_edges = Obs.counter "reduce.sat_to_vc.out_edges"
+
 let reduce (f : Sat.Cnf.t) =
   let v = Sat.Cnf.nvars f in
   let clauses = f.Sat.Cnf.clauses in
@@ -41,6 +45,9 @@ let reduce (f : Sat.Cnf.t) =
         (a, b, cc))
       clauses
   in
+  Obs.incr c_runs;
+  Obs.add c_out_vertices n;
+  Obs.add c_out_edges (Graphlib.Ugraph.edge_count g);
   {
     graph = g;
     nvars = v;

@@ -10,6 +10,9 @@ type t = {
 
 let ks = 4
 
+let c_runs = Obs.counter "reduce.sppcs_to_sqocp.runs"
+let c_out_relations = Obs.counter "reduce.sppcs_to_sqocp.out_relations"
+
 let reduce (src : Sqo.Sppcs.t) =
   let pairs = src.Sqo.Sppcs.pairs in
   let m = Array.length pairs in
@@ -56,6 +59,8 @@ let reduce (src : Sqo.Sppcs.t) =
   let sort_cost = Array.map (fun b -> Bignat.mul_int b ks) bpages in
   let star = Sqo.Star.make ~ks ~ntuples ~bpages ~sort_cost ~sel ~w ~w0 in
   let threshold = Bignat.sub (Bignat.mul_int (Bignat.mul n0_j2 (Bignat.succ l)) ks) Bignat.one in
+  Obs.incr c_runs;
+  Obs.add c_out_relations (m + 2);
   { star; threshold; j_const = j; u_const = u; source = { src with Sqo.Sppcs.target = l } }
 
 let check_invariants t =

@@ -33,9 +33,16 @@ let colour_order g ~cap p =
    the incumbent so the parallel solver can share it across domains
    (stale reads of the incumbent only weaken pruning, never
    exactness). Leaves (empty candidate set) are recorded. *)
+let c_nodes = Obs.counter "clique.nodes"
+let c_prunes = Obs.counter "clique.colour_prunes"
+
 let rec expand g ~get_best ~record ~stop current depth p =
   if not (stop ()) then begin
+    Obs.incr c_nodes;
     let coloured = colour_order g ~cap:(get_best () - depth) p in
+    (* candidates whose greedy colour was at or below the cap never made
+       it into [coloured]: each is one colour-bound prune *)
+    Obs.add c_prunes (Bitset.cardinal p - List.length coloured);
     (* coloured is in decreasing colour order *)
     let p = Bitset.copy p in
     List.iter

@@ -993,7 +993,13 @@ let e15_printed_vs_reconstructed ?(quiet = false) () =
       (Printf.sprintf "printed agrees only %d/%d" !printed_ok total);
   ]
 
-type run = { name : string; checks : check list; output : string; seconds : float }
+type run = {
+  name : string;
+  checks : check list;
+  output : string;
+  seconds : float;
+  counters : (string * int) list;
+}
 
 let registry : (string * (bool -> check list)) array =
   [|
@@ -1024,13 +1030,17 @@ let run_all ?(quiet = false) ?(jobs = 1) () =
     let saved = !slot in
     let buf = Buffer.create 256 in
     slot := Some buf;
-    let t0 = Unix.gettimeofday () in
-    let checks =
+    (* registry experiments run wholly on the calling domain (none take
+       ~jobs here), so the domain-local snapshot attributes counters to
+       this experiment exactly, even when experiments run concurrently *)
+    let before = Obs.snapshot_local () in
+    let checks, seconds =
       Fun.protect
         ~finally:(fun () -> (Domain.DLS.get sink_key) := saved)
-        (fun () -> f quiet)
+        (fun () -> Obs.span ("experiment." ^ name) (fun () -> Obs.time (fun () -> f quiet)))
     in
-    { name; checks; output = Buffer.contents buf; seconds = Unix.gettimeofday () -. t0 }
+    let counters = Obs.diff before (Obs.snapshot_local ()) in
+    { name; checks; output = Buffer.contents buf; seconds; counters }
   in
   let runs =
     if jobs <= 1 then Array.map run_one registry
@@ -1048,3 +1058,40 @@ let failures results =
     (fun (name, checks) ->
       List.filter_map (fun c -> if c.ok then None else Some (name, c)) checks)
     results
+
+(* Schema-versioned JSON run report ([qopt experiment ... --report]).
+   Key order is fixed so reports diff cleanly across runs. *)
+let report_json ~jobs runs =
+  let open Obs.Json in
+  let check_json c =
+    Obj [ ("label", Str c.label); ("ok", Bool c.ok); ("detail", Str c.detail) ]
+  in
+  let run_json r =
+    Obj
+      [
+        ("name", Str r.name);
+        ("seconds", Float r.seconds);
+        ("checks", Arr (List.map check_json r.checks));
+        ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) r.counters));
+      ]
+  in
+  let total = List.fold_left (fun acc r -> acc + List.length r.checks) 0 runs in
+  let failed =
+    List.fold_left
+      (fun acc r -> acc + List.length (List.filter (fun c -> not c.ok) r.checks))
+      0 runs
+  in
+  let global =
+    List.filter_map
+      (fun (k, v) -> if v <> 0 then Some (k, Int v) else None)
+      (Obs.snapshot ())
+  in
+  Obj
+    [
+      ("schema_version", Int 1);
+      ("kind", Str "qopt-experiment-report");
+      ("jobs", Int jobs);
+      ("experiments", Arr (List.map run_json runs));
+      ("totals", Obj [ ("checks", Int total); ("failures", Int failed) ]);
+      ("counters", Obj global);
+    ]

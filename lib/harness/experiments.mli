@@ -80,9 +80,17 @@ val e15_printed_vs_reconstructed : ?quiet:bool -> unit -> check list
     they demonstrably fail, documenting why {!Reductions.Partition_to_sppcs.reduce}
     uses the derived reconstruction. *)
 
-type run = { name : string; checks : check list; output : string; seconds : float }
+type run = {
+  name : string;
+  checks : check list;
+  output : string;
+  seconds : float;
+  counters : (string * int) list;
+}
 (** One experiment's outcome: its checks, the tables it printed
-    (captured), and its wall-clock duration in seconds. *)
+    (captured), its wall-clock duration in seconds, and the
+    {!Obs.diff} of this experiment's counter activity (domain-local,
+    so exact even when experiments run concurrently). *)
 
 val run_all : ?quiet:bool -> ?jobs:int -> unit -> run list
 (** Run every experiment. With [jobs > 1] the (independent) experiments
@@ -95,3 +103,8 @@ val all : ?quiet:bool -> ?jobs:int -> unit -> (string * check list) list
 (** Run every experiment in order ({!run_all} without the timings). *)
 
 val failures : (string * check list) list -> (string * check) list
+
+val report_json : jobs:int -> run list -> Obs.Json.t
+(** Schema-versioned run report (v1): [{schema_version; kind; jobs;
+    experiments: [{name; seconds; checks; counters}]; totals;
+    counters}] with stable key order. *)

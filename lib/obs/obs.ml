@@ -1,0 +1,557 @@
+(* Observability: sharded counters, gauges, GC-aware spans, Chrome
+   traces, and JSON reports. See obs.mli for the contract.
+
+   Counter sharding: each counter owns a [Domain.DLS] key whose
+   per-domain init allocates a fresh cell and registers it (under the
+   registry mutex) on the counter's cell list. After that first touch,
+   [incr]/[add] are a DLS lookup plus a plain mutable-field increment —
+   no lock, no allocation, no atomic. Cross-domain reads of a cell are
+   benign races (a snapshot may lag an in-flight increment by a few
+   counts); they become exact once the writing domains have been joined
+   (e.g. after [Pool.with_pool] returns), which is when the CLI and the
+   harness take their snapshots. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let float_to buf f =
+    if not (Float.is_finite f) then Buffer.add_string buf "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> float_to buf f
+    | Str s -> escape_to buf s
+    | Arr xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            emit buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    emit buf v;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then (
+        pos := !pos + String.length word;
+        v)
+      else fail (Printf.sprintf "invalid literal (expected %s)" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' | '\\' | '/' ->
+                Buffer.add_char buf e;
+                loop ()
+            | 'b' ->
+                Buffer.add_char buf '\b';
+                loop ()
+            | 'f' ->
+                Buffer.add_char buf '\012';
+                loop ()
+            | 'n' ->
+                Buffer.add_char buf '\n';
+                loop ()
+            | 'r' ->
+                Buffer.add_char buf '\r';
+                loop ()
+            | 't' ->
+                Buffer.add_char buf '\t';
+                loop ()
+            | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let cp =
+                  try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                in
+                (* Encode the code point as UTF-8 (surrogate pairs are
+                   kept as two separately-encoded halves; good enough
+                   for our own well-formed output). *)
+                if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+                else if cp < 0x800 then (
+                  Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+                else (
+                  Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))));
+                loop ()
+            | _ -> fail "bad escape")
+        | c ->
+            Buffer.add_char buf c;
+            loop ()
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      let looks_float =
+        String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok
+      in
+      if looks_float then
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt tok with
+            | Some f -> Float f
+            | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (parse_string ())
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (
+            advance ();
+            Arr [])
+          else
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (items [])
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (
+            advance ();
+            Obj [])
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+      else Ok v
+    with Parse_error msg -> Error msg
+
+  let write_file path v =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_string v);
+        output_char oc '\n')
+end
+
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Registry. [reg_mutex] guards the name tables and every [cells]
+   list; it is never held while user code runs. *)
+let reg_mutex = Mutex.create ()
+
+type cell = { mutable v : int }
+
+type counter = {
+  c_name : string;
+  key : cell Domain.DLS.key;
+  cells : cell list ref;
+}
+
+type gauge = { g_name : string; value : int Atomic.t }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock reg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mutex) f
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          (* The DLS init runs once per (counter, domain); it registers
+             the fresh cell so snapshots can find it. The init fires at
+             [Domain.DLS.get] time (never here, where the registry lock
+             is already held). *)
+          let cells = ref [] in
+          let key =
+            Domain.DLS.new_key (fun () ->
+                let cell = { v = 0 } in
+                locked (fun () -> cells := cell :: !cells);
+                cell)
+          in
+          let c = { c_name = name; key; cells } in
+          Hashtbl.add counters name c;
+          c)
+
+let incr c =
+  let cell = Domain.DLS.get c.key in
+  cell.v <- cell.v + 1
+
+let add c k =
+  let cell = Domain.DLS.get c.key in
+  cell.v <- cell.v + k
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; value = Atomic.make 0 } in
+          Hashtbl.add gauges name g;
+          g)
+
+let set g v = Atomic.set g.value v
+
+type snapshot = (string * int) list
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  locked (fun () ->
+      let cs =
+        Hashtbl.fold
+          (fun name c acc ->
+            (name, List.fold_left (fun s cell -> s + cell.v) 0 !(c.cells)) :: acc)
+          counters []
+      in
+      let gs = Hashtbl.fold (fun name g acc -> (name, Atomic.get g.value) :: acc) gauges cs in
+      List.sort by_name gs)
+
+let snapshot_local () =
+  (* Collect the counter records under the lock, then read this
+     domain's cells outside it ([Domain.DLS.get] may need the lock to
+     register a fresh cell). *)
+  let cs = locked (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) counters []) in
+  List.sort by_name (List.map (fun c -> (c.c_name, (Domain.DLS.get c.key).v)) cs)
+
+let diff before after =
+  List.filter_map
+    (fun (name, v_after) ->
+      let v_before = match List.assoc_opt name before with Some v -> v | None -> 0 in
+      let d = v_after - v_before in
+      if d = 0 then None else Some (name, d))
+    after
+
+(* ------------------------------------------------------------------ *)
+
+let epoch = Unix.gettimeofday ()
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+type span_node = {
+  name : string;
+  domain : int;
+  start_s : float;
+  mutable dur_s : float;
+  mutable minor_words : float;
+  mutable major_words : float;
+  mutable minor_collections : int;
+  mutable major_collections : int;
+  mutable children : span_node list;
+}
+
+(* Per-domain span state: [stack] is the path of currently-open spans
+   (innermost first); [roots] collects completed toplevel spans in
+   reverse chronological order. States are registered globally so an
+   exporter can walk every domain's roots after the workers joined. *)
+type dstate = { did : int; mutable stack : span_node list; mutable roots : span_node list }
+
+let dstates : dstate list ref = ref []
+
+let dstate_key =
+  Domain.DLS.new_key (fun () ->
+      let st = { did = (Domain.self () :> int); stack = []; roots = [] } in
+      locked (fun () -> dstates := st :: !dstates);
+      st)
+
+let span name f =
+  if not (enabled ()) then f ()
+  else
+    let st = Domain.DLS.get dstate_key in
+    let g0 = Gc.quick_stat () in
+    (* quick_stat's minor_words only advances at collection boundaries
+       (native code); minor_words () reads the young pointer, so short
+       spans still get an accurate allocation delta *)
+    let mw0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let node =
+      {
+        name;
+        domain = st.did;
+        start_s = t0 -. epoch;
+        dur_s = 0.0;
+        minor_words = 0.0;
+        major_words = 0.0;
+        minor_collections = 0;
+        major_collections = 0;
+        children = [];
+      }
+    in
+    st.stack <- node :: st.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Unix.gettimeofday () in
+        let g1 = Gc.quick_stat () in
+        node.dur_s <- t1 -. t0;
+        node.minor_words <- Gc.minor_words () -. mw0;
+        node.major_words <- g1.Gc.major_words -. g0.Gc.major_words;
+        node.minor_collections <- g1.Gc.minor_collections - g0.Gc.minor_collections;
+        node.major_collections <- g1.Gc.major_collections - g0.Gc.major_collections;
+        node.children <- List.rev node.children;
+        (match st.stack with
+        | top :: rest when top == node -> st.stack <- rest
+        | _ -> st.stack <- List.filter (fun s -> not (s == node)) st.stack);
+        match st.stack with
+        | parent :: _ -> parent.children <- node :: parent.children
+        | [] -> st.roots <- node :: st.roots)
+      f
+
+let spans () =
+  let states = locked (fun () -> !dstates) in
+  let roots = List.concat_map (fun st -> List.rev st.roots) states in
+  List.sort
+    (fun a b ->
+      match compare a.domain b.domain with 0 -> compare a.start_s b.start_s | c -> c)
+    roots
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> List.iter (fun cell -> cell.v <- 0) !(c.cells)) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.value 0) gauges;
+      List.iter
+        (fun st ->
+          st.stack <- [];
+          st.roots <- [])
+        !dstates)
+
+(* ------------------------------------------------------------------ *)
+
+let render_stats () =
+  let buf = Buffer.create 1024 in
+  let snap = List.filter (fun (_, v) -> v <> 0) (snapshot ()) in
+  Buffer.add_string buf "\n== obs: counters ==\n";
+  if snap = [] then Buffer.add_string buf "  (none)\n"
+  else
+    List.iter
+      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-44s %14d\n" name v))
+      snap;
+  let roots = spans () in
+  if roots <> [] then begin
+    Buffer.add_string buf "\n== obs: spans (wall clock, GC deltas) ==\n";
+    let rec emit depth node =
+      let label = String.make (2 * depth) ' ' ^ node.name in
+      Buffer.add_string buf
+        (Printf.sprintf "  [d%d] %-40s %10.3f ms  minor %.0fw  major %.0fw  gc %d/%d\n"
+           node.domain label (node.dur_s *. 1000.0) node.minor_words node.major_words
+           node.minor_collections node.major_collections);
+      List.iter (emit (depth + 1)) node.children
+    in
+    List.iter (emit 0) roots
+  end;
+  Buffer.contents buf
+
+let rec span_json node =
+  Json.Obj
+    [
+      ("name", Json.Str node.name);
+      ("domain", Json.Int node.domain);
+      ("start_s", Json.Float node.start_s);
+      ("dur_s", Json.Float node.dur_s);
+      ( "gc",
+        Json.Obj
+          [
+            ("minor_words", Json.Float node.minor_words);
+            ("major_words", Json.Float node.major_words);
+            ("minor_collections", Json.Int node.minor_collections);
+            ("major_collections", Json.Int node.major_collections);
+          ] );
+      ("children", Json.Arr (List.map span_json node.children));
+    ]
+
+let counters_json snap =
+  Json.Obj (List.filter_map (fun (k, v) -> if v <> 0 then Some (k, Json.Int v) else None) snap)
+
+let stats_json () =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("counters", counters_json (snapshot ()));
+      ("spans", Json.Arr (List.map span_json (spans ())));
+    ]
+
+let write_trace path =
+  let roots = spans () in
+  let domains =
+    List.sort_uniq compare (List.map (fun r -> r.domain) roots)
+  in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  List.iter
+    (fun d ->
+      push
+        (Json.Obj
+           [
+             ("name", Json.Str "process_name");
+             ("ph", Json.Str "M");
+             ("pid", Json.Int d);
+             ("tid", Json.Int d);
+             ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain-%d" d)) ]);
+           ]))
+    domains;
+  let rec emit node =
+    push
+      (Json.Obj
+         [
+           ("name", Json.Str node.name);
+           ("cat", Json.Str "obs");
+           ("ph", Json.Str "B");
+           ("ts", Json.Float (node.start_s *. 1e6));
+           ("pid", Json.Int node.domain);
+           ("tid", Json.Int node.domain);
+         ]);
+    List.iter emit node.children;
+    push
+      (Json.Obj
+         [
+           ("name", Json.Str node.name);
+           ("cat", Json.Str "obs");
+           ("ph", Json.Str "E");
+           ("ts", Json.Float ((node.start_s +. node.dur_s) *. 1e6));
+           ("pid", Json.Int node.domain);
+           ("tid", Json.Int node.domain);
+           ( "args",
+             Json.Obj
+               [
+                 ("minor_words", Json.Float node.minor_words);
+                 ("major_words", Json.Float node.major_words);
+                 ("minor_collections", Json.Int node.minor_collections);
+                 ("major_collections", Json.Int node.major_collections);
+               ] );
+         ])
+  in
+  List.iter emit roots;
+  Json.write_file path
+    (Json.Obj
+       [ ("traceEvents", Json.Arr (List.rev !events)); ("displayTimeUnit", Json.Str "ms") ])

@@ -1,0 +1,138 @@
+(** Observability: counters, gauges, timers/spans, and exporters.
+
+    Stdlib-only (plus [Unix.gettimeofday]). Designed around the
+    repository's two invariants:
+
+    - {b zero-cost-when-off}: counters are always-on plain integer
+      increments on per-domain cells (no locks, no allocation on the
+      fast path); spans and exporters only record/allocate once
+      {!set_enabled} has switched them on. Nothing here ever writes to
+      stdout/stderr on its own, so default CLI output stays
+      byte-identical.
+    - {b domain safety}: counter cells are sharded per domain (the
+      domains of {!Pool} workers included) and aggregated at snapshot
+      time; spans form a per-domain tree, so a parallel run exports one
+      Chrome-trace process per domain.
+
+    Counter/gauge registration is idempotent: [counter name] returns
+    the existing counter when one is already registered under [name],
+    so functor bodies (e.g. [Opt.Make]) can be applied repeatedly while
+    sharing one set of metrics. *)
+
+module Json : sig
+  (** A minimal JSON tree with a stable printer (object keys are
+      emitted in the order given) and a small strict parser — enough to
+      write schema-versioned run reports and Chrome traces, and to
+      validate them in tests, without any external dependency. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float  (** non-finite floats are emitted as [null] *)
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact rendering; object key order is preserved as given. *)
+
+  val of_string : string -> (t, string) result
+  (** Strict parse of a single JSON value ([Error msg] with a position
+      on malformed input). Numbers without [./e/E] parse as [Int]. *)
+
+  val write_file : string -> t -> unit
+  (** [write_file path v] writes [to_string v] (plus a final newline)
+      to [path], truncating any existing file. *)
+end
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Master switch for spans/exporters. Counters count regardless. *)
+
+(** {1 Counters and gauges} *)
+
+type counter
+
+val counter : string -> counter
+(** Register (or look up) the counter named [name]. Thread-safe;
+    typically called once at module initialisation. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Increment this domain's cell — no lock, no allocation (after the
+    first touch per domain, which registers the cell). *)
+
+type gauge
+
+val gauge : string -> gauge
+(** Register (or look up) a gauge: a last-value-wins integer (e.g. a
+    table occupancy). Gauges share the counter namespace in snapshots —
+    keep the names distinct. *)
+
+val set : gauge -> int -> unit
+
+(** {1 Snapshots} *)
+
+type snapshot = (string * int) list
+(** Name-sorted [(name, value)] pairs: counters summed over every
+    domain that ever touched them (live or joined), plus gauges. *)
+
+val snapshot : unit -> snapshot
+
+val snapshot_local : unit -> snapshot
+(** Counters only, restricted to the calling domain's cells — exact
+    attribution for work that ran entirely on this domain (e.g. one
+    experiment inside the parallel harness). Gauges are excluded. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff before after]: per-name [after - before], zero entries
+    dropped. *)
+
+(** {1 Timers and spans} *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed
+    wall-clock seconds. Always on — this is the primitive the bench and
+    harness timing blocks are built from. *)
+
+type span_node = {
+  name : string;
+  domain : int;  (** id of the domain the span ran on *)
+  start_s : float;  (** seconds since the process-wide epoch *)
+  mutable dur_s : float;
+  mutable minor_words : float;  (** [Gc.quick_stat] deltas over the span *)
+  mutable major_words : float;
+  mutable minor_collections : int;
+  mutable major_collections : int;
+  mutable children : span_node list;  (** chronological *)
+}
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f]: when {!enabled}, time [f] (wall clock +
+    [Gc.quick_stat] deltas) as a child of the innermost open span on
+    this domain; when disabled, exactly [f ()]. Exceptions close the
+    span and propagate. *)
+
+val spans : unit -> span_node list
+(** All completed root spans, every domain, sorted by (domain, start
+    time). *)
+
+(** {1 Exporters} *)
+
+val render_stats : unit -> string
+(** Human-readable report: non-zero counters/gauges (sorted), then the
+    span forest with per-span wall-clock and GC deltas. *)
+
+val stats_json : unit -> Json.t
+(** The same report as a schema-versioned JSON object:
+    [{schema_version; counters; spans}]. *)
+
+val write_trace : string -> unit
+(** Write the span forest as Chrome [trace_event] JSON ([B]/[E] event
+    pairs, one [pid] per domain) loadable in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val reset : unit -> unit
+(** Zero every counter/gauge and drop all recorded spans. Test helper —
+    only call while no other domain is running instrumented code. *)

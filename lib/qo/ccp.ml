@@ -25,6 +25,18 @@
     which is exactly when the lattice's [dp] entry for it is finite.
     Property-tested against the lattice in [test/test_qo.ml]. *)
 
+(* Shared across [Make] applications; [subsets_enumerated] counts the
+   table entries of [dp_connected] only — [csg_count] is a pure query
+   (the CLI calls both on the same instance and must report the subset
+   count once). *)
+let c_runs = Obs.counter "ccp.dp.runs"
+let c_subsets = Obs.counter "ccp.dp.subsets_enumerated"
+let c_transitions = Obs.counter "ccp.dp.transitions"
+let g_table = Obs.gauge "ccp.dp.table_entries"
+let g_idx_buckets = Obs.gauge "ccp.dp.idx_buckets"
+let g_idx_max_bucket = Obs.gauge "ccp.dp.idx_max_bucket"
+let g_size_memo = Obs.gauge "ccp.dp.size_memo_entries"
+
 module Make (C : Cost.S) = struct
   module I = Nl.Make (C)
   module O = Opt.Make (C)
@@ -147,8 +159,12 @@ module Make (C : Cost.S) = struct
     if n > max_ccp_n then
       invalid_arg (Printf.sprintf "Ccp.dp_connected: n=%d too large (max %d)" n max_ccp_n);
     if n = 0 then invalid_arg "Ccp.dp_connected: empty instance";
+    Obs.span "ccp.dp_connected" @@ fun () ->
     let adj = adjacency_masks inst n in
-    let layers, count = connected_layers ~n ~adj in
+    let layers, count = Obs.span "ccp.enumerate_csg" (fun () -> connected_layers ~n ~adj) in
+    Obs.incr c_runs;
+    Obs.add c_subsets count;
+    Obs.set g_table count;
     (* mask -> compact index *)
     let idx = Hashtbl.create (2 * count) in
     let next = ref 0 in
@@ -160,6 +176,9 @@ module Make (C : Cost.S) = struct
             incr next)
           layer)
       layers;
+    (let st = Hashtbl.stats idx in
+     Obs.set g_idx_buckets st.Hashtbl.num_buckets;
+     Obs.set g_idx_max_bucket st.Hashtbl.max_bucket_length);
     (* N(S), evaluated with the lattice DP's lowest-bit-first order and
        memoized: [S \ {lowest}] can be disconnected, so the memo also
        holds the (shared) disconnected tails the recursion peels
@@ -191,6 +210,7 @@ module Make (C : Cost.S) = struct
     Array.iter
       (fun layer -> Array.iter (fun s -> sizes.(Hashtbl.find idx s) <- size_of s) layer)
       layers;
+    Obs.set g_size_memo (Hashtbl.length size_memo);
     let dp = Array.make (Stdlib.max 1 count) C.infinity in
     let parent = Array.make (Stdlib.max 1 count) (-1) in
     Array.iter
@@ -217,12 +237,14 @@ module Make (C : Cost.S) = struct
     let fill_dp s =
       let i = Hashtbl.find idx s in
       let m = ref s in
+      let trans = ref 0 in
       while !m <> 0 do
         let b = lowest_bit !m in
         let j = bit_index b in
         let rest = s lxor b in
         (match Hashtbl.find_opt idx rest with
         | Some ri ->
+            incr trans;
             let cand = C.add dp.(ri) (C.mul sizes.(ri) (min_w_mask j rest)) in
             if C.compare cand dp.(i) < 0 then begin
               dp.(i) <- cand;
@@ -230,7 +252,8 @@ module Make (C : Cost.S) = struct
             end
         | None -> ());
         m := !m lxor b
-      done
+      done;
+      Obs.add c_transitions !trans
     in
     (* layer k only reads layer k-1 (dp, sizes) and writes its own
        slots, so the layers parallelise exactly like the lattice's
@@ -239,12 +262,18 @@ module Make (C : Cost.S) = struct
     | Some pool when Pool.jobs pool > 1 ->
         for k = 2 to n do
           let layer = layers.(k) in
-          Pool.parallel_for pool ~lo:0 ~hi:(Array.length layer - 1) (fun t ->
-              fill_dp layer.(t))
+          let fill () =
+            Pool.parallel_for pool ~lo:0 ~hi:(Array.length layer - 1) (fun t ->
+                fill_dp layer.(t))
+          in
+          if Obs.enabled () then Obs.span ("ccp.dp.layer." ^ string_of_int k) fill
+          else fill ()
         done
     | _ ->
         for k = 2 to n do
-          Array.iter fill_dp layers.(k)
+          let fill () = Array.iter fill_dp layers.(k) in
+          if Obs.enabled () then Obs.span ("ccp.dp.layer." ^ string_of_int k) fill
+          else fill ()
         done);
     let full = (1 lsl n) - 1 in
     match Hashtbl.find_opt idx full with

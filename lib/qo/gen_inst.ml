@@ -141,6 +141,12 @@ module L = struct
     over_graph ~seed ~graph:(Graphlib.Gen.random_tree ~seed ~n) ~max_log2_size
       ~max_log2_inv_sel ()
 
+  let chain ~seed ~n ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.path n) ~max_log2_size ~max_log2_inv_sel ()
+
+  let star ~seed ~satellites ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.star satellites) ~max_log2_size ~max_log2_inv_sel ()
+
   let tree_plus ~seed ~n ~extra ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
     let g = Graphlib.Gen.random_tree ~seed ~n in
     let st = Random.State.make [| seed; n; extra; 113 |] in

@@ -16,6 +16,14 @@
       whose competitive ratios experiment E9 measures against the
       hardness prediction. *)
 
+(* Shared across every [Make] application (the functor is applied once
+   per cost domain in [Instances] and again inside [Ccp.Make]);
+   [Obs.counter] is idempotent by name so they all hit the same
+   counters. *)
+let c_dp_runs = Obs.counter "opt.dp.runs"
+let c_dp_subsets = Obs.counter "opt.dp.subsets"
+let c_dp_transitions = Obs.counter "opt.dp.transitions"
+
 module Make (C : Cost.S) = struct
   module I = Nl.Make (C)
 
@@ -89,7 +97,10 @@ module Make (C : Cost.S) = struct
     if n > max_dp_n then
       invalid_arg (Printf.sprintf "Opt.dp: n=%d too large (max %d)" n max_dp_n);
     if n = 0 then invalid_arg "Opt.dp: empty instance";
+    Obs.span (if no_cartesian then "opt.dp_no_cartesian" else "opt.dp") @@ fun () ->
     let full = (1 lsl n) - 1 in
+    Obs.incr c_dp_runs;
+    Obs.add c_dp_subsets (full + 1);
     let graph = inst.I.graph in
     (* adjacency as int masks for speed *)
     let adj = Array.make n 0 in
@@ -144,12 +155,14 @@ module Make (C : Cost.S) = struct
     (* transition for a subset with >= 2 elements *)
     let fill_dp s =
       let m = ref s in
+      let trans = ref 0 in
       while !m <> 0 do
         let b = lowest_bit !m in
         let j = bit_index b in
         let rest = s lxor b in
         let allowed = (not no_cartesian) || rest land adj.(j) <> 0 in
         if allowed && C.is_finite dp.(rest) then begin
+          incr trans;
           let cand = C.add dp.(rest) (C.mul sizes.(rest) (min_w_mask j rest)) in
           if C.compare cand dp.(s) < 0 then begin
             dp.(s) <- cand;
@@ -157,7 +170,8 @@ module Make (C : Cost.S) = struct
           end
         end;
         m := !m lxor b
-      done
+      done;
+      Obs.add c_dp_transitions !trans
     in
     (match pool with
     | Some pool when Pool.jobs pool > 1 ->
@@ -191,8 +205,13 @@ module Make (C : Cost.S) = struct
               fill_size by_layer.(idx))
         done;
         for k = 2 to n do
-          Pool.parallel_for pool ~lo:off.(k) ~hi:(off.(k + 1) - 1) (fun idx ->
-              fill_dp by_layer.(idx))
+          let layer () =
+            Pool.parallel_for pool ~lo:off.(k) ~hi:(off.(k + 1) - 1) (fun idx ->
+                fill_dp by_layer.(idx))
+          in
+          (* dynamic name: only pay the sprintf when spans record *)
+          if Obs.enabled () then Obs.span ("opt.dp.layer." ^ string_of_int k) layer
+          else layer ()
         done
     | _ ->
         for s = 1 to full do

@@ -22,6 +22,22 @@ let enc l = if l > 0 then 2 * l else (2 * -l) + 1
 let var_of e = e lsr 1
 let neg e = e lxor 1
 
+let c_runs = Obs.counter "sat.cdcl.runs"
+let c_decisions = Obs.counter "sat.cdcl.decisions"
+let c_propagations = Obs.counter "sat.cdcl.propagations"
+let c_conflicts = Obs.counter "sat.cdcl.conflicts"
+let c_learned = Obs.counter "sat.cdcl.learned"
+let c_restarts = Obs.counter "sat.cdcl.restarts"
+
+let record ((_, s) as answer : result * stats) =
+  Obs.incr c_runs;
+  Obs.add c_decisions s.decisions;
+  Obs.add c_propagations s.propagations;
+  Obs.add c_conflicts s.conflicts;
+  Obs.add c_learned s.learned;
+  Obs.add c_restarts s.restarts;
+  answer
+
 (* Luby sequence for restart intervals. *)
 let rec luby i =
   (* find k with 2^(k-1) <= i+1 < 2^k *)
@@ -244,7 +260,7 @@ let solve_with_stats (f : Cnf.t) =
     !best
   in
 
-  if !top_conflict then (Unsat, !stats)
+  if !top_conflict then record (Unsat, !stats)
   else begin
     let conflicts_since_restart = ref 0 in
     let restart_idx = ref 0 in
@@ -297,7 +313,7 @@ let solve_with_stats (f : Cnf.t) =
             end
           end
     done;
-    (Option.get !answer, !stats)
+    record (Option.get !answer, !stats)
   end
 
 let solve f = fst (solve_with_stats f)

@@ -1,5 +1,9 @@
 type result = Sat of bool array | Unsat
 
+let c_runs = Obs.counter "sat.dpll.runs"
+let c_decisions = Obs.counter "sat.dpll.decisions"
+let c_propagations = Obs.counter "sat.dpll.propagations"
+
 (* Assignment state: 0 unassigned, 1 true, -1 false. *)
 
 let solve_with_stats (f : Cnf.t) =
@@ -7,6 +11,7 @@ let solve_with_stats (f : Cnf.t) =
   let clauses = f.Cnf.clauses in
   let assign = Array.make (n + 1) 0 in
   let decisions = ref 0 in
+  let propagations = ref 0 in
   let lit_value l = if l > 0 then assign.(l) else -assign.(-l) in
 
   (* Returns [None] on conflict, otherwise the list of variables it
@@ -34,6 +39,7 @@ let solve_with_stats (f : Cnf.t) =
               let v = abs l in
               assign.(v) <- (if l > 0 then 1 else -1);
               trail := v :: !trail;
+              incr propagations;
               progress := true
             end
           end
@@ -123,14 +129,20 @@ let solve_with_stats (f : Cnf.t) =
     if not result then List.iter (fun v -> assign.(v) <- 0) !trail;
     result
   in
-  if search () then begin
-    let a = Array.make (n + 1) false in
-    for v = 1 to n do
-      a.(v) <- assign.(v) = 1 (* unassigned vars default to false *)
-    done;
-    (Sat a, !decisions)
-  end
-  else (Unsat, !decisions)
+  let answer =
+    if search () then begin
+      let a = Array.make (n + 1) false in
+      for v = 1 to n do
+        a.(v) <- assign.(v) = 1 (* unassigned vars default to false *)
+      done;
+      (Sat a, !decisions)
+    end
+    else (Unsat, !decisions)
+  in
+  Obs.incr c_runs;
+  Obs.add c_decisions !decisions;
+  Obs.add c_propagations !propagations;
+  answer
 
 let solve f = fst (solve_with_stats f)
 

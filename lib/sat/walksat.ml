@@ -1,3 +1,6 @@
+let c_runs = Obs.counter "sat.walksat.runs"
+let c_flips = Obs.counter "sat.walksat.flips"
+
 let run ~seed ~max_flips ~noise (f : Cnf.t) =
   let n = Cnf.nvars f in
   let clauses = f.Cnf.clauses in
@@ -46,6 +49,8 @@ let run ~seed ~max_flips ~noise (f : Cnf.t) =
         end;
         if count = Array.length clauses then finished := true)
   done;
+  Obs.incr c_runs;
+  Obs.add c_flips !flips;
   (best, !best_count)
 
 let best_found ?(seed = 0) ?(max_flips = 100_000) ?(noise = 0.5) f =

@@ -1,0 +1,216 @@
+(* Unit tests for the observability layer: counter sharding across pool
+   domains, snapshot/diff algebra, span trees, the JSON printer/parser
+   pair, the Chrome trace exporter, and the end-to-end contract the CLI
+   relies on (the connected-subgraph DP's enumeration counter). *)
+
+let reset () = Obs.reset ()
+
+(* ---------------- counters and gauges ---------------- *)
+
+let test_counter_basics () =
+  reset ();
+  let c = Obs.counter "t.basic" in
+  Obs.incr c;
+  Obs.add c 41;
+  Alcotest.(check (option int)) "summed" (Some 42) (List.assoc_opt "t.basic" (Obs.snapshot ()));
+  Alcotest.(check (option int))
+    "local view agrees on one domain" (Some 42)
+    (List.assoc_opt "t.basic" (Obs.snapshot_local ()))
+
+let test_counter_idempotent () =
+  reset ();
+  (* functor bodies re-apply: both handles must hit the same cell *)
+  let a = Obs.counter "t.idem" and b = Obs.counter "t.idem" in
+  Obs.incr a;
+  Obs.incr b;
+  Alcotest.(check (option int)) "one counter" (Some 2) (List.assoc_opt "t.idem" (Obs.snapshot ()))
+
+let test_counter_sharded () =
+  reset ();
+  let c = Obs.counter "t.sharded" in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Pool.parallel_for pool ~lo:1 ~hi:1000 (fun _ -> Obs.incr c));
+  Alcotest.(check (option int))
+    "increments from every worker domain are summed" (Some 1000)
+    (List.assoc_opt "t.sharded" (Obs.snapshot ()))
+
+let test_gauge_and_diff () =
+  reset ();
+  let g = Obs.gauge "t.gauge" in
+  Obs.set g 7;
+  Obs.set g 11;
+  Alcotest.(check (option int)) "last value wins" (Some 11)
+    (List.assoc_opt "t.gauge" (Obs.snapshot ()));
+  let c = Obs.counter "t.diffed" in
+  Obs.add c 5;
+  let before = Obs.snapshot () in
+  Obs.add c 3;
+  let d = Obs.diff before (Obs.snapshot ()) in
+  Alcotest.(check (option int)) "delta only" (Some 3) (List.assoc_opt "t.diffed" d);
+  Alcotest.(check (option int)) "unchanged names dropped" None (List.assoc_opt "t.gauge" d);
+  Alcotest.(check bool) "snapshot is name-sorted" true
+    (let names = List.map fst (Obs.snapshot ()) in
+     names = List.sort compare names)
+
+(* ---------------- spans ---------------- *)
+
+let test_span_tree () =
+  reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  let v =
+    Obs.span "outer" (fun () ->
+        Obs.span "first" (fun () -> ()) ;
+        Obs.span "second" (fun () -> 17))
+  in
+  Alcotest.(check int) "span returns f ()" 17 v;
+  match Obs.spans () with
+  | [ root ] ->
+      Alcotest.(check string) "root name" "outer" root.Obs.name;
+      Alcotest.(check (list string)) "children chronological" [ "first"; "second" ]
+        (List.map (fun n -> n.Obs.name) root.Obs.children);
+      Alcotest.(check bool) "durations non-negative" true
+        (root.Obs.dur_s >= 0.0
+        && List.for_all (fun n -> n.Obs.dur_s <= root.Obs.dur_s +. 1e-9) root.Obs.children)
+  | l -> Alcotest.failf "expected one root span, got %d" (List.length l)
+
+let test_span_disabled_noop () =
+  reset ();
+  Alcotest.(check int) "disabled span is f ()" 3 (Obs.span "ghost" (fun () -> 3));
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.spans ()))
+
+let test_span_exception () =
+  reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Obs.spans () with
+  | [ root ] -> Alcotest.(check string) "span closed on raise" "boom" root.Obs.name
+  | l -> Alcotest.failf "expected one root span, got %d" (List.length l)
+
+let test_time () =
+  let v, s = Obs.time (fun () -> 5) in
+  Alcotest.(check int) "value" 5 v;
+  Alcotest.(check bool) "non-negative seconds" true (s >= 0.0)
+
+(* ---------------- JSON ---------------- *)
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let v =
+    Obj
+      [
+        ("int", Int (-42));
+        ("float", Float 1.5);
+        ("nan_is_null", Float Float.nan);
+        ("str", Str "a\"b\\c\n\t\x01é");
+        ("arr", Arr [ Null; Bool true; Bool false; Int 0 ]);
+        ("nested", Obj [ ("k", Str "") ]);
+      ]
+  in
+  (match of_string (to_string v) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok (Obj fields) ->
+      Alcotest.(check (list string)) "key order stable"
+        [ "int"; "float"; "nan_is_null"; "str"; "arr"; "nested" ]
+        (List.map fst fields);
+      Alcotest.(check bool) "int survives as Int" true (List.assoc "int" fields = Int (-42));
+      Alcotest.(check bool) "nan became null" true (List.assoc "nan_is_null" fields = Null);
+      Alcotest.(check bool) "string escapes survive" true
+        (List.assoc "str" fields = Str "a\"b\\c\n\t\x01é")
+  | Ok _ -> Alcotest.fail "reparse produced a non-object");
+  Alcotest.(check bool) "garbage rejected" true
+    (match of_string "{\"a\":}" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "trailing junk rejected" true
+    (match of_string "1 2" with Error _ -> true | Ok _ -> false)
+
+let test_stats_json () =
+  reset ();
+  let c = Obs.counter "t.json_stats" in
+  Obs.add c 9;
+  match Obs.stats_json () with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool) "schema_version present" true
+        (List.assoc_opt "schema_version" fields = Some (Obs.Json.Int 1));
+      (match List.assoc_opt "counters" fields with
+      | Some (Obs.Json.Obj cs) ->
+          Alcotest.(check bool) "counter exported" true
+            (List.assoc_opt "t.json_stats" cs = Some (Obs.Json.Int 9))
+      | _ -> Alcotest.fail "counters object missing")
+  | _ -> Alcotest.fail "stats_json is not an object"
+
+(* ---------------- trace exporter ---------------- *)
+
+let test_write_trace () =
+  reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  Obs.span "root" (fun () -> Obs.span "leaf" (fun () -> ()));
+  let path = Filename.temp_file "obs_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.write_trace path;
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Obs.Json.of_string text with
+  | Error e -> Alcotest.failf "trace not valid JSON: %s" e
+  | Ok (Obs.Json.Obj fields) -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Obs.Json.Arr events) ->
+          let phase e =
+            match e with
+            | Obs.Json.Obj fs -> (
+                match List.assoc_opt "ph" fs with Some (Obs.Json.Str p) -> p | _ -> "?")
+            | _ -> "?"
+          in
+          let count p = List.length (List.filter (fun e -> phase e = p) events) in
+          Alcotest.(check int) "balanced begin/end" (count "B") (count "E");
+          Alcotest.(check int) "two spans" 2 (count "B");
+          Alcotest.(check bool) "process metadata present" true (count "M" >= 1)
+      | _ -> Alcotest.fail "traceEvents missing")
+  | Ok _ -> Alcotest.fail "trace is not an object"
+
+(* ---------------- end-to-end: the ccp enumeration counter ---------------- *)
+
+(* The acceptance contract: on a 20-vertex chain the connected-subgraph
+   DP enumerates exactly the n(n+1)/2 = 210 connected subsets, and the
+   counter agrees with the enumerator's own count. *)
+let test_ccp_counter () =
+  reset ();
+  let module CCP = Qo.Instances.Ccp_log in
+  let inst = Qo.Gen_inst.L.chain ~seed:1 ~n:20 () in
+  let before = Obs.snapshot () in
+  let plan = CCP.dp_connected inst in
+  let d = Obs.diff before (Obs.snapshot ()) in
+  Alcotest.(check int) "plan covers all relations" 20
+    (Array.length plan.Qo.Instances.Opt_log.seq);
+  Alcotest.(check (option int)) "210 connected subsets counted" (Some 210)
+    (List.assoc_opt "ccp.dp.subsets_enumerated" d);
+  Alcotest.(check int) "counter = csg_count" (CCP.csg_count inst)
+    (match List.assoc_opt "ccp.dp.subsets_enumerated" d with Some v -> v | None -> 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "idempotent registration" `Quick test_counter_idempotent;
+          Alcotest.test_case "sharded across domains" `Quick test_counter_sharded;
+          Alcotest.test_case "gauge + diff" `Quick test_gauge_and_diff;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "tree structure" `Quick test_span_tree;
+          Alcotest.test_case "disabled no-op" `Quick test_span_disabled_noop;
+          Alcotest.test_case "closed on exception" `Quick test_span_exception;
+          Alcotest.test_case "time" `Quick test_time;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "stats_json" `Quick test_stats_json;
+        ] );
+      ( "exporters", [ Alcotest.test_case "chrome trace" `Quick test_write_trace ] );
+      ( "integration", [ Alcotest.test_case "ccp chain-20 counter" `Quick test_ccp_counter ] );
+    ]

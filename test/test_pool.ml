@@ -41,6 +41,23 @@ let test_exception_propagation () =
       Pool.parallel_for pool ~lo:0 ~hi:9 (fun i -> hits.(i) <- 1);
       Alcotest.(check bool) "pool usable after exception" true (Array.for_all (( = ) 1) hits))
 
+let test_parallel_map_exception () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Pool.parallel_map pool
+               (fun x -> if x = 77 then raise (Boom x) else x)
+               (Array.init 200 Fun.id));
+          None
+        with Boom i -> Some i
+      in
+      Alcotest.(check (option int)) "Boom from parallel_map reaches the caller" (Some 77) raised;
+      (* the pool survives a failed map batch *)
+      let out = Pool.parallel_map pool (fun x -> x * 2) (Array.init 50 Fun.id) in
+      Alcotest.(check bool) "pool usable after map exception" true
+        (out = Array.init 50 (fun i -> 2 * i)))
+
 let test_jobs1_fallback () =
   Pool.with_pool ~jobs:1 (fun pool ->
       Alcotest.(check int) "jobs clamped to 1" 1 (Pool.jobs pool);
@@ -68,6 +85,25 @@ let test_nested () =
       done;
       Alcotest.(check bool) "nested parallel_for completes correctly" true !ok)
 
+(* an exception raised inside an inner section entered from a worker
+   domain must cross both section boundaries without wedging the pool;
+   the outer range exceeds the worker count so every worker re-enters *)
+let test_nested_exception () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let raised =
+        try
+          Pool.parallel_for pool ~lo:0 ~hi:7 (fun i ->
+              Pool.parallel_for pool ~lo:0 ~hi:63 (fun j ->
+                  if i = 3 && j = 11 then raise (Boom ((i * 100) + j))));
+          None
+        with Boom v -> Some v
+      in
+      Alcotest.(check (option int)) "inner exception crosses both sections" (Some 311) raised;
+      let hits = Array.make 16 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:15 (fun i -> hits.(i) <- 1);
+      Alcotest.(check bool) "pool usable after nested exception" true
+        (Array.for_all (( = ) 1) hits))
+
 let test_recommended_jobs () =
   Alcotest.(check bool) "recommended_jobs >= 1" true (Pool.recommended_jobs () >= 1)
 
@@ -79,8 +115,10 @@ let () =
           Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_coverage;
           Alcotest.test_case "parallel_map ordering" `Quick test_parallel_map_order;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "parallel_map exception" `Quick test_parallel_map_exception;
           Alcotest.test_case "jobs=1 fallback" `Quick test_jobs1_fallback;
           Alcotest.test_case "nested sections" `Quick test_nested;
+          Alcotest.test_case "nested exception" `Quick test_nested_exception;
           Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs;
         ] );
     ]
