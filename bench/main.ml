@@ -279,9 +279,110 @@ let ccp_dp_check ~jobs =
   in
   (!mismatches, vs_rows, beyond_rows)
 
+(* ------------------------------------------------------------------ *)
+(* qopt serve under a mixed workload: 120 requests — valid (with heavy
+   duplication, exercising the plan cache), malformed, oversized, and
+   budget-capped — through one in-process serving loop. The loop must
+   survive all of it (a single uncaught exception would abort the
+   bench), hit the exact expected ok/error/rejected split, answer
+   cache hits byte-identically, and report throughput + hit rate. *)
+
+let serve_workload_check () =
+  Printf.printf "\n== qopt serve: mixed 120-request workload ==\n";
+  let module NR = Qo.Instances.Nl_rat in
+  let module OR_ = Qo.Instances.Opt_rat in
+  let dp_insts = List.init 8 (fun i -> Qo.Gen_inst.R.tree ~seed:(100 + i) ~n:7 ()) in
+  let ccp_insts = List.init 4 (fun i -> Qo.Gen_inst.R.chain ~seed:(200 + i) ~n:9 ()) in
+  let greedy_insts = List.init 10 (fun i -> Qo.Gen_inst.R.random ~seed:(300 + i) ~n:8 ~p:0.5 ()) in
+  let fb_insts = List.init 3 (fun i -> Qo.Gen_inst.R.tree ~seed:(400 + i) ~n:8 ()) in
+  let big_chain =
+    let b = Buffer.create 512 in
+    Buffer.add_string b "qon 1\nn 24\n";
+    for i = 0 to 23 do
+      Buffer.add_string b (Printf.sprintf "size %d 4\n" i)
+    done;
+    for i = 0 to 22 do
+      Buffer.add_string b (Printf.sprintf "edge %d %d sel 1/2 wij 2 wji 2\n" i (i + 1))
+    done;
+    Buffer.contents b
+  in
+  let buf = Buffer.create 65536 in
+  let req ?(header = "request algo=dp") payload =
+    Buffer.add_string buf header;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf payload;
+    Buffer.add_string buf "end\n"
+  in
+  let round insts header reps =
+    for _ = 1 to reps do
+      List.iter (fun inst -> req ~header (Qo.Io.dump_rat inst)) insts
+    done
+  in
+  round dp_insts "request algo=dp" 5 (* 40: 8 misses + 32 hits *);
+  round ccp_insts "request algo=ccp" 5 (* 20: 4 misses + 16 hits *);
+  round greedy_insts "request algo=greedy" 2 (* 20: 10 misses + 10 hits *);
+  round fb_insts "request algo=dp budget_ms=0" 5 (* 15: 3 misses + 12 hits, approximate *);
+  for _ = 1 to 8 do
+    req ~header:"request algo=quantum" (Qo.Io.dump_rat (List.hd dp_insts))
+  done;
+  for _ = 1 to 4 do
+    Buffer.add_string buf "not a request at all\n"
+  done;
+  for _ = 1 to 3 do
+    req "qon 1\nthis payload does not parse\n"
+  done;
+  for _ = 1 to 10 do
+    req big_chain
+  done;
+  let (out, st), seconds = Obs.time (fun () -> Serve.serve_string (Buffer.contents buf)) in
+  (* byte-identity spot check: the served dp plan line for the first
+     instance must equal the directly rendered optimum *)
+  let p = OR_.dp (List.hd dp_insts) in
+  let dp_line =
+    Serve.render_plan ~label:"exact (subset DP)"
+      ~log2_cost:(Qo.Rat_cost.to_log2 p.OR_.cost) ~seq:p.OR_.seq
+  in
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let byte_identical = contains out dp_line in
+  let expect name got want =
+    if got = want then 0
+    else begin
+      Printf.printf "  MISMATCH %-12s got %d, expected %d\n" name got want;
+      1
+    end
+  in
+  let mismatches =
+    expect "requests" st.Serve.requests 120
+    + expect "ok" st.Serve.ok 95
+    + expect "errors" st.Serve.errors 15
+    + expect "rejected" st.Serve.rejected 10
+    + expect "cache hits" st.Serve.cache_hits 70
+    + expect "cache misses" st.Serve.cache_misses 25
+    + (if byte_identical then 0
+       else begin
+         Printf.printf "  MISMATCH served dp plan line differs from direct render\n";
+         1
+       end)
+  in
+  let throughput = float_of_int st.Serve.requests /. seconds in
+  Printf.printf
+    "  %d requests in %.3fs (%.0f req/s): %d ok, %d error, %d rejected; cache %d/%d \
+     (%.0f%% hit rate); byte-identical %s\n"
+    st.Serve.requests seconds throughput st.Serve.ok st.Serve.errors st.Serve.rejected
+    st.Serve.cache_hits
+    (st.Serve.cache_hits + st.Serve.cache_misses)
+    (100. *. Serve.hit_rate st)
+    (if byte_identical then "yes" else "NO");
+  (mismatches, st, seconds, throughput, byte_identical)
+
 (* Machine-readable mirror of the tables above: schema-versioned, written
    quietly at the repo root so CI can archive it without parsing stdout. *)
-let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels =
+let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
+    ~serve_row =
   let open Obs.Json in
   let speedup num den = if den > 0.0 then num /. den else Float.nan in
   let report =
@@ -358,6 +459,22 @@ let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_ro
                (fun (name, time_ns, r2) ->
                  Obj [ ("name", Str name); ("time_ns", Float time_ns); ("r_square", Float r2) ])
                kernels) );
+        ( "serve",
+          (let st, seconds, throughput, byte_identical = serve_row in
+           Obj
+             [
+               ("requests", Int st.Serve.requests);
+               ("ok", Int st.Serve.ok);
+               ("errors", Int st.Serve.errors);
+               ("rejected", Int st.Serve.rejected);
+               ("cache_hits", Int st.Serve.cache_hits);
+               ("cache_misses", Int st.Serve.cache_misses);
+               ("cache_hit_rate", Float (Serve.hit_rate st));
+               ("fallbacks", Int st.Serve.fallbacks);
+               ("seconds", Float seconds);
+               ("requests_per_s", Float throughput);
+               ("byte_identical_to_oneshot", Bool byte_identical);
+             ]) );
         ( "counters",
           Obj
             (List.filter_map
@@ -410,7 +527,9 @@ let () =
     fails;
   let dp_mismatches, dp_rows = parallel_dp_check ~jobs:(Stdlib.max jobs 2) in
   let ccp_mismatches, vs_rows, beyond_rows = ccp_dp_check ~jobs:(Stdlib.max jobs 2) in
+  let serve_mismatches, serve_st, serve_s, serve_tput, serve_ident = serve_workload_check () in
   let kernels = run_benchmarks () in
   scaling_series ();
-  write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels;
-  if fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 then exit 1
+  write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
+    ~serve_row:(serve_st, serve_s, serve_tput, serve_ident);
+  if fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 || serve_mismatches > 0 then exit 1

@@ -5,6 +5,7 @@
      explain      generate a query, optimize, print EXPLAIN-style plans
      solve        decide a DIMACS CNF with the DPLL solver
      optimize     build an f_N co-cluster instance and compare optimizers
+     serve        long-running request/response optimization service
      chain        run the Theorem-9 chain on generated formulas
      appendix     run PARTITION -> SPPCS -> SQO-CP on a number list *)
 
@@ -211,9 +212,87 @@ let optimize_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed (non-cocluster shapes).")
   in
-  let run n omega log2a shape seed algo jobs stats trace =
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file"; "f" ]
+          ~docv:"FILE"
+          ~doc:"Optimize the QO_N instance in $(docv) instead of generating one.")
+  in
+  let domain =
+    let doc = "Cost domain for $(b,--file): $(b,rat) (exact rationals) or $(b,log)." in
+    Arg.(value & opt (Arg.enum [ ("rat", `Rat); ("log", `Log) ]) `Rat
+         & info [ "domain" ] ~docv:"DOMAIN" ~doc)
+  in
+  (* The whole portfolio on a loaded instance, both cost domains. Plan
+     lines go through Serve.render_plan — the serve responses must be
+     byte-identical to this output. *)
+  let portfolio_file path domain algo jobs =
+    let load loader =
+      try loader path
+      with Invalid_argument msg | Sys_error msg ->
+        Printf.eprintf "qopt: %s\n" msg;
+        exit 2
+    in
+    let dp_skip () =
+      Printf.printf "exact (subset DP)      skipped: n > 22 (try --algo ccp)\n"
+    in
+    match domain with
+    | `Rat ->
+        let module O = Qo.Instances.Opt_rat in
+        let module CCP = Qo.Instances.Ccp_rat in
+        let inst = load Qo.Io.load_rat in
+        let n = Qo.Instances.Nl_rat.n inst in
+        let show label (p : O.plan) =
+          print_endline
+            (Serve.render_plan ~label ~log2_cost:(Qo.Rat_cost.to_log2 p.O.cost) ~seq:p.O.seq)
+        in
+        (match algo with
+        | `Lattice ->
+            if n <= 22 then
+              with_jobs jobs (fun pool -> show "exact (subset DP)" (O.dp ?pool inst))
+            else dp_skip ()
+        | `Ccp ->
+            Printf.printf "connected subsets: %d of 2^%d\n" (CCP.csg_count inst) n;
+            with_jobs jobs (fun pool ->
+                show "exact CF (connected DP)" (CCP.dp_connected ?pool inst)));
+        show "greedy (min cost)" (O.greedy ~mode:O.Min_cost inst);
+        show "greedy (min size)" (O.greedy ~mode:O.Min_size inst);
+        show "iterative improve" (O.iterative_improvement inst);
+        show "simulated anneal" (O.simulated_annealing inst)
+    | `Log ->
+        let module O = Qo.Instances.Opt_log in
+        let module CCP = Qo.Instances.Ccp_log in
+        let inst = load Qo.Io.load_log in
+        let n = Qo.Instances.Nl_log.n inst in
+        let show label (p : O.plan) =
+          print_endline
+            (Serve.render_plan ~label ~log2_cost:(Logreal.to_log2 p.O.cost) ~seq:p.O.seq)
+        in
+        (match algo with
+        | `Lattice ->
+            if n <= 22 then
+              with_jobs jobs (fun pool -> show "exact (subset DP)" (O.dp ?pool inst))
+            else dp_skip ()
+        | `Ccp ->
+            Printf.printf "connected subsets: %d of 2^%d\n" (CCP.csg_count inst) n;
+            with_jobs jobs (fun pool ->
+                show "exact CF (connected DP)" (CCP.dp_connected ?pool inst)));
+        show "greedy (min cost)" (O.greedy ~mode:O.Min_cost inst);
+        show "greedy (min size)" (O.greedy ~mode:O.Min_size inst);
+        show "iterative improve" (O.iterative_improvement inst);
+        show "simulated anneal" (O.simulated_annealing inst)
+  in
+  let run n omega log2a shape seed file domain algo jobs stats trace =
     let jobs = resolve_jobs jobs in
     setup_obs stats trace;
+    match file with
+    | Some path ->
+        portfolio_file path domain algo jobs;
+        finish_obs stats trace;
+        0
+    | None ->
     let module OL = Qo.Instances.Opt_log in
     let module CCP = Qo.Instances.Ccp_log in
     let inst =
@@ -243,9 +322,8 @@ let optimize_cmd =
           inst
     in
     let show name (p : OL.plan) =
-      Printf.printf "%-22s cost = 2^%.2f  seq = [%s]\n" name
-        (Logreal.to_log2 p.OL.cost)
-        (String.concat ";" (Array.to_list (Array.map string_of_int p.OL.seq)))
+      print_endline
+        (Serve.render_plan ~label:name ~log2_cost:(Logreal.to_log2 p.OL.cost) ~seq:p.OL.seq)
     in
     (match algo with
     | `Lattice ->
@@ -265,8 +343,67 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Build an f_N instance and compare the optimizer portfolio")
-    Term.(const run $ n $ omega $ log2a $ shape $ seed $ algo_term $ jobs_term $ stats_term
-          $ trace_term)
+    Term.(const run $ n $ omega $ log2a $ shape $ seed $ file $ domain $ algo_term
+          $ jobs_term $ stats_term $ trace_term)
+
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) (connections served sequentially, \
+             one shared plan cache) instead of serving stdin/stdout.")
+  in
+  let cache_size =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Plan-cache capacity in entries before LRU eviction; 0 disables caching.")
+  in
+  let report_term =
+    let doc =
+      "Write a schema-versioned JSON serving report (request totals, cache-hit rate, \
+       counters, spans) to $(docv) on shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let run socket cache_size jobs stats trace report =
+    let jobs = resolve_jobs jobs in
+    setup_obs stats trace;
+    let config = { Serve.default_config with Serve.cache_capacity = cache_size } in
+    (* graceful shutdown: finish the in-flight request, then fall out
+       of the loop with interrupted=true and still write the report *)
+    let stop _ = raise Serve.Shutdown in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    (* a client hanging up mid-response must surface as Sys_error
+       (connection over), not kill the process *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let st =
+      with_jobs jobs (fun pool ->
+          match socket with
+          | Some path -> Serve.serve_socket ?pool ~config path
+          | None -> Serve.serve_channels ?pool ~config stdin stdout)
+    in
+    Printf.eprintf "%s\n" (Serve.summary st);
+    (match report with
+    | Some path -> Obs.Json.write_file path (Serve.report_json ~jobs st)
+    | None -> ());
+    finish_obs stats trace;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve optimization requests (qon instances, line-delimited protocol) over \
+          stdin/stdout or a Unix socket, with plan caching and admission control")
+    Term.(const run $ socket $ cache_size $ jobs_term $ stats_term $ trace_term
+          $ report_term)
 
 (* ---------------- shared instance building ---------------- *)
 
@@ -407,4 +544,4 @@ let appendix_cmd =
 let () =
   let doc = "Executable reproduction of 'On the Complexity of Approximate Query Optimization'" in
   let info = Cmd.info "qopt" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; solve_cmd; optimize_cmd; explain_cmd; gen_cmd; chain_cmd; appendix_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; solve_cmd; optimize_cmd; serve_cmd; explain_cmd; gen_cmd; chain_cmd; appendix_cmd ]))

@@ -501,6 +501,17 @@ let stats_json () =
       ("spans", Json.Arr (List.map span_json (spans ())));
     ]
 
+(** Schema-versioned report envelope shared by the JSON report writers
+    (experiment, bench, serve): [kind]-tagged, caller fields in
+    [extra], the counter snapshot and span forest appended last. *)
+let run_report ~kind ?(extra = []) () =
+  Json.Obj
+    ((("schema_version", Json.Int 1) :: ("kind", Json.Str kind) :: extra)
+    @ [
+        ("counters", counters_json (snapshot ()));
+        ("spans", Json.Arr (List.map span_json (spans ())));
+      ])
+
 let write_trace path =
   let roots = spans () in
   let domains =

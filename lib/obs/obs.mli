@@ -128,6 +128,13 @@ val stats_json : unit -> Json.t
 (** The same report as a schema-versioned JSON object:
     [{schema_version; counters; spans}]. *)
 
+val run_report : kind:string -> ?extra:(string * Json.t) list -> unit -> Json.t
+(** Schema-versioned report envelope shared by the JSON report writers:
+    [{schema_version = 1; kind; ...extra; counters; spans}]. Callers
+    put their domain-specific fields (totals, workload rows) in
+    [extra]; the current counter snapshot and span forest are appended
+    so every report is self-describing. *)
+
 val write_trace : string -> unit
 (** Write the span forest as Chrome [trace_event] JSON ([B]/[E] event
     pairs, one [pid] per domain) loadable in [chrome://tracing] or

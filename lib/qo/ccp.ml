@@ -145,6 +145,32 @@ module Make (C : Cost.S) = struct
       count
     end
 
+  exception Enough
+
+  (** [csg_count_bounded ~limit inst] is [Some (csg_count inst)] when
+      the connected-subset count is at most [limit], and [None] as soon
+      as the enumeration passes [limit] — the enumeration stops there,
+      so the call costs [O(min (limit, #csg))] instead of [O(#csg)].
+      Admission/budget checks use this to size the {!dp_connected}
+      table without paying for a full enumeration of a dense graph
+      (also [None] above {!max_ccp_n}, where [dp_connected] would
+      refuse anyway). *)
+  let csg_count_bounded ~limit (inst : I.t) =
+    let n = I.n inst in
+    if n = 0 then Some 0
+    else if n > max_ccp_n || limit < 0 then None
+    else begin
+      let adj = adjacency_masks inst n in
+      let count = ref 0 in
+      match
+        enumerate_csg ~n ~adj (fun _ ->
+            incr count;
+            if !count > limit then raise Enough)
+      with
+      | () -> Some !count
+      | exception Enough -> None
+    end
+
   (** Exact optimum over cartesian-product-free join sequences by
       connected-subgraph DP; bit-identical to
       {!Opt.Make.dp_no_cartesian} (cost [C.infinity] and an empty

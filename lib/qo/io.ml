@@ -33,6 +33,15 @@ type 'a parsed = {
 
 let fail fmt = Printf.ksprintf (fun m -> invalid_arg ("Qo.Io.parse: " ^ m)) fmt
 
+(* Hard cap on the declared relation count. [parse_generic] allocates a
+   [n]-slot seen-array and [build] three [n*n] matrices, so [n] must be
+   validated before any allocation: "n 99999999999" used to die with a
+   bare [Invalid_argument "Array.make"] (or OOM the process) instead of
+   a line-numbered parse error. 1024 relations is far beyond every
+   solver in the portfolio (the exact DPs cap at 23/61; the heuristics
+   are O(n^3)-ish and already minutes-slow well below it). *)
+let max_parse_n = 1024
+
 let parse_generic ~scalar_of_string text =
   let lines = String.split_on_char '\n' text in
   let header = ref false in
@@ -48,8 +57,11 @@ let parse_generic ~scalar_of_string text =
         | None -> fail "line %d: invalid integer %S" ln s
       in
       let scalar_of s =
+        (* only the exceptions a scalar parser legitimately raises:
+           [with _] here used to swallow [Out_of_memory] and
+           [Stack_overflow] and mask them as "invalid scalar" *)
         try scalar_of_string s
-        with _ -> fail "line %d: invalid scalar %S" ln s
+        with Failure _ | Invalid_argument _ -> fail "line %d: invalid scalar %S" ln s
       in
       let line = String.trim line in
       (* the documented format is line-oriented: one "qon 1" header
@@ -67,7 +79,10 @@ let parse_generic ~scalar_of_string text =
         | [ "n"; v ] ->
             require_header ();
             if !n >= 0 then fail "line %d: duplicate n line" ln;
-            n := int_of v
+            let v = int_of v in
+            if v < 1 || v > max_parse_n then
+              fail "line %d: n %d out of range [1,%d]" ln v max_parse_n;
+            n := v
         | [ "size"; v; s ] ->
             require_header ();
             sizes := (ln, int_of v, scalar_of s) :: !sizes
@@ -148,9 +163,22 @@ let parse_rat text =
 let log_to_string (v : Log_cost.t) = Printf.sprintf "2^%.17g" (Log_cost.to_log2 v)
 
 let log_of_string s =
-  if String.length s > 2 && String.sub s 0 2 = "2^" then
-    Log_cost.of_log2 (float_of_string (String.sub s 2 (String.length s - 2)))
-  else Log_cost.of_float (float_of_string s)
+  (* Non-finite scalars are poison in the log domain: a "nan" (or
+     "2^nan") size used to parse into an instance whose every DP cost
+     comparison is garbage, and "inf" silently saturates. Reject them
+     here so the error carries the offending line number ([scalar_of]
+     catches the [Failure]); the rational domain keeps its documented
+     "inf" literal in [rat_of_string]. *)
+  if String.length s > 2 && String.sub s 0 2 = "2^" then begin
+    let e = float_of_string (String.sub s 2 (String.length s - 2)) in
+    if not (Float.is_finite e) then failwith "non-finite log scalar";
+    Log_cost.of_log2 e
+  end
+  else begin
+    let f = float_of_string s in
+    if not (Float.is_finite f) then failwith "non-finite log scalar";
+    Log_cost.of_float f
+  end
 
 let dump_log (inst : Instances.Nl_log.t) =
   dump_generic ~scalar_to_string:log_to_string ~n:inst.Instances.Nl_log.n

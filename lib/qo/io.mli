@@ -7,12 +7,18 @@
     qon 1                      # header, version
     n 4
     size 0 1000                # relation sizes (rational or 2^x)
-    edge 0 1 sel 1/100 w01 10 w10 1000
+    edge 0 1 sel 1/100 wij 10 wji 1000
     ...
     v}
 
     Rational instances serialize exactly; log-domain instances
     serialize their exponents ([2^x] syntax) with float precision. *)
+
+val max_parse_n : int
+(** Hard cap on the declared relation count (1024): [n] is validated
+    against it before any [n]-sized allocation, so a hostile "n
+    99999999999" fails with a line-numbered parse error instead of an
+    [Array.make] crash or an OOM kill. *)
 
 val dump_rat : Instances.Nl_rat.t -> string
 val parse_rat : string -> Instances.Nl_rat.t

@@ -312,7 +312,28 @@ module Make (C : Cost.S) = struct
     done;
     a
 
-  (** Random-restart local search over swap and move neighborhoods. *)
+  let apply_swap seq i j =
+    let tmp = seq.(i) in
+    seq.(i) <- seq.(j);
+    seq.(j) <- tmp
+
+  (** [apply_move seq i j] removes [seq.(i)] and reinserts it at
+      position [j], shifting the elements in between — the "move"
+      neighborhood step of {!iterative_improvement}. In place; the
+      inverse of [apply_move seq i j] is [apply_move seq j i]. *)
+  let apply_move seq i j =
+    if i <> j then begin
+      let v = seq.(i) in
+      if i < j then Array.blit seq (i + 1) seq i (j - i)
+      else Array.blit seq j seq (j + 1) (i - j);
+      seq.(j) <- v
+    end
+
+  (** Random-restart local search over swap and move neighborhoods:
+      each step draws positions [(i, j)] and either swaps them or
+      removes the element at [i] and reinserts it at [j] (a
+      remove-and-reinsert no single swap can express — it shifts the
+      whole block in between). Deterministic in [seed]. *)
   let iterative_improvement ?(seed = 0) ?(restarts = 10) ?(max_steps = 2000) (inst : I.t) =
     let n = I.n inst in
     if n = 0 then invalid_arg "Opt.iterative_improvement: empty instance";
@@ -327,9 +348,8 @@ module Make (C : Cost.S) = struct
         incr steps;
         let i = Random.State.int st n and j = Random.State.int st n in
         if i <> j then begin
-          let tmp = seq.(i) in
-          seq.(i) <- seq.(j);
-          seq.(j) <- tmp;
+          let move = Random.State.bool st in
+          if move then apply_move seq i j else apply_swap seq i j;
           let c = I.cost inst seq in
           if C.compare c !cur < 0 then begin
             cur := c;
@@ -337,9 +357,7 @@ module Make (C : Cost.S) = struct
           end
           else begin
             (* revert *)
-            let tmp = seq.(i) in
-            seq.(i) <- seq.(j);
-            seq.(j) <- tmp;
+            if move then apply_move seq j i else apply_swap seq i j;
             incr stale
           end
         end

@@ -1,0 +1,568 @@
+(* Request/response serving loop over the existing optimizer portfolio.
+   See serve.mli for the protocol; the design constraints are:
+
+   - per-request error isolation: nothing a client sends may kill the
+     process, so every request is handled under a handler that turns
+     parse/admission/solver failures into structured error responses;
+   - byte-identity with one-shot CLI output: plan lines go through
+     [render_plan], the same function `qopt optimize` prints with;
+   - deterministic budgets: [budget_ms] is checked against a work
+     model (transitions x ns/transition), never a wall clock, so the
+     exact-vs-approximate decision is reproducible in tests. *)
+
+exception Shutdown
+
+type algo = Dp | Ccp | Greedy | Sa
+type domain = Rat | Log
+
+let algo_name = function Dp -> "dp" | Ccp -> "ccp" | Greedy -> "greedy" | Sa -> "sa"
+let domain_name = function Rat -> "rat" | Log -> "log"
+
+type config = {
+  cache_capacity : int;
+  rat_transition_ns : float;
+  log_transition_ns : float;
+}
+
+let default_config =
+  { cache_capacity = 256; rat_transition_ns = 100.; log_transition_ns = 10. }
+
+type stats = {
+  mutable requests : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable rejected : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable evictions : int;
+  mutable fallbacks : int;
+  mutable seconds : float;
+  mutable interrupted : bool;
+}
+
+let fresh_stats () =
+  {
+    requests = 0;
+    ok = 0;
+    errors = 0;
+    rejected = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    evictions = 0;
+    fallbacks = 0;
+    seconds = 0.;
+    interrupted = false;
+  }
+
+type io = {
+  next_line : unit -> string option;
+  write : string -> unit;
+  flush : unit -> unit;
+}
+
+(* ---------------- observability ---------------- *)
+
+let c_requests = Obs.counter "serve.requests"
+let c_ok = Obs.counter "serve.responses.ok"
+let c_err = Obs.counter "serve.responses.error"
+let c_rejected = Obs.counter "serve.admission.rejected"
+let c_hits = Obs.counter "serve.cache.hits"
+let c_misses = Obs.counter "serve.cache.misses"
+let c_evictions = Obs.counter "serve.cache.evictions"
+let c_fallbacks = Obs.counter "serve.fallbacks"
+let g_entries = Obs.gauge "serve.cache.entries"
+
+(* ---------------- plan rendering ---------------- *)
+
+let render_plan ~label ~log2_cost ~seq =
+  Printf.sprintf "%-22s cost = 2^%.2f  seq = [%s]" label log2_cost
+    (String.concat ";" (Array.to_list (Array.map string_of_int seq)))
+
+(* ---------------- plan cache (LRU) ---------------- *)
+
+module Cache = struct
+  type entry = { body : string; approximate : bool; mutable stamp : int }
+
+  type t = {
+    capacity : int;
+    tbl : (string, entry) Hashtbl.t;
+    mutable tick : int;
+  }
+
+  let create capacity = { capacity; tbl = Hashtbl.create 64; tick = 0 }
+
+  let find t key =
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+        t.tick <- t.tick + 1;
+        e.stamp <- t.tick;
+        Some e
+    | None -> None
+
+  (* Linear-scan LRU eviction: the cache is small (hundreds of
+     entries) and eviction is rare next to a DP solve, so an O(size)
+     scan beats maintaining an intrusive list. *)
+  let evict_oldest t =
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, best) when best.stamp <= e.stamp -> acc
+          | _ -> Some (k, e))
+        t.tbl None
+    in
+    match victim with
+    | Some (k, _) ->
+        Hashtbl.remove t.tbl k;
+        true
+    | None -> false
+
+  (* Returns the number of entries evicted to make room. *)
+  let add t key body approximate =
+    if t.capacity <= 0 || Hashtbl.mem t.tbl key then 0
+    else begin
+      let evicted = ref 0 in
+      while Hashtbl.length t.tbl >= t.capacity && evict_oldest t do
+        incr evicted
+      done;
+      t.tick <- t.tick + 1;
+      Hashtbl.add t.tbl key { body; approximate; stamp = t.tick };
+      Obs.set g_entries (Hashtbl.length t.tbl);
+      !evicted
+    end
+end
+
+(* ---------------- request parsing ---------------- *)
+
+type request = {
+  rq_id : string;
+  rq_algo : algo;
+  rq_domain : domain;
+  rq_budget_ms : float option;
+}
+
+(* Best-effort id for error responses to malformed headers, so a
+   client can still correlate the failure with its request. *)
+let scan_id ~default_id toks =
+  List.fold_left
+    (fun acc t ->
+      if String.length t > 3 && String.sub t 0 3 = "id=" then
+        String.sub t 3 (String.length t - 3)
+      else acc)
+    default_id toks
+
+let header_tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_header ~default_id toks =
+  match toks with
+  | "request" :: kvs -> (
+      let id = ref default_id in
+      let algo = ref None in
+      let domain = ref Rat in
+      let budget = ref None in
+      let err = ref None in
+      let fail msg = if !err = None then err := Some msg in
+      List.iter
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | None ->
+              fail (Printf.sprintf "malformed token %S (expected key=value)" kv)
+          | Some i -> (
+              let k = String.sub kv 0 i in
+              let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+              match k with
+              | "id" -> if v = "" then fail "empty id" else id := v
+              | "algo" -> (
+                  match v with
+                  | "dp" -> algo := Some Dp
+                  | "ccp" -> algo := Some Ccp
+                  | "greedy" -> algo := Some Greedy
+                  | "sa" -> algo := Some Sa
+                  | _ ->
+                      fail
+                        (Printf.sprintf "unknown algo %S (expected dp|ccp|greedy|sa)" v))
+              | "domain" -> (
+                  match v with
+                  | "rat" -> domain := Rat
+                  | "log" -> domain := Log
+                  | _ -> fail (Printf.sprintf "unknown domain %S (expected rat|log)" v))
+              | "budget_ms" -> (
+                  match float_of_string_opt v with
+                  | Some b when Float.is_finite b && b >= 0. -> budget := Some b
+                  | _ -> fail (Printf.sprintf "invalid budget_ms %S" v))
+              | _ -> fail (Printf.sprintf "unknown key %S" k)))
+        kvs;
+      match (!err, !algo) with
+      | Some msg, _ -> Error msg
+      | None, None -> Error "missing algo=<dp|ccp|greedy|sa>"
+      | None, Some a ->
+          Ok { rq_id = !id; rq_algo = a; rq_domain = !domain; rq_budget_ms = !budget })
+  | _ -> Error "expected a \"request ...\" header"
+
+(* ---------------- per-domain engines ----------------
+
+   Rational and log instances flow through the same serving logic via
+   a record of closures built right after the parse — cheaper to read
+   than threading a first-class module through every call site. *)
+
+type solved = { log2_cost : float; seq : int array }
+
+type engine = {
+  e_n : int;
+  e_canonical : string;  (* domain-prefixed canonical dump: the cache-key basis *)
+  e_csg_bounded : limit:int -> int option;
+  e_solve : Pool.t option -> algo -> string * solved;
+  e_fallback : unit -> string * solved;
+}
+
+let rat_engine payload =
+  let module N = Qo.Instances.Nl_rat in
+  let module O = Qo.Instances.Opt_rat in
+  let module CCP = Qo.Instances.Ccp_rat in
+  let inst = Qo.Io.parse_rat payload in
+  let solved (p : O.plan) =
+    { log2_cost = Qo.Rat_cost.to_log2 p.O.cost; seq = p.O.seq }
+  in
+  let fallback () =
+    let g = O.greedy ~mode:O.Min_cost inst in
+    let s = O.simulated_annealing inst in
+    if Qo.Rat_cost.compare g.O.cost s.O.cost <= 0 then ("greedy (min cost)", solved g)
+    else ("simulated anneal", solved s)
+  in
+  {
+    e_n = N.n inst;
+    e_canonical = "rat\n" ^ Qo.Io.dump_rat inst;
+    e_csg_bounded = (fun ~limit -> CCP.csg_count_bounded ~limit inst);
+    e_solve =
+      (fun pool -> function
+        | Dp -> ("exact (subset DP)", solved (O.dp ?pool inst))
+        | Ccp -> ("exact CF (connected DP)", solved (CCP.dp_connected ?pool inst))
+        | Greedy -> ("greedy (min cost)", solved (O.greedy ~mode:O.Min_cost inst))
+        | Sa -> ("simulated anneal", solved (O.simulated_annealing inst)));
+    e_fallback = fallback;
+  }
+
+let log_engine payload =
+  let module N = Qo.Instances.Nl_log in
+  let module O = Qo.Instances.Opt_log in
+  let module CCP = Qo.Instances.Ccp_log in
+  let inst = Qo.Io.parse_log payload in
+  let solved (p : O.plan) = { log2_cost = Logreal.to_log2 p.O.cost; seq = p.O.seq } in
+  let fallback () =
+    let g = O.greedy ~mode:O.Min_cost inst in
+    let s = O.simulated_annealing inst in
+    if Qo.Log_cost.compare g.O.cost s.O.cost <= 0 then ("greedy (min cost)", solved g)
+    else ("simulated anneal", solved s)
+  in
+  {
+    e_n = N.n inst;
+    e_canonical = "log\n" ^ Qo.Io.dump_log inst;
+    e_csg_bounded = (fun ~limit -> CCP.csg_count_bounded ~limit inst);
+    e_solve =
+      (fun pool -> function
+        | Dp -> ("exact (subset DP)", solved (O.dp ?pool inst))
+        | Ccp -> ("exact CF (connected DP)", solved (CCP.dp_connected ?pool inst))
+        | Greedy -> ("greedy (min cost)", solved (O.greedy ~mode:O.Min_cost inst))
+        | Sa -> ("simulated anneal", solved (O.simulated_annealing inst)));
+    e_fallback = fallback;
+  }
+
+(* ---------------- budget model ---------------- *)
+
+let transition_ns cfg = function
+  | Rat -> cfg.rat_transition_ns
+  | Log -> cfg.log_transition_ns
+
+(* Decide, without doing the exact solve, whether its modelled cost
+   exceeds the budget. For ccp the #csg factor is measured with a
+   bounded enumeration whose own work is capped by [limit], i.e. by
+   the budget itself — estimating never costs more than the budget. *)
+let over_budget cfg req eng =
+  match req.rq_budget_ms with
+  | None -> false
+  | Some budget_ms -> (
+      match req.rq_algo with
+      | Greedy | Sa -> false
+      | Dp ->
+          let n = float_of_int eng.e_n in
+          let est_ms =
+            n *. Float.pow 2. n *. transition_ns cfg req.rq_domain /. 1e6
+          in
+          est_ms > budget_ms
+      | Ccp -> (
+          let per_csg =
+            transition_ns cfg req.rq_domain *. float_of_int (max 1 eng.e_n)
+          in
+          let raw = budget_ms *. 1e6 /. per_csg in
+          let limit =
+            if Float.is_finite raw && raw < 1e9 then int_of_float raw
+            else max_int - 1
+          in
+          match eng.e_csg_bounded ~limit with
+          | None -> true
+          | Some csg ->
+              float_of_int csg *. per_csg /. 1e6 > budget_ms))
+
+(* ---------------- responses ---------------- *)
+
+let one_line msg =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) msg
+
+let write_block io header body =
+  io.write header;
+  io.write "\n";
+  List.iter
+    (fun l ->
+      io.write l;
+      io.write "\n")
+    body;
+  io.write "end\n";
+  io.flush ()
+
+let respond_error st io ~id ~code msg =
+  Obs.incr c_err;
+  (match code with
+  | "too-large" ->
+      Obs.incr c_rejected;
+      st.rejected <- st.rejected + 1
+  | _ -> st.errors <- st.errors + 1);
+  write_block io
+    (Printf.sprintf "response id=%s status=error code=%s" id code)
+    [ "error: " ^ one_line msg ]
+
+let respond_ok st io req ~cache_hit ~approximate body =
+  Obs.incr c_ok;
+  st.ok <- st.ok + 1;
+  write_block io
+    (Printf.sprintf "response id=%s status=ok algo=%s domain=%s cache=%s approximate=%b"
+       req.rq_id (algo_name req.rq_algo) (domain_name req.rq_domain)
+       (if cache_hit then "hit" else "miss")
+       approximate)
+    [ body ]
+
+(* ---------------- request handling ---------------- *)
+
+(* Read payload lines up to the terminating "end". [None] on EOF. *)
+let read_payload io =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match io.next_line () with
+    | None -> None
+    | Some line ->
+        if String.trim line = "end" then Some (Buffer.contents buf)
+        else begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          go ()
+        end
+  in
+  go ()
+
+let admission_cap algo =
+  match algo with
+  | Dp -> ("Opt.max_dp_n", Qo.Instances.Opt_rat.max_dp_n)
+  | Ccp -> ("Ccp.max_ccp_n", Qo.Instances.Ccp_rat.max_ccp_n)
+  | Greedy | Sa -> ("Io.max_parse_n", Qo.Io.max_parse_n)
+
+let process ?pool ~cfg ~cache ~st io req payload =
+  match
+    try
+      Ok (match req.rq_domain with Rat -> rat_engine payload | Log -> log_engine payload)
+    with Invalid_argument msg | Failure msg -> Error msg
+  with
+  | Error msg -> respond_error st io ~id:req.rq_id ~code:"parse" msg
+  | Ok eng ->
+      let cap_name, cap = admission_cap req.rq_algo in
+      if eng.e_n > cap then
+        respond_error st io ~id:req.rq_id ~code:"too-large"
+          (Printf.sprintf "n=%d exceeds %s (%d) for algo=%s" eng.e_n cap_name cap
+             (algo_name req.rq_algo))
+      else begin
+        let approximate = over_budget cfg req eng in
+        if approximate then begin
+          Obs.incr c_fallbacks;
+          st.fallbacks <- st.fallbacks + 1
+        end;
+        let key =
+          Printf.sprintf "%s|%s|%s" (algo_name req.rq_algo)
+            (if approximate then "approx" else "exact")
+            (Digest.to_hex (Digest.string eng.e_canonical))
+        in
+        match Cache.find cache key with
+        | Some entry ->
+            Obs.incr c_hits;
+            st.cache_hits <- st.cache_hits + 1;
+            respond_ok st io req ~cache_hit:true ~approximate:entry.Cache.approximate
+              entry.Cache.body
+        | None -> (
+            Obs.incr c_misses;
+            st.cache_misses <- st.cache_misses + 1;
+            match
+              try
+                let label, s =
+                  if approximate then eng.e_fallback ()
+                  else eng.e_solve pool req.rq_algo
+                in
+                Ok (render_plan ~label ~log2_cost:s.log2_cost ~seq:s.seq)
+              with Invalid_argument msg | Failure msg -> Error msg
+            with
+            | Error msg -> respond_error st io ~id:req.rq_id ~code:"solver" msg
+            | Ok body ->
+                let evicted = Cache.add cache key body approximate in
+                if evicted > 0 then begin
+                  Obs.add c_evictions evicted;
+                  st.evictions <- st.evictions + evicted
+                end;
+                respond_ok st io req ~cache_hit:false ~approximate body)
+      end
+
+let handle_request ?pool ~cfg ~cache ~st io header_toks =
+  Obs.incr c_requests;
+  st.requests <- st.requests + 1;
+  let default_id = string_of_int st.requests in
+  let id = scan_id ~default_id header_toks in
+  (* A request header — even an invalid one — owns its payload up to
+     "end", so one bad request cannot desynchronise the stream. *)
+  let payload = read_payload io in
+  match parse_header ~default_id header_toks with
+  | Error msg -> respond_error st io ~id ~code:"bad-request" msg
+  | Ok req -> (
+      match payload with
+      | None ->
+          respond_error st io ~id:req.rq_id ~code:"bad-request"
+            "unexpected EOF before \"end\""
+      | Some payload ->
+          Obs.span "serve.request" (fun () -> process ?pool ~cfg ~cache ~st io req payload))
+
+(* ---------------- serve loops ---------------- *)
+
+let serve_loop ?pool ~cfg ~cache ~st io =
+  let t0 = Unix.gettimeofday () in
+  (try
+     let rec loop () =
+       match io.next_line () with
+       | None -> ()
+       | Some raw ->
+           let line = String.trim raw in
+           if line = "" || line.[0] = '#' then loop ()
+           else begin
+             (match header_tokens line with
+             | "request" :: _ as toks -> handle_request ?pool ~cfg ~cache ~st io toks
+             | _ ->
+                 (* Not a request header: reject the single line, do
+                    not consume a payload that was never announced. *)
+                 Obs.incr c_requests;
+                 st.requests <- st.requests + 1;
+                 respond_error st io
+                   ~id:(string_of_int st.requests)
+                   ~code:"bad-request"
+                   (Printf.sprintf "unrecognized line %S (expected \"request ...\")" line));
+             loop ()
+           end
+     in
+     loop ()
+   with
+  | Shutdown -> st.interrupted <- true
+  | Sys_error _ -> () (* transport dropped mid-stream: connection is over *));
+  st.seconds <- st.seconds +. (Unix.gettimeofday () -. t0);
+  st
+
+let serve_io ?pool ?(config = default_config) io =
+  serve_loop ?pool ~cfg:config ~cache:(Cache.create config.cache_capacity)
+    ~st:(fresh_stats ()) io
+
+let io_of_channels ic oc =
+  {
+    next_line =
+      (fun () -> match input_line ic with l -> Some l | exception End_of_file -> None);
+    write = (fun s -> output_string oc s);
+    flush = (fun () -> flush oc);
+  }
+
+let serve_channels ?pool ?config ic oc = serve_io ?pool ?config (io_of_channels ic oc)
+
+let serve_string ?pool ?config input =
+  let out = Buffer.create 1024 in
+  let pos = ref 0 in
+  let len = String.length input in
+  let next_line () =
+    if !pos >= len then None
+    else begin
+      let j = match String.index_from_opt input !pos '\n' with Some j -> j | None -> len in
+      let line = String.sub input !pos (j - !pos) in
+      pos := j + 1;
+      Some line
+    end
+  in
+  let st =
+    serve_io ?pool ?config
+      { next_line; write = Buffer.add_string out; flush = (fun () -> ()) }
+  in
+  (Buffer.contents out, st)
+
+let serve_socket ?pool ?(config = default_config) ?(max_conns = max_int) path =
+  let cache = Cache.create config.cache_capacity in
+  let st = fresh_stats () in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let cleanup () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  in
+  let served = ref 0 in
+  (try
+     while (not st.interrupted) && !served < max_conns do
+       match Unix.accept sock with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | fd, _ ->
+           incr served;
+           let ic = Unix.in_channel_of_descr fd in
+           let oc = Unix.out_channel_of_descr fd in
+           ignore (serve_loop ?pool ~cfg:config ~cache ~st (io_of_channels ic oc));
+           (try flush oc with Sys_error _ -> ());
+           (try Unix.close fd with Unix.Unix_error _ -> ())
+     done
+   with Shutdown -> st.interrupted <- true);
+  cleanup ();
+  st
+
+(* ---------------- reporting ---------------- *)
+
+let hit_rate st =
+  let lookups = st.cache_hits + st.cache_misses in
+  if lookups = 0 then 0. else float_of_int st.cache_hits /. float_of_int lookups
+
+let summary st =
+  Printf.sprintf
+    "qopt serve: %d request(s) — %d ok, %d error(s), %d rejected; cache %d hit / %d miss \
+     / %d evicted (%.0f%% hit rate); %d fallback(s); %.3fs%s"
+    st.requests st.ok st.errors st.rejected st.cache_hits st.cache_misses st.evictions
+    (100. *. hit_rate st) st.fallbacks st.seconds
+    (if st.interrupted then " (interrupted)" else "")
+
+let report_json ~jobs st =
+  let open Obs.Json in
+  Obs.run_report ~kind:"qopt-serve-report"
+    ~extra:
+      [
+        ("jobs", Int jobs);
+        ( "totals",
+          Obj
+            [
+              ("requests", Int st.requests);
+              ("ok", Int st.ok);
+              ("errors", Int st.errors);
+              ("rejected", Int st.rejected);
+              ("cache_hits", Int st.cache_hits);
+              ("cache_misses", Int st.cache_misses);
+              ("evictions", Int st.evictions);
+              ("fallbacks", Int st.fallbacks);
+              ("cache_hit_rate", Float (hit_rate st));
+              ("seconds", Float st.seconds);
+              ("interrupted", Bool st.interrupted);
+            ] );
+      ]
+    ()

@@ -1,0 +1,129 @@
+(** [qopt serve]: a long-running request/response optimization service.
+
+    The protocol is line-oriented so it composes with shell pipelines
+    and line-delimited sockets alike. A request is:
+
+    {v
+    request id=<token> algo=<dp|ccp|greedy|sa> [domain=<rat|log>] [budget_ms=<float>]
+    qon 1
+    n 2
+    size 0 100
+    ...
+    end
+    v}
+
+    i.e. a one-line header, the instance payload in the existing
+    [qon 1] format ({!Qo.Io}), and a terminating [end] line. Blank
+    lines and [#] comments between requests are ignored. Responses
+    mirror the shape:
+
+    {v
+    response id=<token> status=ok algo=<a> domain=<d> cache=<hit|miss> approximate=<true|false>
+    <plan line, byte-identical to `qopt optimize` output>
+    end
+    v}
+
+    or, on failure (the process never dies on a bad request):
+
+    {v
+    response id=<token> status=error code=<bad-request|parse|too-large|solver>
+    error: <one-line message>
+    end
+    v}
+
+    Error-code contract: [bad-request] = malformed header or truncated
+    payload; [parse] = the payload is not a valid [qon 1] instance;
+    [too-large] = admission control rejected the request against
+    [Opt.max_dp_n] / [Ccp.max_ccp_n] / {!Qo.Io.max_parse_n} before any
+    solving work; [solver] = the solve itself failed. A disconnected
+    query graph under [algo=ccp] is {e not} an error: it yields a
+    [status=ok] response whose plan line carries [cost = 2^inf] and an
+    empty sequence, exactly like one-shot [qopt].
+
+    Solved plans are cached under the canonical instance hash (the
+    MD5 digest of the {!Qo.Io} dump of the {e parsed} instance, so
+    formatting differences and comment lines do not defeat the cache),
+    with LRU eviction. Cache hits return the stored response body
+    byte-for-byte.
+
+    [budget_ms] enforces a deterministic work model rather than a
+    wall-clock timeout (so tests are reproducible): exact DP work is
+    modelled as [n * 2^n] transitions, connected-DP work as
+    [n * #csg] — measured with {!Qo.Ccp.Make.csg_count_bounded}, whose
+    own cost is capped by the same budget — at a configurable
+    nanoseconds-per-transition rate. A request whose model exceeds the
+    budget falls back to the best of greedy / simulated annealing and
+    is marked [approximate=true]. *)
+
+exception Shutdown
+(** Raise from a signal handler (SIGTERM/SIGINT) to stop the serve
+    loop after the in-flight request; the loop returns its stats with
+    [interrupted = true] instead of propagating. *)
+
+type algo = Dp | Ccp | Greedy | Sa
+type domain = Rat | Log
+
+type config = {
+  cache_capacity : int;  (** plan-cache entries before LRU eviction *)
+  rat_transition_ns : float;  (** budget model: ns per DP transition, rational domain *)
+  log_transition_ns : float;  (** budget model: ns per DP transition, log domain *)
+}
+
+val default_config : config
+(** [{cache_capacity = 256; rat_transition_ns = 100.; log_transition_ns = 10.}] *)
+
+type stats = {
+  mutable requests : int;
+  mutable ok : int;
+  mutable errors : int;  (** error responses other than admission rejections *)
+  mutable rejected : int;  (** admission-control rejections (code=too-large) *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable evictions : int;
+  mutable fallbacks : int;  (** budget-driven exact-to-approximate downgrades *)
+  mutable seconds : float;
+  mutable interrupted : bool;  (** stopped by {!Shutdown} rather than EOF *)
+}
+
+type io = {
+  next_line : unit -> string option;  (** [None] on end of stream *)
+  write : string -> unit;
+  flush : unit -> unit;
+}
+(** Transport abstraction: the same loop serves stdin/stdout, a Unix
+    socket connection, or an in-memory string (tests). *)
+
+val render_plan : label:string -> log2_cost:float -> seq:int array -> string
+(** The one plan-line renderer, shared with [qopt optimize] so serve
+    responses are byte-identical to one-shot CLI output:
+    ["%-22s cost = 2^%.2f  seq = [i;j;...]"]. *)
+
+val serve_io : ?pool:Pool.t -> ?config:config -> io -> stats
+(** Run the request loop until end-of-stream or {!Shutdown}. Every
+    per-request failure is turned into an error response; the loop
+    itself only ends on EOF, {!Shutdown}, or a dropped transport
+    ([Sys_error]). *)
+
+val serve_channels : ?pool:Pool.t -> ?config:config -> in_channel -> out_channel -> stats
+
+val serve_string : ?pool:Pool.t -> ?config:config -> string -> string * stats
+(** In-memory transcript: feed a whole request stream, get the
+    concatenated responses back. Test entry point. *)
+
+val serve_socket : ?pool:Pool.t -> ?config:config -> ?max_conns:int -> string -> stats
+(** Listen on a Unix-domain socket at the given path (unlinking any
+    stale socket first) and serve connections sequentially, sharing one
+    plan cache; aggregate stats across connections. Returns on
+    {!Shutdown}, or after [max_conns] connections (default unbounded —
+    the bound exists so tests can join the serving domain). *)
+
+val hit_rate : stats -> float
+(** Cache hits over cache lookups (0. when no lookups happened). *)
+
+val summary : stats -> string
+(** One-line human summary for the shutdown message on stderr. *)
+
+val report_json : jobs:int -> stats -> Obs.Json.t
+(** Schema-versioned serving report ([kind = "qopt-serve-report"])
+    via {!Obs.run_report}: totals from [stats] plus the process-wide
+    counter snapshot and span forest. *)

@@ -513,6 +513,128 @@ let test_io_malformed () =
   (* the well-formed base still parses *)
   Alcotest.(check int) "well-formed base parses" 3 (Qo.Io.parse_rat base).NR.n
 
+(* Regression: a hostile "n" line used to reach Array.make unchecked —
+   "n 99999999999" was an OOM kill / Out_of_memory crash instead of a
+   parse error, and "n 0"/"n -3" corrupted downstream checks. The
+   declared count is now validated against Io.max_parse_n before any
+   allocation. *)
+let test_io_hostile_n () =
+  let expect_parse_error name text =
+    match Qo.Io.parse_rat text with
+    | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          (name ^ ": error is a parse error (" ^ msg ^ ")")
+          true
+          (String.length msg >= 12 && String.sub msg 0 12 = "Qo.Io.parse:")
+    | _ -> Alcotest.fail (name ^ ": hostile n accepted")
+  in
+  expect_parse_error "huge n" "qon 1\nn 99999999999\nsize 0 10\n";
+  expect_parse_error "n just above the cap"
+    (Printf.sprintf "qon 1\nn %d\n" (Qo.Io.max_parse_n + 1));
+  expect_parse_error "zero n" "qon 1\nn 0\nsize 0 10\n";
+  expect_parse_error "negative n" "qon 1\nn -3\n";
+  (* the rejection carries the line number and the cap *)
+  Alcotest.check_raises "range message"
+    (Invalid_argument
+       (Printf.sprintf "Qo.Io.parse: line 2: n 99999999999 out of range [1,%d]"
+          Qo.Io.max_parse_n))
+    (fun () -> ignore (Qo.Io.parse_rat "qon 1\nn 99999999999\n"))
+
+(* Regression: [scalar_of] used to catch [with _], so a pathological
+   literal that blew past the parser with Out_of_memory/Stack_overflow
+   would be misreported as "invalid scalar" (or worse, swallowed). It
+   now catches only Failure/Invalid_argument; a long-but-valid literal
+   parses exactly and a long-but-junk one is a line-numbered error. *)
+let test_io_long_scalar () =
+  let digits = String.make 4000 '9' in
+  let text = "qon 1\nn 1\nsize 0 " ^ digits ^ "/7\n" in
+  let inst = Qo.Io.parse_rat text in
+  Alcotest.(check string) "4000-digit rational round-trips byte-exact"
+    (Qo.Io.dump_rat inst)
+    (Qo.Io.dump_rat (Qo.Io.parse_rat (Qo.Io.dump_rat inst)));
+  match Qo.Io.parse_rat ("qon 1\nn 1\nsize 0 " ^ digits ^ "x\n") with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        ("long junk literal is a line-3 parse error (" ^ String.sub msg 0 30 ^ "...)")
+        true
+        (String.length msg >= 27 && String.sub msg 0 27 = "Qo.Io.parse: line 3: invali")
+  | _ -> Alcotest.fail "long junk literal accepted"
+
+(* Regression: the log-domain scalar reader accepted non-finite input —
+   "2^nan" became a NaN exponent that silently poisoned every cost
+   comparison downstream (NaN compares false with everything), and
+   "inf"/"2^inf" built instances no optimizer could rank. All
+   non-finite scalars are now line-numbered parse errors in the log
+   domain; the rational domain keeps its documented "inf". *)
+let test_io_nonfinite_log () =
+  let line3 payload = "qon 1\nn 2\nsize 0 " ^ payload ^ "\nsize 1 2^4\n" in
+  let expect_rejected payload =
+    Alcotest.check_raises ("log rejects " ^ payload)
+      (Invalid_argument (Printf.sprintf "Qo.Io.parse: line 3: invalid scalar %S" payload))
+      (fun () -> ignore (Qo.Io.parse_log (line3 payload)))
+  in
+  expect_rejected "nan";
+  expect_rejected "2^nan";
+  expect_rejected "inf";
+  expect_rejected "2^inf";
+  expect_rejected "-inf";
+  (* finite log scalars still parse and round-trip *)
+  let ok =
+    "qon 1\nn 2\nsize 0 2^3\nsize 1 2^4\nedge 0 1 sel 2^-1 wij 2^2 wji 2^3\n"
+  in
+  let inst = Qo.Io.parse_log ok in
+  Alcotest.(check string) "finite log instance round-trips"
+    (Qo.Io.dump_log inst)
+    (Qo.Io.dump_log (Qo.Io.parse_log (Qo.Io.dump_log inst)));
+  (* the rational domain's documented "inf" is untouched *)
+  let rat = Qo.Io.parse_rat "qon 1\nn 1\nsize 0 inf\n" in
+  Alcotest.(check bool) "rat inf still accepted" false
+    (RC.is_finite rat.NR.sizes.(0))
+
+(* ---------------- iterative improvement: move neighborhood ---------------- *)
+
+(* [apply_move] semantics: remove position i, reinsert at j, in both
+   directions; applying the inverse restores the array. *)
+let test_apply_move () =
+  let check_arr name expected actual =
+    Alcotest.(check (array int)) name expected actual
+  in
+  let a = [| 0; 1; 2; 3; 4 |] in
+  OR_.apply_move a 1 3;
+  check_arr "forward move" [| 0; 2; 3; 1; 4 |] a;
+  OR_.apply_move a 3 1;
+  check_arr "inverse restores" [| 0; 1; 2; 3; 4 |] a;
+  OR_.apply_move a 4 0;
+  check_arr "backward move" [| 4; 0; 1; 2; 3 |] a;
+  OR_.apply_move a 0 4;
+  check_arr "inverse restores again" [| 0; 1; 2; 3; 4 |] a;
+  OR_.apply_move a 2 2;
+  check_arr "no-op move" [| 0; 1; 2; 3; 4 |] a
+
+(* Same seed, same plan — the move/swap mix draws from the seeded state
+   only, so II stays reproducible. *)
+let prop_ii_deterministic =
+  QCheck2.Test.make ~name:"iterative_improvement is seed-deterministic" ~count:30
+    gen_instance (fun inst ->
+      let p1 = OR_.iterative_improvement ~seed:42 inst in
+      let p2 = OR_.iterative_improvement ~seed:42 inst in
+      RC.equal p1.OR_.cost p2.OR_.cost && p1.OR_.seq = p2.OR_.seq)
+
+(* II explores moves and swaps but must always return a valid
+   permutation whose cost is consistent and bounded below by the DP
+   optimum. *)
+let prop_ii_valid_and_bounded =
+  QCheck2.Test.make ~name:"iterative_improvement: valid permutation, cost >= dp" ~count:30
+    gen_instance (fun inst ->
+      let p = OR_.iterative_improvement ~seed:7 inst in
+      let n = NR.n inst in
+      let seen = Array.make n false in
+      Array.iter (fun v -> seen.(v) <- true) p.OR_.seq;
+      Array.length p.OR_.seq = n
+      && Array.for_all Fun.id seen
+      && RC.equal p.OR_.cost (NR.cost inst p.OR_.seq)
+      && RC.compare (OR_.dp inst).OR_.cost p.OR_.cost <= 0)
+
 let () =
   Alcotest.run "qo"
     [
@@ -530,6 +652,10 @@ let () =
             prop_dp_no_cartesian_dominates;
             prop_dp_plan_cost_consistent;
           ] );
+      ( "iterative improvement",
+        [ Alcotest.test_case "apply_move semantics" `Quick test_apply_move ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_ii_deterministic; prop_ii_valid_and_bounded ] );
       ( "model properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_size_set_invariance; prop_log_matches_rational; prop_profile_sums; prop_uniform_instance ] );
@@ -564,6 +690,9 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_io_errors;
           Alcotest.test_case "malformed inputs" `Quick test_io_malformed;
           Alcotest.test_case "extreme scalars round-trip" `Quick test_io_extremes;
+          Alcotest.test_case "hostile n lines" `Quick test_io_hostile_n;
+          Alcotest.test_case "pathologically long scalar" `Quick test_io_long_scalar;
+          Alcotest.test_case "non-finite log scalars" `Quick test_io_nonfinite_log;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [

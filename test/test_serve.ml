@@ -1,0 +1,364 @@
+(* Tests for the qopt serve request/response loop: protocol round
+   trips, per-request error isolation, admission control, plan caching,
+   budget fallback, graceful shutdown, and the socket transport. *)
+
+module O = Qo.Instances.Opt_rat
+module CCP = Qo.Instances.Ccp_rat
+
+(* The hand-checked 2-relation instance from test_qo: optimal cost 200,
+   sequence [0;1]. *)
+let inst2 = "qon 1\nn 2\nsize 0 100\nsize 1 20\nedge 0 1 sel 1/10 wij 15 wji 2\n"
+
+(* Same instance, different surface syntax (reordered size lines,
+   comments, blank lines): must parse to the same canonical form and
+   therefore hit the cache. *)
+let inst2_reordered =
+  "qon 1\n# a comment\nn 2\nsize 1 20\n\nsize 0 100\nedge 0 1 sel 1/10 wij 15 wji 2\n"
+
+(* A connected chain on [n] relations: sizes 4, sel 1/2, w at the lower
+   bound 2 both ways — valid in every n we use. *)
+let chain_inst n =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "qon 1\n";
+  Buffer.add_string b (Printf.sprintf "n %d\n" n);
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "size %d 4\n" i)
+  done;
+  for i = 0 to n - 2 do
+    Buffer.add_string b (Printf.sprintf "edge %d %d sel 1/2 wij 2 wji 2\n" i (i + 1))
+  done;
+  Buffer.contents b
+
+(* Two relations, no predicate: disconnected, so ccp is infeasible. *)
+let disconnected = "qon 1\nn 2\nsize 0 4\nsize 1 8\n"
+
+let request ?(header = "request algo=dp") payload = header ^ "\n" ^ payload ^ "end\n"
+
+(* Split a response stream into blocks (header + body lines), dropping
+   the "end" terminators. *)
+let blocks text =
+  let rec go acc cur = function
+    | [] | [ "" ] -> List.rev (match cur with [] -> acc | c -> List.rev c :: acc)
+    | "end" :: rest -> go (List.rev cur :: acc) [] rest
+    | l :: rest -> go acc (l :: cur) rest
+  in
+  go [] [] (String.split_on_char '\n' text)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let block_testable = Alcotest.(list string)
+
+(* ---------------- protocol + cache ---------------- *)
+
+let test_ok_and_cache () =
+  let input =
+    request ~header:"request id=first algo=dp" inst2
+    ^ request ~header:"request id=second algo=dp" inst2_reordered
+    ^ request ~header:"request id=third algo=greedy" inst2
+  in
+  let out, st = Serve.serve_string input in
+  let p = O.dp (Qo.Io.parse_rat inst2) in
+  let dp_line =
+    Serve.render_plan ~label:"exact (subset DP)"
+      ~log2_cost:(Qo.Rat_cost.to_log2 p.O.cost) ~seq:p.O.seq
+  in
+  (match blocks out with
+  | [ b1; b2; b3 ] ->
+      Alcotest.(check block_testable)
+        "first: dp miss"
+        [
+          "response id=first status=ok algo=dp domain=rat cache=miss approximate=false";
+          dp_line;
+        ]
+        b1;
+      (* the reordered payload is the same canonical instance: cache
+         hit, body byte-identical *)
+      Alcotest.(check block_testable)
+        "second: dp hit, byte-identical body"
+        [
+          "response id=second status=ok algo=dp domain=rat cache=hit approximate=false";
+          dp_line;
+        ]
+        b2;
+      (match b3 with
+      | hdr :: body :: _ ->
+          Alcotest.(check bool) "third: greedy miss" true (contains hdr "algo=greedy");
+          Alcotest.(check bool) "third: greedy label" true
+            (contains body "greedy (min cost)")
+      | _ -> Alcotest.fail "third block malformed")
+  | bs -> Alcotest.fail (Printf.sprintf "expected 3 response blocks, got %d" (List.length bs)));
+  Alcotest.(check int) "requests" 3 st.Serve.requests;
+  Alcotest.(check int) "ok" 3 st.Serve.ok;
+  Alcotest.(check int) "cache hits" 1 st.Serve.cache_hits;
+  Alcotest.(check int) "cache misses" 2 st.Serve.cache_misses
+
+(* The plan line must be byte-identical to what `qopt optimize` prints:
+   both go through Serve.render_plan with the same inputs, and the
+   rendering is the documented fixed format. *)
+let test_render_plan_format () =
+  Alcotest.(check string) "format"
+    "exact (subset DP)      cost = 2^7.64  seq = [0;1]"
+    (Serve.render_plan ~label:"exact (subset DP)"
+       ~log2_cost:(Qo.Rat_cost.to_log2 (O.dp (Qo.Io.parse_rat inst2)).O.cost)
+       ~seq:[| 0; 1 |]);
+  Alcotest.(check string) "infeasible renders as 2^inf"
+    "exact CF (connected DP) cost = 2^inf  seq = []"
+    (Serve.render_plan ~label:"exact CF (connected DP)" ~log2_cost:Float.infinity
+       ~seq:[||])
+
+(* ---------------- error isolation ---------------- *)
+
+let test_error_isolation () =
+  let input =
+    request ~header:"request id=a algo=quantum" inst2 (* bad algo *)
+    ^ "complete garbage line\n" (* not a request at all *)
+    ^ request ~header:"request id=b algo=dp" "qon 1\njunk\n" (* payload parse error *)
+    ^ request ~header:"request id=c algo=dp budget_ms=x" inst2 (* bad budget *)
+    ^ request ~header:"request id=d algo=dp" inst2 (* still served *)
+  in
+  let out, st = Serve.serve_string input in
+  let codes =
+    List.filter_map
+      (fun b ->
+        match b with
+        | hdr :: _ when contains hdr "status=error" ->
+            Some
+              (List.find_map
+                 (fun tok ->
+                   if String.length tok > 5 && String.sub tok 0 5 = "code=" then
+                     Some (String.sub tok 5 (String.length tok - 5))
+                   else None)
+                 (String.split_on_char ' ' hdr))
+        | _ -> None)
+      (blocks out)
+  in
+  Alcotest.(check (list (option string)))
+    "error codes in order"
+    [ Some "bad-request"; Some "bad-request"; Some "parse"; Some "bad-request" ]
+    codes;
+  (* the process survived all of it and the last request was answered *)
+  Alcotest.(check bool) "last request still served ok" true
+    (contains out "response id=d status=ok");
+  Alcotest.(check int) "requests" 5 st.Serve.requests;
+  Alcotest.(check int) "ok" 1 st.Serve.ok;
+  Alcotest.(check int) "errors" 4 st.Serve.errors;
+  Alcotest.(check bool) "never interrupted" false st.Serve.interrupted
+
+let test_truncated_payload () =
+  let out, st = Serve.serve_string ("request id=t algo=dp\nqon 1\nn 2\n") in
+  Alcotest.(check bool) "EOF before end is a bad-request" true
+    (contains out "response id=t status=error code=bad-request"
+    && contains out "unexpected EOF");
+  Alcotest.(check int) "one error" 1 st.Serve.errors
+
+(* ---------------- admission control ---------------- *)
+
+let test_admission () =
+  let input =
+    request ~header:"request id=big-dp algo=dp" (chain_inst 24)
+    ^ request ~header:"request id=big-ccp algo=ccp" (chain_inst 62)
+    ^ request ~header:"request id=big-greedy algo=greedy" (chain_inst 24)
+  in
+  let out, st = Serve.serve_string input in
+  Alcotest.(check bool) "dp n=24 rejected" true
+    (contains out "response id=big-dp status=error code=too-large"
+    && contains out "exceeds Opt.max_dp_n (23)");
+  Alcotest.(check bool) "ccp n=62 rejected" true
+    (contains out "response id=big-ccp status=error code=too-large"
+    && contains out "exceeds Ccp.max_ccp_n (61)");
+  Alcotest.(check bool) "greedy n=24 admitted" true
+    (contains out "response id=big-greedy status=ok");
+  Alcotest.(check int) "rejected counted separately" 2 st.Serve.rejected;
+  Alcotest.(check int) "not counted as plain errors" 0 st.Serve.errors;
+  Alcotest.(check int) "greedy solved" 1 st.Serve.ok
+
+(* Oversized declared n is stopped by the parser's own cap, long before
+   Array.make: the serve loop reports it as a parse error and lives. *)
+let test_oversized_n_payload () =
+  let out, st =
+    Serve.serve_string
+      (request ~header:"request id=huge algo=greedy" "qon 1\nn 99999999999\n")
+  in
+  Alcotest.(check bool) "huge n is a parse error" true
+    (contains out "response id=huge status=error code=parse"
+    && contains out "out of range");
+  Alcotest.(check int) "served on" 1 st.Serve.requests
+
+(* ---------------- ccp on a disconnected graph ---------------- *)
+
+let test_ccp_disconnected () =
+  let out, st =
+    Serve.serve_string (request ~header:"request id=dis algo=ccp" disconnected)
+  in
+  (match blocks out with
+  | [ [ hdr; body ] ] ->
+      Alcotest.(check string) "infeasible is still status=ok"
+        "response id=dis status=ok algo=ccp domain=rat cache=miss approximate=false" hdr;
+      Alcotest.(check string) "plan line is the 2^inf infeasible rendering"
+        "exact CF (connected DP) cost = 2^inf  seq = []" body
+  | _ -> Alcotest.fail "expected one two-line response block");
+  Alcotest.(check int) "ok" 1 st.Serve.ok
+
+(* ---------------- budget fallback ---------------- *)
+
+let test_budget_fallback () =
+  let input =
+    request ~header:"request id=tight algo=dp budget_ms=0" inst2
+    ^ request ~header:"request id=roomy algo=dp budget_ms=10000" inst2
+    ^ request ~header:"request id=tight-ccp algo=ccp budget_ms=0" inst2
+    ^ request ~header:"request id=cheap algo=greedy budget_ms=0" inst2
+  in
+  let out, st = Serve.serve_string input in
+  Alcotest.(check bool) "zero budget downgrades dp" true
+    (contains out "response id=tight status=ok algo=dp domain=rat cache=miss approximate=true");
+  Alcotest.(check bool) "generous budget stays exact" true
+    (contains out
+       "response id=roomy status=ok algo=dp domain=rat cache=miss approximate=false");
+  Alcotest.(check bool) "zero budget downgrades ccp" true
+    (contains out "response id=tight-ccp status=ok algo=ccp domain=rat cache=miss approximate=true");
+  Alcotest.(check bool) "heuristics never fall back" true
+    (contains out
+       "response id=cheap status=ok algo=greedy domain=rat cache=miss approximate=false");
+  Alcotest.(check int) "two fallbacks" 2 st.Serve.fallbacks;
+  (* exact and approximate results never share a cache slot: the roomy
+     dp run was a miss even though the tight one came first *)
+  Alcotest.(check int) "no cross-contamination hits" 0 st.Serve.cache_hits
+
+(* ---------------- cache eviction ---------------- *)
+
+let test_cache_eviction () =
+  let config = { Serve.default_config with Serve.cache_capacity = 1 } in
+  let a = request ~header:"request algo=dp" inst2 in
+  let b = request ~header:"request algo=dp" (chain_inst 3) in
+  let _out, st = Serve.serve_string ~config (a ^ b ^ a) in
+  Alcotest.(check int) "all misses at capacity 1" 3 st.Serve.cache_misses;
+  Alcotest.(check int) "no hits" 0 st.Serve.cache_hits;
+  Alcotest.(check int) "two evictions" 2 st.Serve.evictions;
+  (* and capacity 0 disables caching without dividing by zero *)
+  let config0 = { Serve.default_config with Serve.cache_capacity = 0 } in
+  let _out, st0 = Serve.serve_string ~config:config0 (a ^ a) in
+  Alcotest.(check int) "capacity 0: no hits" 0 st0.Serve.cache_hits;
+  Alcotest.(check int) "capacity 0: no evictions" 0 st0.Serve.evictions
+
+(* ---------------- graceful shutdown ---------------- *)
+
+let test_shutdown_mid_stream () =
+  (* an io source that delivers one full request and then simulates a
+     SIGTERM arriving while waiting for the next line *)
+  let lines = ref (String.split_on_char '\n' (request inst2)) in
+  let buf = Buffer.create 256 in
+  let next_line () =
+    match !lines with
+    | [] | [ "" ] -> raise Serve.Shutdown
+    | l :: rest ->
+        lines := rest;
+        Some l
+  in
+  let st =
+    Serve.serve_io { Serve.next_line; write = Buffer.add_string buf; flush = Fun.id }
+  in
+  Alcotest.(check bool) "in-flight request answered" true
+    (contains (Buffer.contents buf) "status=ok");
+  Alcotest.(check bool) "marked interrupted" true st.Serve.interrupted;
+  Alcotest.(check int) "one ok" 1 st.Serve.ok
+
+(* ---------------- socket transport ---------------- *)
+
+let test_socket () =
+  let path = Filename.temp_file "qopt_serve" ".sock" in
+  let server =
+    Domain.spawn (fun () -> Serve.serve_socket ~max_conns:1 path)
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* the server unlinks and rebinds the path; retry until it listens *)
+  let rec connect tries =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when tries > 0 ->
+        Unix.sleepf 0.02;
+        connect (tries - 1)
+  in
+  connect 250;
+  let payload = request ~header:"request id=s1 algo=dp" inst2
+                ^ request ~header:"request id=s2 algo=dp" inst2 in
+  let _ = Unix.write_substring fd payload 0 (String.length payload) in
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | k ->
+        Buffer.add_subbytes buf chunk 0 k;
+        drain ()
+  in
+  drain ();
+  Unix.close fd;
+  let st = Domain.join server in
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "both responses arrived" true
+    (contains out "response id=s1 status=ok" && contains out "response id=s2 status=ok");
+  Alcotest.(check bool) "second was a cache hit" true (contains out "cache=hit");
+  Alcotest.(check int) "stats aggregated" 2 st.Serve.requests;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+(* ---------------- serving report ---------------- *)
+
+let test_report_json () =
+  let _out, st = Serve.serve_string (request inst2 ^ request inst2 ^ "junk\n") in
+  match Serve.report_json ~jobs:2 st with
+  | Obs.Json.Obj fields ->
+      let get k = List.assoc_opt k fields in
+      Alcotest.(check bool) "schema_version 1" true
+        (get "schema_version" = Some (Obs.Json.Int 1));
+      Alcotest.(check bool) "kind" true
+        (get "kind" = Some (Obs.Json.Str "qopt-serve-report"));
+      Alcotest.(check bool) "jobs" true (get "jobs" = Some (Obs.Json.Int 2));
+      (match get "totals" with
+      | Some (Obs.Json.Obj totals) ->
+          Alcotest.(check bool) "requests total" true
+            (List.assoc_opt "requests" totals = Some (Obs.Json.Int 3));
+          Alcotest.(check bool) "hit rate = 1/2" true
+            (List.assoc_opt "cache_hit_rate" totals = Some (Obs.Json.Float 0.5))
+      | _ -> Alcotest.fail "missing totals object");
+      Alcotest.(check bool) "counters present" true (get "counters" <> None);
+      (* the envelope round-trips through the Json printer/parser *)
+      Alcotest.(check bool) "serializes to parseable JSON" true
+        (match Obs.Json.of_string (Obs.Json.to_string (Serve.report_json ~jobs:2 st)) with
+        | Ok _ -> true
+        | Error _ -> false)
+  | _ -> Alcotest.fail "report is not a JSON object"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "ok responses + canonical cache" `Quick test_ok_and_cache;
+          Alcotest.test_case "plan-line rendering" `Quick test_render_plan_format;
+          Alcotest.test_case "ccp on disconnected graph" `Quick test_ccp_disconnected;
+        ] );
+      ( "error isolation",
+        [
+          Alcotest.test_case "bad requests never kill the loop" `Quick test_error_isolation;
+          Alcotest.test_case "truncated payload" `Quick test_truncated_payload;
+          Alcotest.test_case "oversized declared n" `Quick test_oversized_n_payload;
+        ] );
+      ( "admission + budget",
+        [
+          Alcotest.test_case "admission control caps" `Quick test_admission;
+          Alcotest.test_case "budget fallback" `Quick test_budget_fallback;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "LRU eviction" `Quick test_cache_eviction ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "shutdown mid-stream" `Quick test_shutdown_mid_stream;
+          Alcotest.test_case "unix socket transport" `Quick test_socket;
+          Alcotest.test_case "serving report" `Quick test_report_json;
+        ] );
+    ]
