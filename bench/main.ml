@@ -379,10 +379,38 @@ let serve_workload_check () =
     (if byte_identical then "yes" else "NO");
   (mismatches, st, seconds, throughput, byte_identical)
 
+(* ------------------------------------------------------------------ *)
+(* A fuzz campaign as a bench row: 300 seeded runs through the full
+   oracle registry (corpus mutations included when fuzz/corpus is
+   visible from the cwd). Zero failures is a hard requirement — any
+   disagreement between the shipped solvers fails the bench. *)
+
+let fuzz_campaign_check ~jobs =
+  Printf.printf "\n== qopt fuzz: 300-run campaign over %d oracles ==\n"
+    (List.length Fuzz.oracles);
+  let corpus = Array.of_list (List.map snd (Fuzz.load_corpus "fuzz/corpus")) in
+  let run () =
+    if jobs > 1 then
+      Pool.with_pool ~jobs (fun pool -> Fuzz.run_campaign ~pool ~corpus ~seed:1 ~runs:300 ())
+    else Fuzz.run_campaign ~corpus ~seed:1 ~runs:300 ()
+  in
+  let r, seconds = Obs.time run in
+  let throughput = float_of_int r.Fuzz.runs /. seconds in
+  Printf.printf
+    "  %d runs in %.3fs (%.0f runs/s): %d checks, %d pass, %d skip, %d fail; corpus %d\n"
+    r.Fuzz.runs seconds throughput r.Fuzz.checks r.Fuzz.passes r.Fuzz.skips r.Fuzz.fails
+    (Array.length corpus);
+  List.iter
+    (fun f ->
+      Printf.printf "  FAIL %s on run %d (%s): %s\n" f.Fuzz.oracle f.Fuzz.run f.Fuzz.descriptor
+        f.Fuzz.message)
+    r.Fuzz.failures;
+  (r.Fuzz.fails, r, seconds, throughput)
+
 (* Machine-readable mirror of the tables above: schema-versioned, written
    quietly at the repo root so CI can archive it without parsing stdout. *)
 let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
-    ~serve_row =
+    ~serve_row ~fuzz_row =
   let open Obs.Json in
   let speedup num den = if den > 0.0 then num /. den else Float.nan in
   let report =
@@ -475,6 +503,19 @@ let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_ro
                ("requests_per_s", Float throughput);
                ("byte_identical_to_oneshot", Bool byte_identical);
              ]) );
+        ( "fuzz",
+          (let r, seconds, throughput = fuzz_row in
+           Obj
+             [
+               ("runs", Int r.Fuzz.runs);
+               ("checks", Int r.Fuzz.checks);
+               ("passes", Int r.Fuzz.passes);
+               ("skips", Int r.Fuzz.skips);
+               ("failures", Int r.Fuzz.fails);
+               ("shrink_steps", Int r.Fuzz.shrink_steps);
+               ("seconds", Float seconds);
+               ("runs_per_s", Float throughput);
+             ]) );
         ( "counters",
           Obj
             (List.filter_map
@@ -528,8 +569,13 @@ let () =
   let dp_mismatches, dp_rows = parallel_dp_check ~jobs:(Stdlib.max jobs 2) in
   let ccp_mismatches, vs_rows, beyond_rows = ccp_dp_check ~jobs:(Stdlib.max jobs 2) in
   let serve_mismatches, serve_st, serve_s, serve_tput, serve_ident = serve_workload_check () in
+  let fuzz_fails, fuzz_r, fuzz_s, fuzz_tput = fuzz_campaign_check ~jobs:(Stdlib.max jobs 2) in
   let kernels = run_benchmarks () in
   scaling_series ();
   write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
-    ~serve_row:(serve_st, serve_s, serve_tput, serve_ident);
-  if fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 || serve_mismatches > 0 then exit 1
+    ~serve_row:(serve_st, serve_s, serve_tput, serve_ident)
+    ~fuzz_row:(fuzz_r, fuzz_s, fuzz_tput);
+  if
+    fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 || serve_mismatches > 0
+    || fuzz_fails > 0
+  then exit 1

@@ -6,6 +6,7 @@
      solve        decide a DIMACS CNF with the DPLL solver
      optimize     build an f_N co-cluster instance and compare optimizers
      serve        long-running request/response optimization service
+     fuzz         differential/metamorphic fuzzing campaign or replay
      chain        run the Theorem-9 chain on generated formulas
      appendix     run PARTITION -> SPPCS -> SQO-CP on a number list *)
 
@@ -200,12 +201,15 @@ let optimize_cmd =
           ("tree", `Tree);
           ("chain", `Chain);
           ("star", `Star);
+          ("cycle", `Cycle);
+          ("grid", `Grid);
+          ("clique", `Clique);
         ]
     in
     let doc =
       "Instance family: $(b,cocluster) (the hard f_N co-cluster instance; the default) or a \
-       random log-domain instance over a $(b,random), $(b,tree), $(b,chain) or $(b,star) \
-       query graph."
+       random log-domain instance over a $(b,random), $(b,tree), $(b,chain), $(b,star), \
+       $(b,cycle), $(b,grid) or $(b,clique) query graph."
     in
     Arg.(value & opt family `Cocluster & info [ "shape" ] ~docv:"SHAPE" ~doc)
   in
@@ -309,13 +313,18 @@ let optimize_cmd =
             (Logreal.to_log2 r.Reductions.Fn.t_size)
             (Logreal.to_log2 r.Reductions.Fn.k_cd);
           r.Reductions.Fn.instance
-      | (`Random | `Tree | `Chain | `Star) as s ->
+      | (`Random | `Tree | `Chain | `Star | `Cycle | `Grid | `Clique) as s ->
           let name, inst =
             match s with
             | `Random -> ("random", Qo.Gen_inst.L.random ~seed ~n ~p:0.5 ())
             | `Tree -> ("tree", Qo.Gen_inst.L.tree ~seed ~n ())
             | `Chain -> ("chain", Qo.Gen_inst.L.chain ~seed ~n ())
             | `Star -> ("star", Qo.Gen_inst.L.star ~seed ~satellites:(n - 1) ())
+            | `Cycle -> ("cycle", Qo.Gen_inst.L.cycle ~seed ~n ())
+            | `Grid ->
+                let rows, cols = Qo.Gen_inst.grid_dims n in
+                (Printf.sprintf "grid %dx%d" rows cols, Qo.Gen_inst.L.grid ~seed ~rows ~cols ())
+            | `Clique -> ("clique", Qo.Gen_inst.L.clique ~seed ~n ())
           in
           Printf.printf "%s instance: n=%d edges=%d\n" name n
             (Graphlib.Ugraph.edge_count inst.Qo.Instances.Nl_log.graph);
@@ -405,10 +414,131 @@ let serve_cmd =
     Term.(const run $ socket $ cache_size $ jobs_term $ stats_term $ trace_term
           $ report_term)
 
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd =
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Reproducer / corpus files to replay through every oracle (campaign mode when \
+             none are given).")
+  in
+  let runs =
+    Arg.(value & opt int 500 & info [ "runs" ] ~docv:"N" ~doc:"Campaign instances to draw.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let corpus =
+    Arg.(
+      value
+      & opt string "fuzz/corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Corpus directory feeding the mutation generator (silently skipped when the \
+             directory does not exist).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "fuzz/reproducers"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory minimized reproducers are written to.")
+  in
+  let report_term =
+    let doc =
+      "Write a schema-versioned JSON campaign report (totals, per-oracle rows, generator \
+       mix, failures, counters, spans) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let replay_files files =
+    let failed = ref 0 in
+    List.iter
+      (fun path ->
+        let case =
+          try Fuzz.load_case path
+          with Invalid_argument msg | Sys_error msg ->
+            Printf.eprintf "qopt: %s\n" msg;
+            exit 2
+        in
+        let outs = Fuzz.replay case in
+        let fails =
+          List.filter_map (function name, Fuzz.Fail m -> Some (name, m) | _ -> None) outs
+        in
+        let count p = List.length (List.filter p outs) in
+        if fails = [] then
+          Printf.printf "ok   %s (%d pass, %d skip)\n" path
+            (count (function _, Fuzz.Pass -> true | _ -> false))
+            (count (function _, Fuzz.Skip _ -> true | _ -> false))
+        else begin
+          incr failed;
+          Printf.printf "FAIL %s\n" path;
+          List.iter (fun (name, m) -> Printf.printf "  %s: %s\n" name m) fails
+        end)
+      files;
+    if !failed > 0 then 1 else 0
+  in
+  let campaign runs seed corpus out jobs report =
+    let corpus_cases = Array.of_list (List.map snd (Fuzz.load_corpus corpus)) in
+    let result =
+      with_jobs jobs (fun pool ->
+          Fuzz.run_campaign ?pool ~corpus:corpus_cases ~seed ~runs ())
+    in
+    (* stdout is deterministic per (seed, runs); timing goes to stderr *)
+    Printf.printf "fuzz: %d runs, %d oracle checks: %d pass, %d skip, %d fail\n"
+      result.Fuzz.runs result.Fuzz.checks result.Fuzz.passes result.Fuzz.skips
+      result.Fuzz.fails;
+    List.iter
+      (fun (name, (p, s, f)) ->
+        Printf.printf "  %-20s pass=%-5d skip=%-5d fail=%d\n" name p s f)
+      result.Fuzz.per_oracle;
+    List.iter (fun (k, v) -> Printf.printf "  mix %-8s %d\n" k v) result.Fuzz.mix;
+    List.iter
+      (fun f ->
+        let path = Fuzz.save_reproducer ~dir:out f in
+        Printf.printf "FAIL %s on run %d (%s): %s\n" f.Fuzz.oracle f.Fuzz.run
+          f.Fuzz.descriptor f.Fuzz.message;
+        Printf.printf "  reproducer n=%d (shrunk from n=%d in %d steps): %s\n"
+          f.Fuzz.n_shrunk f.Fuzz.n_original f.Fuzz.shrink_steps path;
+        Printf.printf "  replay: qopt fuzz %s\n" path)
+      result.Fuzz.failures;
+    Printf.eprintf "fuzz: %d runs in %.2fs\n" result.Fuzz.runs result.Fuzz.seconds;
+    (match report with
+    | Some path -> Obs.Json.write_file path (Fuzz.report_json ~jobs ~seed result)
+    | None -> ());
+    if result.Fuzz.fails > 0 then 1 else 0
+  in
+  let run files runs seed corpus out jobs stats trace report =
+    let jobs = resolve_jobs jobs in
+    setup_obs stats trace;
+    let code =
+      if files <> [] then replay_files files else campaign runs seed corpus out jobs report
+    in
+    finish_obs stats trace;
+    code
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the optimizer portfolio: differential and metamorphic oracles over \
+          generated/adversarial/mutated instances, with a minimizing shrinker and qon \
+          reproducers")
+    Term.(const run $ files $ runs $ seed $ corpus $ out $ jobs_term $ stats_term
+          $ trace_term $ report_term)
+
 (* ---------------- shared instance building ---------------- *)
 
 let shape_conv =
-  Arg.enum [ ("random", `Random); ("tree", `Tree); ("chain", `Chain); ("star", `Star) ]
+  Arg.enum
+    [
+      ("random", `Random);
+      ("tree", `Tree);
+      ("chain", `Chain);
+      ("star", `Star);
+      ("cycle", `Cycle);
+      ("grid", `Grid);
+      ("clique", `Clique);
+    ]
 
 let build_instance n seed shape =
   match shape with
@@ -416,6 +546,11 @@ let build_instance n seed shape =
   | `Tree -> Qo.Gen_inst.R.tree ~seed ~n ()
   | `Chain -> Qo.Gen_inst.R.chain ~seed ~n ()
   | `Star -> Qo.Gen_inst.R.star ~seed ~satellites:(n - 1) ()
+  | `Cycle -> Qo.Gen_inst.R.cycle ~seed ~n ()
+  | `Grid ->
+      let rows, cols = Qo.Gen_inst.grid_dims n in
+      Qo.Gen_inst.R.grid ~seed ~rows ~cols ()
+  | `Clique -> Qo.Gen_inst.R.clique ~seed ~n ()
 
 (* ---------------- explain ---------------- *)
 
@@ -544,4 +679,4 @@ let appendix_cmd =
 let () =
   let doc = "Executable reproduction of 'On the Complexity of Approximate Query Optimization'" in
   let info = Cmd.info "qopt" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; solve_cmd; optimize_cmd; serve_cmd; explain_cmd; gen_cmd; chain_cmd; appendix_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; solve_cmd; optimize_cmd; serve_cmd; fuzz_cmd; explain_cmd; gen_cmd; chain_cmd; appendix_cmd ]))

@@ -1,0 +1,120 @@
+(* Regenerate the committed fuzz corpus under fuzz/corpus/.
+
+     dune exec examples/make_corpus.exe -- fuzz/corpus
+
+   The corpus is the mutation generator's seed material and a replay
+   regression suite (`dune runtest` runs every file through every
+   oracle), so it deliberately concentrates the known tricky spots:
+   infeasible cartesian-free instances, the max_parse_n boundary,
+   extreme %.17g scalars at the access-cost band edges, and bignum
+   rationals. Files are deterministic — rerunning this tool must be a
+   no-op diff. *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "fuzz/corpus" in
+  let save name comments case =
+    let path = Filename.concat dir name in
+    Fuzz.save_case ~comments path case;
+    Printf.printf "wrote %s (n=%d, %s)\n" path (Fuzz.case_n case) (Fuzz.case_domain case)
+  in
+  (if not (Sys.file_exists dir) then
+     match Sys.command (Filename.quote_command "mkdir" [ "-p"; dir ]) with
+     | 0 -> ()
+     | c -> failwith (Printf.sprintf "mkdir -p %s failed with %d" dir c));
+
+  let module R = Qo.Gen_inst.R in
+  let module L = Qo.Gen_inst.L in
+  save "01-chain4.qon" [ "chain of 4 relations; IK-applicable tree" ]
+    (Fuzz.Rat (R.chain ~seed:1 ~n:4 ()));
+  save "02-star6.qon" [ "star: hub plus 5 satellites; IK-applicable tree" ]
+    (Fuzz.Rat (R.star ~seed:2 ~satellites:5 ()));
+
+  (* disconnected query graph: dp_no_cartesian / dp_connected must
+     agree on infeasibility ({cost = inf; seq = [||]}) *)
+  let disconnected =
+    let g =
+      Graphlib.Ugraph.disjoint_union
+        (Graphlib.Gen.random_tree ~seed:3 ~n:3)
+        (Graphlib.Gen.random_tree ~seed:4 ~n:3)
+    in
+    R.over_graph ~seed:3 ~graph:g ()
+  in
+  save "03-disconnected6.qon"
+    [ "two 3-vertex trees, no predicate between them: CF-infeasible" ]
+    (Fuzz.Rat disconnected);
+
+  save "04-cycle6.qon" [ "6-cycle: smallest 2-connected non-tree" ]
+    (Fuzz.Rat (R.cycle ~seed:4 ~n:6 ()));
+  save "05-grid3x3.qon" [ "3x3 mesh: bounded-degree planar family" ]
+    (Fuzz.Rat (R.grid ~seed:5 ~rows:3 ~cols:3 ()));
+  save "06-clique5.qon" [ "K5: densest 5-relation query" ]
+    (Fuzz.Rat (R.clique ~seed:6 ~n:5 ()));
+  save "07-log-tree7.qon" [ "log-domain random tree" ] (Fuzz.Log (L.tree ~seed:7 ~n:7 ()));
+
+  (* the paper's f_N co-cluster reduction instance: uniform scalars,
+     sizes far beyond exact arithmetic comfort *)
+  let cocluster =
+    let graph = Graphlib.Gen.with_clique_number ~n:8 ~omega:4 in
+    let r = Reductions.Fn.reduce ~graph ~c:0.5 ~d:0.25 ~log2_a:8.0 in
+    r.Reductions.Fn.instance
+  in
+  save "08-cocluster8.qon" [ "f_N reduction output: n=8 omega=4 log2_a=8" ]
+    (Fuzz.Log cocluster);
+
+  save "09-singleton.qon" [ "single relation: every n-dependent base case" ]
+    (Fuzz.Rat (R.over_graph ~seed:9 ~graph:(Graphlib.Ugraph.create 1) ()));
+
+  (* extreme %.17g scalars with access costs at the exact band edges:
+     w01 = t0 * s01 (lower bound), w12 = t1 (upper bound) *)
+  let extreme_log =
+    let module C = Qo.Log_cost in
+    let graph = Graphlib.Gen.path 3 in
+    let sizes = [| C.of_log2 200.0; C.of_log2 0.30000000000000004; C.of_log2 1e9 |] in
+    let sel = Array.make_matrix 3 3 C.one in
+    let set_sel i j s =
+      sel.(i).(j) <- s;
+      sel.(j).(i) <- s
+    in
+    set_sel 0 1 (C.of_log2 (-100.0));
+    set_sel 1 2 (C.of_log2 (-0.1));
+    let w = Array.init 3 (fun i -> Array.make 3 sizes.(i)) in
+    w.(0).(1) <- C.mul sizes.(0) sel.(0).(1);
+    w.(1).(2) <- sizes.(1);
+    w.(1).(0) <- C.of_log2 0.15;
+    w.(2).(1) <- C.mul sizes.(2) sel.(2).(1);
+    Qo.Instances.Nl_log.make ~graph ~sel ~sizes ~w
+  in
+  save "10-extreme-log.qon"
+    [ "17-significant-digit exponents; w at the exact [t*s, t] band edges" ]
+    (Fuzz.Log extreme_log);
+
+  (* bignum rationals: sizes that overflow any fixed-width arithmetic *)
+  let big_rat =
+    let module C = Qo.Rat_cost in
+    let graph = Graphlib.Gen.path 2 in
+    let big = C.of_bigq (Bignum.Bigq.of_string "123456789012345678901234567890/7") in
+    let sizes = [| big; C.of_int 12 |] in
+    let sel = Array.make_matrix 2 2 C.one in
+    sel.(0).(1) <- C.of_ints 1 3;
+    sel.(1).(0) <- C.of_ints 1 3;
+    let w = Array.init 2 (fun i -> Array.make 2 sizes.(i)) in
+    w.(0).(1) <- C.mul big (C.of_ints 1 2);
+    w.(1).(0) <- C.of_int 5;
+    Qo.Instances.Nl_rat.make ~graph ~sel ~sizes ~w
+  in
+  save "11-bigrat2.qon" [ "30-digit rational size: bignum round-trip" ] (Fuzz.Rat big_rat);
+
+  (* the Io.max_parse_n boundary: n = 1024, edge-free (so the file
+     stays small and only the unbounded oracles engage) *)
+  let boundary =
+    let module C = Qo.Rat_cost in
+    let n = Qo.Io.max_parse_n in
+    let graph = Graphlib.Ugraph.create n in
+    let sizes = Array.init n (fun v -> C.of_int (1 + (v mod 97))) in
+    let sel = Array.make_matrix n n C.one in
+    let w = Array.init n (fun i -> Array.make n sizes.(i)) in
+    Qo.Instances.Nl_rat.make ~graph ~sel ~sizes ~w
+  in
+  save "12-boundary-n1024.qon"
+    [ "n = Io.max_parse_n = 1024, edge-free: parser allocation boundary" ]
+    (Fuzz.Rat boundary)

@@ -246,6 +246,10 @@ module Json = struct
       else Ok v
     with Parse_error msg -> Error msg
 
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
   let write_file path v =
     let oc = open_out path in
     Fun.protect

@@ -41,6 +41,11 @@ module Json : sig
   (** Strict parse of a single JSON value ([Error msg] with a position
       on malformed input). Numbers without [./e/E] parse as [Int]. *)
 
+  val member : string -> t -> t option
+  (** [member key v]: the field named [key] when [v] is an object
+      (first occurrence), [None] otherwise — the lookup used by report
+      validations in tests. *)
+
   val write_file : string -> t -> unit
   (** [write_file path v] writes [to_string v] (plus a final newline)
       to [path], truncating any existing file. *)

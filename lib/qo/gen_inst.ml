@@ -1,72 +1,120 @@
 (** Random and structured [QO_N] instance generators.
 
-    Shared by the tests, the examples, the CLI and the benchmarks.
-    Generators come in two cost domains; the rational ones produce
-    instances that fit exact arithmetic (for cross-validation), the
-    log-domain ones scale to arbitrary magnitudes. All generators
+    Shared by the tests, the examples, the CLI, the benchmarks and the
+    fuzzer. Generators come in two cost domains; the rational ones
+    produce instances that fit exact arithmetic (for cross-validation),
+    the log-domain ones scale to arbitrary magnitudes. All generators
     respect the access-path constraints [t_j s_jk <= w_jk <= t_j]
-    (validated by [Nl.make]). *)
+    (validated by [Nl.make]).
 
-module type PARAMS = sig
-  val seed : int
-end
+    One functor ({!Core}) holds the generation logic; {!R} and {!L} are
+    thin instantiations that differ only in how a single scalar is
+    drawn. The draw {e order} (sizes, then one selectivity per edge,
+    then the access-cost matrix row-major) and the per-shape seed salts
+    are part of the contract: a given [(shape, seed)] pair must keep
+    producing the same instance across refactors, because committed
+    fuzz-corpus entries and experiment tables are derived from them. *)
 
-(* -------------------- rational domain -------------------- *)
+(** The per-domain scalar draws. Each function consumes exactly one
+    [Random.State] draw, so both domains walk the same stream. *)
+type 'c draws = {
+  draw_size : Random.State.t -> 'c;
+  draw_sel : Random.State.t -> 'c;
+  draw_w : Random.State.t -> lo:'c -> t:'c -> 'c;
+      (** access cost for an edge, somewhere in [[t*s, t]] = [[lo, t]] *)
+}
 
-module R = struct
-  module I = Instances.Nl_rat
-  module C = Rat_cost
+(** The generation logic, written once over the cost domain. *)
+module Core (C : Cost.S) = struct
+  module I = Nl.Make (C)
 
-  (** [random ~seed ~n ~p ?max_size ?max_inv_sel ()]: G(n,p) query
-      graph, sizes in [1, max_size], selectivities [1/k] with
-      [k <= max_inv_sel], access costs uniform in the legal range. *)
-  let random ~seed ~n ~p ?(max_size = 1000) ?(max_inv_sel = 50) () =
-    let st = Random.State.make [| seed; n; 101 |] in
-    let g = Graphlib.Gen.gnp ~seed ~n ~p in
-    let sizes = Array.init n (fun _ -> C.of_int (1 + Random.State.int st max_size)) in
-    let sel = Array.make_matrix n n C.one in
-    List.iter
-      (fun (i, j) ->
-        let s = C.of_ints 1 (1 + Random.State.int st max_inv_sel) in
-        sel.(i).(j) <- s;
-        sel.(j).(i) <- s)
-      (Graphlib.Ugraph.edges g);
-    let w =
-      Array.init n (fun i ->
-          Array.init n (fun j ->
-              if i <> j && Graphlib.Ugraph.has_edge g i j then begin
-                (* uniform between the bounds t_i * s_ij and t_i *)
-                let lo = C.mul sizes.(i) sel.(i).(j) in
-                let mid = C.of_int (1 + Random.State.int st max_size) in
-                C.min sizes.(i) (C.max lo mid)
-              end
-              else sizes.(i)))
-    in
-    I.make ~graph:g ~sel ~sizes ~w
-
-  (** Random instance over a given query graph. *)
-  let over_graph ~seed ~graph ?(max_size = 1000) ?(max_inv_sel = 50) () =
+  (* Fill sizes/sel/w over a fixed graph from an already-salted state.
+     Draw order: sizes 0..n-1, one sel per edge (Ugraph.edges order),
+     then w row-major over adjacent ordered pairs. *)
+  let fill ~st ~graph d =
     let n = Graphlib.Ugraph.vertex_count graph in
-    let st = Random.State.make [| seed; n; 103 |] in
-    let sizes = Array.init n (fun _ -> C.of_int (1 + Random.State.int st max_size)) in
+    let sizes = Array.init n (fun _ -> d.draw_size st) in
     let sel = Array.make_matrix n n C.one in
     List.iter
       (fun (i, j) ->
-        let s = C.of_ints 1 (1 + Random.State.int st max_inv_sel) in
+        let s = d.draw_sel st in
         sel.(i).(j) <- s;
         sel.(j).(i) <- s)
       (Graphlib.Ugraph.edges graph);
     let w =
       Array.init n (fun i ->
           Array.init n (fun j ->
-              if i <> j && Graphlib.Ugraph.has_edge graph i j then begin
-                let lo = C.mul sizes.(i) sel.(i).(j) in
-                let mid = C.of_int (1 + Random.State.int st max_size) in
-                C.min sizes.(i) (C.max lo mid)
-              end
+              if i <> j && Graphlib.Ugraph.has_edge graph i j then
+                d.draw_w st ~lo:(C.mul sizes.(i) sel.(i).(j)) ~t:sizes.(i)
               else sizes.(i)))
     in
     I.make ~graph ~sel ~sizes ~w
+
+  let over_graph ~seed ~salt ~graph d =
+    let n = Graphlib.Ugraph.vertex_count graph in
+    fill ~st:(Random.State.make [| seed; n; salt |]) ~graph d
+
+  (* A tree plus [extra] random chords — the family Section 6.3
+     identifies as the frontier of tractability. *)
+  let tree_plus ~seed ~chord_salt ~over_salt ~n ~extra d =
+    let g = Graphlib.Gen.random_tree ~seed ~n in
+    let st = Random.State.make [| seed; n; extra; chord_salt |] in
+    let budget = ref extra in
+    let attempts = ref (20 * (extra + 1)) in
+    while !budget > 0 && !attempts > 0 do
+      decr attempts;
+      let i = Random.State.int st n and j = Random.State.int st n in
+      if i <> j && not (Graphlib.Ugraph.has_edge g i j) then begin
+        Graphlib.Ugraph.add_edge g i j;
+        decr budget
+      end
+    done;
+    over_graph ~seed ~salt:over_salt ~graph:g d
+end
+
+(* [grid_dims n]: the most-square rows*cols factorization of [n]
+   (rows <= cols); prime n degrades to a 1 x n chain. Shared by the
+   CLI's --shape grid, which only knows a vertex count. *)
+let grid_dims n =
+  if n < 1 then invalid_arg "Gen_inst.grid_dims: need n >= 1";
+  let rows = ref 1 in
+  let r = ref 1 in
+  while !r * !r <= n do
+    if n mod !r = 0 then rows := !r;
+    incr r
+  done;
+  (!rows, n / !rows)
+
+(* -------------------- rational domain -------------------- *)
+
+module R = struct
+  module I = Instances.Nl_rat
+  module C = Rat_cost
+  module G = Core (Rat_cost)
+
+  (* sizes in [1, max_size], selectivities 1/k with k <= max_inv_sel,
+     access costs uniform-ish in the legal range (one uniform draw,
+     clamped into [t*s, t]). *)
+  let draws ~max_size ~max_inv_sel =
+    {
+      draw_size = (fun st -> C.of_int (1 + Random.State.int st max_size));
+      draw_sel = (fun st -> C.of_ints 1 (1 + Random.State.int st max_inv_sel));
+      draw_w =
+        (fun st ~lo ~t ->
+          let mid = C.of_int (1 + Random.State.int st max_size) in
+          C.min t (C.max lo mid));
+    }
+
+  (** [random ~seed ~n ~p ?max_size ?max_inv_sel ()]: G(n,p) query
+      graph, sizes in [1, max_size], selectivities [1/k] with
+      [k <= max_inv_sel]. *)
+  let random ~seed ~n ~p ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    G.over_graph ~seed ~salt:101 ~graph:(Graphlib.Gen.gnp ~seed ~n ~p)
+      (draws ~max_size ~max_inv_sel)
+
+  (** Random instance over a given query graph. *)
+  let over_graph ~seed ~graph ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    G.over_graph ~seed ~salt:103 ~graph (draws ~max_size ~max_inv_sel)
 
   (** Random tree query (for the Ibaraki–Kameda boundary). *)
   let tree ~seed ~n ?(max_size = 1000) ?(max_inv_sel = 50) () =
@@ -80,22 +128,21 @@ module R = struct
   let star ~seed ~satellites ?(max_size = 1000) ?(max_inv_sel = 50) () =
     over_graph ~seed ~graph:(Graphlib.Gen.star satellites) ~max_size ~max_inv_sel ()
 
-  (** A tree query plus [extra] random chords — the family Section 6.3
-      identifies as the frontier of tractability. *)
+  (** Cycle query (n >= 3). *)
+  let cycle ~seed ~n ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.cycle n) ~max_size ~max_inv_sel ()
+
+  (** [rows * cols] mesh query — the bounded-degree family. *)
+  let grid ~seed ~rows ~cols ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.grid ~rows ~cols) ~max_size ~max_inv_sel ()
+
+  (** Complete query graph — every pair joined by a predicate. *)
+  let clique ~seed ~n ?(max_size = 1000) ?(max_inv_sel = 50) () =
+    over_graph ~seed ~graph:(Graphlib.Ugraph.complete n) ~max_size ~max_inv_sel ()
+
+  (** A tree query plus [extra] random chords. *)
   let tree_plus ~seed ~n ~extra ?(max_size = 1000) ?(max_inv_sel = 50) () =
-    let g = Graphlib.Gen.random_tree ~seed ~n in
-    let st = Random.State.make [| seed; n; extra; 107 |] in
-    let budget = ref extra in
-    let attempts = ref (20 * (extra + 1)) in
-    while !budget > 0 && !attempts > 0 do
-      decr attempts;
-      let i = Random.State.int st n and j = Random.State.int st n in
-      if i <> j && not (Graphlib.Ugraph.has_edge g i j) then begin
-        Graphlib.Ugraph.add_edge g i j;
-        decr budget
-      end
-    done;
-    over_graph ~seed ~graph:g ~max_size ~max_inv_sel ()
+    G.tree_plus ~seed ~chord_salt:107 ~over_salt:103 ~n ~extra (draws ~max_size ~max_inv_sel)
 end
 
 (* -------------------- log domain -------------------- *)
@@ -103,36 +150,25 @@ end
 module L = struct
   module I = Instances.Nl_log
   module C = Log_cost
+  module G = Core (Log_cost)
+
+  (* sizes up to 2^max_log2_size, selectivities down to
+     2^-max_log2_inv_sel, access costs uniform in log space between the
+     bounds. *)
+  let draws ~max_log2_size ~max_log2_inv_sel =
+    {
+      draw_size = (fun st -> C.of_log2 (1.0 +. Random.State.float st max_log2_size));
+      draw_sel = (fun st -> C.of_log2 (-.Random.State.float st max_log2_inv_sel));
+      draw_w =
+        (fun st ~lo ~t ->
+          let frac = Random.State.float st 1.0 in
+          C.of_log2 (C.to_log2 lo +. (frac *. (C.to_log2 t -. C.to_log2 lo))));
+    }
 
   (** Log-domain mirror of {!R.over_graph}, with sizes up to
       [2^max_log2_size]. *)
   let over_graph ~seed ~graph ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
-    let n = Graphlib.Ugraph.vertex_count graph in
-    let st = Random.State.make [| seed; n; 109 |] in
-    let sizes =
-      Array.init n (fun _ -> C.of_log2 (1.0 +. Random.State.float st max_log2_size))
-    in
-    let sel = Array.make_matrix n n C.one in
-    List.iter
-      (fun (i, j) ->
-        let s = C.of_log2 (-.Random.State.float st max_log2_inv_sel) in
-        sel.(i).(j) <- s;
-        sel.(j).(i) <- s)
-      (Graphlib.Ugraph.edges graph);
-    let w =
-      Array.init n (fun i ->
-          Array.init n (fun j ->
-              if i <> j && Graphlib.Ugraph.has_edge graph i j then begin
-                let lo = C.mul sizes.(i) sel.(i).(j) in
-                (* uniform in log space between lo and t_i *)
-                let frac = Random.State.float st 1.0 in
-                C.of_log2
-                  (Logreal.to_log2 lo
-                  +. (frac *. (Logreal.to_log2 sizes.(i) -. Logreal.to_log2 lo)))
-              end
-              else sizes.(i)))
-    in
-    I.make ~graph ~sel ~sizes ~w
+    G.over_graph ~seed ~salt:109 ~graph (draws ~max_log2_size ~max_log2_inv_sel)
 
   let random ~seed ~n ~p ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
     over_graph ~seed ~graph:(Graphlib.Gen.gnp ~seed ~n ~p) ~max_log2_size ~max_log2_inv_sel ()
@@ -147,18 +183,16 @@ module L = struct
   let star ~seed ~satellites ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
     over_graph ~seed ~graph:(Graphlib.Gen.star satellites) ~max_log2_size ~max_log2_inv_sel ()
 
+  let cycle ~seed ~n ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.cycle n) ~max_log2_size ~max_log2_inv_sel ()
+
+  let grid ~seed ~rows ~cols ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
+    over_graph ~seed ~graph:(Graphlib.Gen.grid ~rows ~cols) ~max_log2_size ~max_log2_inv_sel ()
+
+  let clique ~seed ~n ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
+    over_graph ~seed ~graph:(Graphlib.Ugraph.complete n) ~max_log2_size ~max_log2_inv_sel ()
+
   let tree_plus ~seed ~n ~extra ?(max_log2_size = 24.0) ?(max_log2_inv_sel = 8.0) () =
-    let g = Graphlib.Gen.random_tree ~seed ~n in
-    let st = Random.State.make [| seed; n; extra; 113 |] in
-    let budget = ref extra in
-    let attempts = ref (20 * (extra + 1)) in
-    while !budget > 0 && !attempts > 0 do
-      decr attempts;
-      let i = Random.State.int st n and j = Random.State.int st n in
-      if i <> j && not (Graphlib.Ugraph.has_edge g i j) then begin
-        Graphlib.Ugraph.add_edge g i j;
-        decr budget
-      end
-    done;
-    over_graph ~seed ~graph:g ~max_log2_size ~max_log2_inv_sel ()
+    G.tree_plus ~seed ~chord_salt:113 ~over_salt:109 ~n ~extra
+      (draws ~max_log2_size ~max_log2_inv_sel)
 end

@@ -142,7 +142,12 @@ let build ~make ~one p =
 
 (* ---------------- rational ---------------- *)
 
-let rat_to_string = Format.asprintf "%a" Rat_cost.pp
+(* Eta-expanded on purpose: a partially applied [Format.asprintf]
+   captures one shared formatter buffer at definition time, so
+   concurrent dumps from pool workers interleaved their digits and
+   produced unparseable scalars (found by `qopt fuzz --jobs 4`). Full
+   application allocates a fresh buffer per call. *)
+let rat_to_string v = Format.asprintf "%a" Rat_cost.pp v
 
 let rat_of_string s =
   match s with

@@ -6,6 +6,7 @@ module OR_ = Qo.Instances.Opt_rat
 module NL = Qo.Instances.Nl_log
 module OL = Qo.Instances.Opt_log
 module IKR = Qo.Instances.Ik_rat
+module IKL = Qo.Instances.Ik_log
 module RC = Qo.Rat_cost
 
 let rc = Alcotest.testable (fun fmt v -> RC.pp fmt v) RC.equal
@@ -194,6 +195,23 @@ let prop_ik_tree_optimal =
       let cik, seq = IKR.solve inst in
       let pd = OR_.dp_no_cartesian inst in
       RC.equal cik pd.OR_.cost && RC.equal (NR.cost inst seq) cik)
+
+(* Same boundary in the float domain: the optimum matches up to log2
+   tolerance (IK and the DP add costs in different orders). *)
+let prop_ik_tree_optimal_log =
+  QCheck2.Test.make ~name:"IK = no-cartesian DP on tree queries (log domain)" ~count:80
+    QCheck2.Gen.(
+      let* n = int_range 2 8 in
+      let* seed = int_range 0 10_000 in
+      return (Qo.Gen_inst.L.tree ~seed ~n ()))
+    (fun inst ->
+      let close a b =
+        let la = Qo.Log_cost.to_log2 a and lb = Qo.Log_cost.to_log2 b in
+        la = lb || Float.abs (la -. lb) <= 1e-6
+      in
+      let cik, seq = IKL.solve inst in
+      let pd = OL.dp_no_cartesian inst in
+      close cik pd.OL.cost && close (NL.cost inst seq) cik)
 
 let prop_profile_sums =
   QCheck2.Test.make ~name:"cost = sum of join costs" ~count:60 gen_instance (fun inst ->
@@ -659,7 +677,9 @@ let () =
       ( "model properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_size_set_invariance; prop_log_matches_rational; prop_profile_sums; prop_uniform_instance ] );
-      ("ik", List.map QCheck_alcotest.to_alcotest [ prop_ik_tree_optimal ]);
+      ( "ik",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_ik_tree_optimal; prop_ik_tree_optimal_log ] );
       ( "parallel dp",
         List.map QCheck_alcotest.to_alcotest
           [
