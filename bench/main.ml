@@ -195,8 +195,10 @@ let scaling_series () =
    --jobs 4 on a 4-core host; ~1.0x on a single core). *)
 
 let parallel_dp_check ~jobs =
-  Printf.printf "\n== Parallel subset DP: equivalence + speedup (jobs=%d) ==\n" jobs;
-  Printf.printf "%6s %12s %12s %9s %12s\n" "n" "seq (s)" "par (s)" "speedup" "bit-identical";
+  Printf.printf "\n== Parallel subset DP: equivalence + speedup (jobs=%d, threshold n>=%d) ==\n"
+    jobs OL.dp_parallel_min_n;
+  Printf.printf "%6s %12s %12s %9s %10s %12s\n" "n" "seq (s)" "par (s)" "speedup" "parallel"
+    "bit-identical";
   let mismatches = ref 0 in
   let rows =
     Pool.with_pool ~jobs (fun pool ->
@@ -206,12 +208,17 @@ let parallel_dp_check ~jobs =
             let seq, t_seq = Obs.time (fun () -> OL.dp r.Fn.instance) in
             let par, t_par = Obs.time (fun () -> OL.dp ~pool r.Fn.instance) in
             let same = Logreal.compare seq.OL.cost par.OL.cost = 0 && seq.OL.seq = par.OL.seq in
+            (* below the work threshold ~pool must take the sequential
+               path, so the "speedup" documents overhead avoided, not
+               layer fan-out *)
+            let active = n >= OL.dp_parallel_min_n in
             if not same then incr mismatches;
-            Printf.printf "%6d %12.4f %12.4f %8.2fx %12s\n" n t_seq t_par
+            Printf.printf "%6d %12.4f %12.4f %8.2fx %10s %12s\n" n t_seq t_par
               (if t_par > 0.0 then t_seq /. t_par else Float.nan)
+              (if active then "yes" else "no")
               (if same then "yes" else "NO");
-            (n, t_seq, t_par, same))
-          [ 16; 18 ])
+            (n, t_seq, t_par, active, same))
+          [ 16; 18; 20 ])
   in
   (!mismatches, rows)
 
@@ -380,6 +387,153 @@ let serve_workload_check () =
   (mismatches, st, seconds, throughput, byte_identical)
 
 (* ------------------------------------------------------------------ *)
+(* Sustained-load serve benchmark: one deterministic mixed workload —
+   cache hits (heavily duplicated small instances), misses, admission
+   rejections, parse errors, junk lines and budget fallbacks — replayed
+   through the serving loop once per jobs setting. Every jobs>1 output
+   must be byte-identical to the jobs=1 output; rows record throughput
+   and p50/p95/p99 request latency. No Random anywhere: request i picks
+   from its pool by (i * 7919) mod size, so the stream is reproducible
+   across runs and machines. *)
+
+let serve_concurrent_workload ~requests =
+  let dump_tree seed n = Qo.Io.dump_rat (Qo.Gen_inst.R.tree ~seed ~n ()) in
+  let dp_pool = Array.init 150 (fun i -> dump_tree (1000 + i) (6 + (i mod 3))) in
+  let ccp_pool =
+    Array.init 50 (fun i -> Qo.Io.dump_rat (Qo.Gen_inst.R.chain ~seed:(2000 + i) ~n:9 ()))
+  in
+  let greedy_pool =
+    Array.init 100 (fun i ->
+        Qo.Io.dump_rat (Qo.Gen_inst.R.random ~seed:(3000 + i) ~n:8 ~p:0.5 ()))
+  in
+  let fb_pool = Array.init 20 (fun i -> dump_tree (4000 + i) 8) in
+  let big_chain =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "qon 1\nn 24\n";
+    for i = 0 to 23 do
+      Buffer.add_string b (Printf.sprintf "size %d 4\n" i)
+    done;
+    for i = 0 to 22 do
+      Buffer.add_string b (Printf.sprintf "edge %d %d sel 1/2 wij 2 wji 2\n" i (i + 1))
+    done;
+    Buffer.contents b
+  in
+  let buf = Buffer.create (requests * 192) in
+  let req header payload =
+    Buffer.add_string buf header;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf payload;
+    Buffer.add_string buf "end\n"
+  in
+  for i = 0 to requests - 1 do
+    let pick arr = arr.((i * 7919) mod Array.length arr) in
+    match i mod 20 with
+    | 7 -> Buffer.add_string buf "sustained-load junk line\n" (* bad-request error *)
+    | 13 -> req "request algo=dp" big_chain (* admission rejection *)
+    | 17 -> req "request algo=dp" "qon 1\nthis payload does not parse\n" (* parse error *)
+    | 3 -> req "request algo=dp budget_ms=0" (pick fb_pool) (* budget fallback *)
+    | 5 | 15 -> req "request algo=ccp" (pick ccp_pool)
+    | 2 | 12 | 18 -> req "request algo=greedy" (pick greedy_pool)
+    | _ -> req "request algo=dp" (pick dp_pool)
+  done;
+  Buffer.contents buf
+
+let serve_concurrent_check ~requests ~jobs_list =
+  (* speedups only mean anything relative to the cores actually
+     available — on a 1-core host every jobs>1 run is pure
+     oversubscription and lands below 1.0x by design *)
+  Printf.printf
+    "\n== qopt serve: sustained %d-request workload, concurrent pipeline (%d core(s)) ==\n"
+    requests
+    (Domain.recommended_domain_count ());
+  let input = serve_concurrent_workload ~requests in
+  let config =
+    { Serve.default_config with Serve.cache_capacity = 1024; batch_size = 32 }
+  in
+  let run jobs =
+    Obs.time (fun () ->
+        if jobs <= 1 then Serve.serve_string ~config input
+        else Pool.with_pool ~jobs (fun pool -> Serve.serve_string ~pool ~config input))
+  in
+  let stats_key (st : Serve.stats) =
+    ( st.Serve.requests,
+      st.Serve.ok,
+      st.Serve.errors,
+      st.Serve.rejected,
+      st.Serve.cache_hits,
+      st.Serve.cache_misses,
+      st.Serve.fallbacks )
+  in
+  Printf.printf "%6s %10s %12s %9s %9s %9s %9s %14s\n" "jobs" "seconds" "req/s" "speedup"
+    "p50 ms" "p95 ms" "p99 ms" "byte-identical";
+  let mismatches = ref 0 in
+  let base = ref None in
+  let rows =
+    List.map
+      (fun jobs ->
+        let (out, st), seconds = run jobs in
+        let base_out, base_st, base_s =
+          match !base with
+          | None ->
+              base := Some (out, st, seconds);
+              (out, st, seconds)
+          | Some b -> b
+        in
+        let identical = String.equal out base_out && stats_key st = stats_key base_st in
+        if not identical then begin
+          incr mismatches;
+          Printf.printf "  MISMATCH jobs=%d output differs from sequential run\n" jobs
+        end;
+        let throughput = float_of_int st.Serve.requests /. seconds in
+        let p50 = Serve.latency_percentile st 50.
+        and p95 = Serve.latency_percentile st 95.
+        and p99 = Serve.latency_percentile st 99. in
+        Printf.printf "%6d %10.3f %12.0f %8.2fx %9.3f %9.3f %9.3f %14s\n" jobs seconds
+          throughput
+          (if seconds > 0.0 then base_s /. seconds else Float.nan)
+          p50 p95 p99
+          (if identical then "yes" else "NO");
+        (jobs, st, seconds, throughput, p50, p95, p99, identical))
+      jobs_list
+  in
+  (!mismatches, config, rows)
+
+let serve_concurrent_json ~requests ~(config : Serve.config) rows =
+  let open Obs.Json in
+  Obj
+    [
+      ("requests", Int requests);
+      ("workload", Str "mixed: cache hits/misses, rejections, parse errors, junk, fallbacks");
+      ("host_cores", Int (Domain.recommended_domain_count ()));
+      ("cache_capacity", Int config.Serve.cache_capacity);
+      ("cache_shards", Int config.Serve.cache_shards);
+      ("queue_capacity", Int config.Serve.queue_capacity);
+      ("batch_size", Int config.Serve.batch_size);
+      ( "rows",
+        Arr
+          (List.map
+             (fun (jobs, st, seconds, throughput, p50, p95, p99, identical) ->
+               Obj
+                 [
+                   ("jobs", Int jobs);
+                   ("requests", Int st.Serve.requests);
+                   ("ok", Int st.Serve.ok);
+                   ("errors", Int st.Serve.errors);
+                   ("rejected", Int st.Serve.rejected);
+                   ("cache_hits", Int st.Serve.cache_hits);
+                   ("cache_misses", Int st.Serve.cache_misses);
+                   ("fallbacks", Int st.Serve.fallbacks);
+                   ("seconds", Float seconds);
+                   ("requests_per_s", Float throughput);
+                   ("p50_ms", Float p50);
+                   ("p95_ms", Float p95);
+                   ("p99_ms", Float p99);
+                   ("byte_identical_to_sequential", Bool identical);
+                 ])
+             rows) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* A fuzz campaign as a bench row: 300 seeded runs through the full
    oracle registry (corpus mutations included when fuzz/corpus is
    visible from the cwd). Zero failures is a hard requirement — any
@@ -410,7 +564,7 @@ let fuzz_campaign_check ~jobs =
 (* Machine-readable mirror of the tables above: schema-versioned, written
    quietly at the repo root so CI can archive it without parsing stdout. *)
 let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
-    ~serve_row ~fuzz_row =
+    ~serve_row ~serve_conc ~fuzz_row =
   let open Obs.Json in
   let speedup num den = if den > 0.0 then num /. den else Float.nan in
   let report =
@@ -441,18 +595,24 @@ let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_ro
               ("seconds", Float elapsed);
             ] );
         ( "parallel_dp",
-          Arr
-            (List.map
-               (fun (n, t_seq, t_par, same) ->
-                 Obj
-                   [
-                     ("n", Int n);
-                     ("seq_s", Float t_seq);
-                     ("par_s", Float t_par);
-                     ("speedup", Float (speedup t_seq t_par));
-                     ("bit_identical", Bool same);
-                   ])
-               dp_rows) );
+          Obj
+            [
+              ("threshold_n", Int OL.dp_parallel_min_n);
+              ( "rows",
+                Arr
+                  (List.map
+                     (fun (n, t_seq, t_par, active, same) ->
+                       Obj
+                         [
+                           ("n", Int n);
+                           ("seq_s", Float t_seq);
+                           ("par_s", Float t_par);
+                           ("speedup", Float (speedup t_seq t_par));
+                           ("parallel_active", Bool active);
+                           ("bit_identical", Bool same);
+                         ])
+                     dp_rows) );
+            ] );
         ( "ccp_vs_lattice",
           Arr
             (List.map
@@ -503,6 +663,9 @@ let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_ro
                ("requests_per_s", Float throughput);
                ("byte_identical_to_oneshot", Bool byte_identical);
              ]) );
+        ( "serve_concurrent",
+          (let requests, config, rows = serve_conc in
+           serve_concurrent_json ~requests ~config rows) );
         ( "fuzz",
           (let r, seconds, throughput = fuzz_row in
            Obj
@@ -525,7 +688,36 @@ let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_ro
   in
   write_file "BENCH_qopt.json" report
 
+(* CI smoke mode: `--serve-concurrent N` runs only a downsampled
+   sustained-load check (jobs 1 vs 2), writes a standalone report for
+   jq schema checks, and exits 1 on any sequential/concurrent byte
+   difference. Kept cheap so it can run on every push. *)
+let serve_concurrent_smoke ~requests =
+  let mismatches, config, rows =
+    serve_concurrent_check ~requests ~jobs_list:[ 1; 2 ]
+  in
+  let open Obs.Json in
+  let report =
+    Obj
+      [
+        ("schema_version", Int 1);
+        ("kind", Str "qopt-serve-concurrent-smoke");
+        ("serve_concurrent", serve_concurrent_json ~requests ~config rows);
+      ]
+  in
+  write_file "serve-concurrent-smoke.json" report;
+  Printf.printf "\nwrote serve-concurrent-smoke.json (%d byte mismatch(es))\n" mismatches;
+  exit (if mismatches > 0 then 1 else 0)
+
 let () =
+  let rec smoke_scan = function
+    | "--serve-concurrent" :: v :: _ -> int_of_string_opt v
+    | _ :: rest -> smoke_scan rest
+    | [] -> None
+  in
+  (match smoke_scan (Array.to_list Sys.argv) with
+  | Some n when n >= 1 -> serve_concurrent_smoke ~requests:n
+  | Some _ | None -> ());
   let jobs =
     let rec scan = function
       | "--jobs" :: v :: _ | "-j" :: v :: _ -> int_of_string_opt v
@@ -569,13 +761,18 @@ let () =
   let dp_mismatches, dp_rows = parallel_dp_check ~jobs:(Stdlib.max jobs 2) in
   let ccp_mismatches, vs_rows, beyond_rows = ccp_dp_check ~jobs:(Stdlib.max jobs 2) in
   let serve_mismatches, serve_st, serve_s, serve_tput, serve_ident = serve_workload_check () in
+  let conc_requests = 100_000 in
+  let conc_mismatches, conc_config, conc_rows =
+    serve_concurrent_check ~requests:conc_requests ~jobs_list:[ 1; 2; 4 ]
+  in
   let fuzz_fails, fuzz_r, fuzz_s, fuzz_tput = fuzz_campaign_check ~jobs:(Stdlib.max jobs 2) in
   let kernels = run_benchmarks () in
   scaling_series ();
   write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
     ~serve_row:(serve_st, serve_s, serve_tput, serve_ident)
+    ~serve_conc:(conc_requests, conc_config, conc_rows)
     ~fuzz_row:(fuzz_r, fuzz_s, fuzz_tput);
   if
     fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 || serve_mismatches > 0
-    || fuzz_fails > 0
+    || conc_mismatches > 0 || fuzz_fails > 0
   then exit 1

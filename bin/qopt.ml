@@ -377,16 +377,43 @@ let serve_cmd =
   let report_term =
     let doc =
       "Write a schema-versioned JSON serving report (request totals, cache-hit rate, \
-       counters, spans) to $(docv) on shutdown."
+       latency percentiles, counters, spans) to $(docv) on shutdown."
     in
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
-  let run socket cache_size jobs stats trace report =
+  let queue_size =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.queue_capacity
+      & info [ "queue-size" ] ~docv:"N"
+          ~doc:
+            "Bounded request-queue depth (in batches) under --jobs > 1; a full queue \
+             blocks the reader, which is the admission backpressure.")
+  in
+  let batch_size =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.batch_size
+      & info [ "batch-size" ] ~docv:"N"
+          ~doc:
+            "Requests handed to a worker at a time. The default (1) keeps strict \
+             request/response interleaving for interactive clients; bulk streams can \
+             raise it to amortise hand-off costs. Response bytes are unaffected.")
+  in
+  let run socket cache_size queue_size batch_size jobs stats trace report =
     let jobs = resolve_jobs jobs in
     setup_obs stats trace;
-    let config = { Serve.default_config with Serve.cache_capacity = cache_size } in
-    (* graceful shutdown: finish the in-flight request, then fall out
-       of the loop with interrupted=true and still write the report *)
+    let config =
+      {
+        Serve.default_config with
+        Serve.cache_capacity = cache_size;
+        queue_capacity = max 1 queue_size;
+        batch_size = max 1 batch_size;
+      }
+    in
+    (* graceful shutdown: stop reading, drain every accepted request
+       through the workers, then fall out of the loop with
+       interrupted=true and still write the report *)
     let stop _ = raise Serve.Shutdown in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -410,9 +437,11 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Serve optimization requests (qon instances, line-delimited protocol) over \
-          stdin/stdout or a Unix socket, with plan caching and admission control")
-    Term.(const run $ socket $ cache_size $ jobs_term $ stats_term $ trace_term
-          $ report_term)
+          stdin/stdout or a Unix socket, with a sharded plan cache and admission \
+          control. With --jobs N > 1 requests are pipelined across N-1 worker domains \
+          behind a bounded queue; responses stay byte-identical to --jobs 1.")
+    Term.(const run $ socket $ cache_size $ queue_size $ batch_size $ jobs_term
+          $ stats_term $ trace_term $ report_term)
 
 (* ---------------- fuzz ---------------- *)
 

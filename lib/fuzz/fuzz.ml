@@ -418,6 +418,38 @@ module Checks (D : DOMAIN) = struct
       | header :: _ -> Fail ("serve answered: " ^ header)
       | [] -> Fail "serve produced no response"
     end
+
+  (* The concurrent serve pipeline promises byte-identical output to
+     the sequential loop. Feed a small mixed stream — an exact solve,
+     a duplicate (cache hit), a junk line (error path) and a heuristic
+     solve — through both and require equal bytes and equal stats. *)
+  let served_seq_vs_par (inst : I.t) =
+    if inst.I.n > exact_cap then Skip "n > exact cap"
+    else begin
+      let payload = D.dump inst in
+      let payload =
+        if payload <> "" && payload.[String.length payload - 1] = '\n' then payload
+        else payload ^ "\n"
+      in
+      let req id algo =
+        Printf.sprintf "request id=%s algo=%s domain=%s\n%send\n" id algo D.name payload
+      in
+      let input = req "a" "dp" ^ req "b" "dp" ^ "junk\n" ^ req "c" "greedy" in
+      let seq_out, seq_st = Serve.serve_string input in
+      let par_out, par_st =
+        Pool.with_pool ~jobs:2 (fun pool -> Serve.serve_string ~pool input)
+      in
+      let key (st : Serve.stats) =
+        (st.requests, st.ok, st.errors, st.cache_hits, st.cache_misses, st.fallbacks)
+      in
+      if seq_out <> par_out then
+        Fail
+          (Printf.sprintf "concurrent serve output differs from sequential: %S <> %S"
+             par_out seq_out)
+      else if key par_st <> key seq_st then
+        Fail "concurrent serve stats differ from sequential"
+      else Pass
+    end
 end
 
 module Dom_rat = struct
@@ -481,6 +513,7 @@ let oracles =
       check = (function Rat i -> rat_vs_log i | Log _ -> Skip "rational-domain oracle");
     };
     per_domain "oneshot-vs-served" CR.oneshot_vs_served CL.oneshot_vs_served;
+    per_domain "served-seq-vs-par" CR.served_seq_vs_par CL.served_seq_vs_par;
     per_domain "relabel" CR.relabel CL.relabel;
     per_domain "io-roundtrip" CR.io_roundtrip CL.io_roundtrip;
     per_domain "scale-monotone" CR.scale_monotone CL.scale_monotone;

@@ -250,6 +250,21 @@ module Json = struct
     | Obj fields -> List.assoc_opt key fields
     | _ -> None
 
+  (* Structural comparison of two reports up to wall-clock noise: any
+     field whose name is listed is nulled out, recursively, before the
+     compare. The explicit list keeps test masking declarative instead
+     of each test hand-rolling its own JSON surgery. *)
+  let rec mask_fields names v =
+    match v with
+    | Obj fields ->
+        Obj
+          (List.map
+             (fun (k, v) ->
+               if List.mem k names then (k, Null) else (k, mask_fields names v))
+             fields)
+    | Arr items -> Arr (List.map (mask_fields names) items)
+    | Null | Bool _ | Int _ | Float _ | Str _ -> v
+
   let write_file path v =
     let oc = open_out path in
     Fun.protect

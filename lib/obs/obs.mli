@@ -46,6 +46,13 @@ module Json : sig
       (first occurrence), [None] otherwise — the lookup used by report
       validations in tests. *)
 
+  val mask_fields : string list -> t -> t
+  (** [mask_fields names v] replaces the value of every object field
+      whose name is in [names], recursively, with [Null]. Tests use it
+      to compare run reports structurally while masking wall-clock
+      fields ([seconds], span timings, latency percentiles)
+      explicitly. *)
+
   val write_file : string -> t -> unit
   (** [write_file path v] writes [to_string v] (plus a final newline)
       to [path], truncating any existing file. *)

@@ -146,6 +146,91 @@ let parallel_for t ?chunks ~lo ~hi body =
     | None -> ()
   end
 
+(* Submit a standalone task. Unlike parallel_for the submitter does not
+   participate or wait: the thunk runs on whichever worker pops it.
+   This is what long-lived service loops (qopt serve workers) ride on. *)
+let async t task =
+  if t.jobs <= 1 then task ()
+  else begin
+    Mutex.lock t.m;
+    Queue.push task t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m
+  end
+
+module Chan = struct
+  (* Bounded blocking MPMC channel: the backpressure primitive for the
+     serve request queue. [push] blocks while the channel is at
+     capacity, so a saturated worker pool stalls the producer (and, over
+     a socket, ultimately the client) instead of growing an unbounded
+     backlog. [close] wakes everyone; [pop] keeps draining what was
+     pushed before the close and only then returns [None]. *)
+  type 'a t = {
+    cap : int;
+    m : Mutex.t;
+    not_full : Condition.t;
+    not_empty : Condition.t;
+    q : 'a Queue.t;
+    mutable closed : bool;
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Pool.Chan.create: capacity < 1";
+    {
+      cap = capacity;
+      m = Mutex.create ();
+      not_full = Condition.create ();
+      not_empty = Condition.create ();
+      q = Queue.create ();
+      closed = false;
+    }
+
+  (* Every wait is wrapped so an asynchronous exception (e.g. a signal
+     handler raising mid-[Condition.wait]) cannot leave the mutex
+     locked behind it. *)
+  let locked t f =
+    Mutex.lock t.m;
+    match f () with
+    | v ->
+        Mutex.unlock t.m;
+        v
+    | exception e ->
+        Mutex.unlock t.m;
+        raise e
+
+  let push t x =
+    locked t (fun () ->
+        while (not t.closed) && Queue.length t.q >= t.cap do
+          Condition.wait t.not_full t.m
+        done;
+        if t.closed then false
+        else begin
+          Queue.push x t.q;
+          Condition.signal t.not_empty;
+          true
+        end)
+
+  let pop t =
+    locked t (fun () ->
+        while Queue.is_empty t.q && not t.closed do
+          Condition.wait t.not_empty t.m
+        done;
+        if Queue.is_empty t.q then None
+        else begin
+          let x = Queue.pop t.q in
+          Condition.signal t.not_full;
+          Some x
+        end)
+
+  let close t =
+    locked t (fun () ->
+        t.closed <- true;
+        Condition.broadcast t.not_full;
+        Condition.broadcast t.not_empty)
+
+  let length t = locked t (fun () -> Queue.length t.q)
+end
+
 let parallel_map t f arr =
   let n = Array.length arr in
   if n = 0 then [||]

@@ -49,3 +49,36 @@ val parallel_for : t -> ?chunks:int -> lo:int -> hi:int -> (int -> unit) -> unit
 val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map pool f arr] is [Array.map f arr], evaluated in
     parallel; slot [i] of the result is [f arr.(i)] (order preserved). *)
+
+val async : t -> (unit -> unit) -> unit
+(** [async pool task] submits a standalone thunk to the pool queue; it
+    runs on whichever worker domain pops it, and the submitter neither
+    participates nor waits. With [jobs <= 1] (no workers) the task runs
+    inline before [async] returns. Long-lived loops submitted this way
+    occupy their worker until they return — callers that also use
+    {!parallel_for} on the same pool must account for that. *)
+
+(** Bounded blocking channel: the backpressure primitive between a
+    producer (the serve request reader) and pool workers. *)
+module Chan : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** @raise Invalid_argument when [capacity < 1]. *)
+
+  val push : 'a t -> 'a -> bool
+  (** Blocks while the channel holds [capacity] items — this stall is
+      the backpressure signal. Returns [false] (dropping the item) once
+      the channel is closed. *)
+
+  val pop : 'a t -> 'a option
+  (** Blocks while the channel is empty and open. Items pushed before
+      {!close} are still delivered after it; [None] only once the
+      channel is both closed and drained. *)
+
+  val close : 'a t -> unit
+  (** Idempotent; wakes every blocked producer and consumer. *)
+
+  val length : 'a t -> int
+  (** Current queue depth (racy by nature; for gauges). *)
+end

@@ -92,6 +92,14 @@ module Make (C : Cost.S) = struct
      The sequential loop visits masks in increasing numeric order, the
      parallel one in popcount layers; both respect the dependency
      order. Property-tested against each other in [test/test_qo.ml]. *)
+  (* Work threshold for the layer-parallel path. Below it the per-layer
+     fan-out/join overhead exceeds the work it spreads — measured 0.60x
+     sequential at n=16 and 0.96x at n=18 (parallel_dp rows in
+     BENCH_qopt.json) — so small instances run the sequential loop even
+     when a pool is supplied. Results are bit-identical either way; only
+     wall-clock changes. *)
+  let dp_parallel_min_n = 19
+
   let dp_generic ?pool ~no_cartesian (inst : I.t) =
     let n = I.n inst in
     if n > max_dp_n then
@@ -174,7 +182,7 @@ module Make (C : Cost.S) = struct
       Obs.add c_dp_transitions !trans
     in
     (match pool with
-    | Some pool when Pool.jobs pool > 1 ->
+    | Some pool when Pool.jobs pool > 1 && n >= dp_parallel_min_n ->
         (* sort masks by popcount once (counting sort); each layer is
            embarrassingly parallel given the previous one *)
         let popcount m =

@@ -1,4 +1,4 @@
-(* Request/response serving loop over the existing optimizer portfolio.
+(* Request/response serving over the existing optimizer portfolio.
    See serve.mli for the protocol; the design constraints are:
 
    - per-request error isolation: nothing a client sends may kill the
@@ -6,9 +6,33 @@
      parse/admission/solver failures into structured error responses;
    - byte-identity with one-shot CLI output: plan lines go through
      [render_plan], the same function `qopt optimize` prints with;
+   - byte-identity across --jobs: the sequential and concurrent paths
+     run the very same pipeline below (read -> prepare -> turnstile
+     cache pass -> solve -> in-order commit); at jobs=1 it simply runs
+     inline, so `serve --jobs N` output is the jobs=1 output;
    - deterministic budgets: [budget_ms] is checked against a work
      model (transitions x ns/transition), never a wall clock, so the
-     exact-vs-approximate decision is reproducible in tests. *)
+     exact-vs-approximate decision is reproducible in tests.
+
+   Concurrency layout (jobs > 1): the calling domain is the reader. It
+   assigns every item (request or junk line) its arrival ordinal,
+   groups items into batches of [config.batch_size], and pushes them
+   into a bounded {!Pool.Chan} — a full channel blocks the reader,
+   which is the backpressure signal. [jobs - 1] pool workers drain the
+   channel. Each worker prepares its batch (parse, admission, budget —
+   all pure), then passes a turnstile that serialises the cache pass in
+   batch order: because every lookup/claim/evict happens in exactly the
+   arrival order the sequential loop would use, hit/miss/eviction
+   decisions — and therefore response bytes — are identical to jobs=1.
+   Solves then run outside the turnstile, in parallel across batches; a
+   claimed-but-unfilled entry is observed by later same-key requests as
+   a Pending hit that they await (request coalescing: the plan is
+   computed once). Finished batches land in a reorder buffer; whichever
+   worker completes the next-in-order batch writes out every
+   consecutive ready batch. SIGTERM raises {!Shutdown} on the reader
+   (OCaml delivers signals to the main domain), which stops reading,
+   submits the partial batch, closes the channel, and joins the workers
+   — every accepted request is answered before the report is cut. *)
 
 exception Shutdown
 
@@ -20,12 +44,22 @@ let domain_name = function Rat -> "rat" | Log -> "log"
 
 type config = {
   cache_capacity : int;
+  cache_shards : int;
+  queue_capacity : int;
+  batch_size : int;
   rat_transition_ns : float;
   log_transition_ns : float;
 }
 
 let default_config =
-  { cache_capacity = 256; rat_transition_ns = 100.; log_transition_ns = 10. }
+  {
+    cache_capacity = 256;
+    cache_shards = 8;
+    queue_capacity = 64;
+    batch_size = 1;
+    rat_transition_ns = 100.;
+    log_transition_ns = 10.;
+  }
 
 type stats = {
   mutable requests : int;
@@ -38,6 +72,7 @@ type stats = {
   mutable fallbacks : int;
   mutable seconds : float;
   mutable interrupted : bool;
+  mutable latencies_ms : float array;
 }
 
 let fresh_stats () =
@@ -52,6 +87,7 @@ let fresh_stats () =
     fallbacks = 0;
     seconds = 0.;
     interrupted = false;
+    latencies_ms = [||];
   }
 
 type io = {
@@ -70,7 +106,9 @@ let c_hits = Obs.counter "serve.cache.hits"
 let c_misses = Obs.counter "serve.cache.misses"
 let c_evictions = Obs.counter "serve.cache.evictions"
 let c_fallbacks = Obs.counter "serve.fallbacks"
+let c_queue_full = Obs.counter "serve.queue.full"
 let g_entries = Obs.gauge "serve.cache.entries"
+let g_queue = Obs.gauge "serve.queue.depth"
 
 (* ---------------- plan rendering ---------------- *)
 
@@ -78,58 +116,217 @@ let render_plan ~label ~log2_cost ~seq =
   Printf.sprintf "%-22s cost = 2^%.2f  seq = [%s]" label log2_cost
     (String.concat ";" (Array.to_list (Array.map string_of_int seq)))
 
-(* ---------------- plan cache (LRU) ---------------- *)
+(* ---------------- plan cache (sharded LRU) ---------------- *)
 
 module Cache = struct
-  type entry = { body : string; approximate : bool; mutable stamp : int }
+  (* An entry is claimed (Pending) at lookup time, in arrival order
+     under the turnstile, and filled once its solve completes. Claiming
+     at lookup time reproduces the sequential find-then-add operation
+     sequence exactly: the tick/stamp/eviction arithmetic a request
+     performs depends only on the requests before it, never on how the
+     solves interleave. *)
+  type state =
+    | Pending
+    | Ready of { body : string; approximate : bool }
+    | Failed  (** the claimant's solve errored; waiters re-solve *)
 
-  type t = {
-    capacity : int;
-    tbl : (string, entry) Hashtbl.t;
-    mutable tick : int;
+  type entry = { mutable state : state; mutable stamp : int }
+
+  type shard = {
+    s_m : Mutex.t;
+    s_filled : Condition.t;
+    s_tbl : (string, entry) Hashtbl.t;
+    s_cap : int;
+    mutable s_tick : int;
+    mutable s_hits : int;
+    mutable s_misses : int;
+    mutable s_evictions : int;
   }
 
-  let create capacity = { capacity; tbl = Hashtbl.create 64; tick = 0 }
+  type t = { sh : shard array; total : int Atomic.t }
 
-  let find t key =
-    match Hashtbl.find_opt t.tbl key with
-    | Some e ->
-        t.tick <- t.tick + 1;
-        e.stamp <- t.tick;
-        Some e
-    | None -> None
+  (* Shard count adapts down to the capacity so tiny caches (capacity 1
+     in the eviction tests) keep the exact single-cache LRU semantics
+     of the sequential-era implementation. *)
+  let create ?(shards = default_config.cache_shards) ~capacity () =
+    let nsh = max 1 (min (max 1 shards) (max 1 capacity)) in
+    let nsh = if capacity <= 0 then 1 else nsh in
+    let mk i =
+      let cap =
+        if capacity <= 0 then 0
+        else (capacity / nsh) + if i < capacity mod nsh then 1 else 0
+      in
+      {
+        s_m = Mutex.create ();
+        s_filled = Condition.create ();
+        s_tbl = Hashtbl.create 64;
+        s_cap = cap;
+        s_tick = 0;
+        s_hits = 0;
+        s_misses = 0;
+        s_evictions = 0;
+      }
+    in
+    { sh = Array.init nsh mk; total = Atomic.make 0 }
 
-  (* Linear-scan LRU eviction: the cache is small (hundreds of
-     entries) and eviction is rare next to a DP solve, so an O(size)
-     scan beats maintaining an intrusive list. *)
-  let evict_oldest t =
+  let shard_count t = Array.length t.sh
+
+  (* Keys are "algo|exact-or-approx|<md5 hex>": shard on the leading
+     hex digit of the canonical hash. Keys of any other shape (direct
+     Cache API users, tests) fall back to a structural hash. *)
+  let shard_of_key t key =
+    let n = Array.length t.sh in
+    if n = 1 then 0
+    else
+      let hex_val c =
+        match c with
+        | '0' .. '9' -> Some (Char.code c - Char.code '0')
+        | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+        | _ -> None
+      in
+      match String.rindex_opt key '|' with
+      | Some i when i + 1 < String.length key -> (
+          match hex_val key.[i + 1] with
+          | Some v -> v mod n
+          | None -> Hashtbl.hash key mod n)
+      | _ -> Hashtbl.hash key mod n
+
+  let locked s f =
+    Mutex.lock s.s_m;
+    match f () with
+    | v ->
+        Mutex.unlock s.s_m;
+        v
+    | exception e ->
+        Mutex.unlock s.s_m;
+        raise e
+
+  (* Linear-scan LRU eviction within the shard: shards are small
+     (tens of entries) and eviction is rare next to a DP solve. *)
+  let evict_oldest t s =
     let victim =
       Hashtbl.fold
         (fun k e acc ->
           match acc with
           | Some (_, best) when best.stamp <= e.stamp -> acc
           | _ -> Some (k, e))
-        t.tbl None
+        s.s_tbl None
     in
     match victim with
     | Some (k, _) ->
-        Hashtbl.remove t.tbl k;
+        Hashtbl.remove s.s_tbl k;
+        Atomic.decr t.total;
         true
     | None -> false
 
-  (* Returns the number of entries evicted to make room. *)
-  let add t key body approximate =
-    if t.capacity <= 0 || Hashtbl.mem t.tbl key then 0
-    else begin
-      let evicted = ref 0 in
-      while Hashtbl.length t.tbl >= t.capacity && evict_oldest t do
-        incr evicted
-      done;
-      t.tick <- t.tick + 1;
-      Hashtbl.add t.tbl key { body; approximate; stamp = t.tick };
-      Obs.set g_entries (Hashtbl.length t.tbl);
-      !evicted
-    end
+  let make_room t s =
+    let evicted = ref 0 in
+    while Hashtbl.length s.s_tbl >= s.s_cap && evict_oldest t s do
+      incr evicted
+    done;
+    s.s_evictions <- s.s_evictions + !evicted;
+    !evicted
+
+  (* The pipeline's one cache pass per request, under the turnstile. *)
+  type lookup =
+    | Hit_ready of string * bool
+    | Hit_pending of entry * shard
+    | Claimed of entry * shard * int  (** entry, shard, evictions made *)
+    | Uncached  (** capacity 0: solve without touching the table *)
+
+  let lookup_or_claim t key =
+    let s = t.sh.(shard_of_key t key) in
+    locked s (fun () ->
+        if s.s_cap <= 0 then begin
+          s.s_misses <- s.s_misses + 1;
+          Uncached
+        end
+        else
+          match Hashtbl.find_opt s.s_tbl key with
+          | Some e -> (
+              s.s_tick <- s.s_tick + 1;
+              e.stamp <- s.s_tick;
+              s.s_hits <- s.s_hits + 1;
+              match e.state with
+              | Ready { body; approximate } -> Hit_ready (body, approximate)
+              | Pending | Failed -> Hit_pending (e, s))
+          | None ->
+              s.s_misses <- s.s_misses + 1;
+              let evicted = make_room t s in
+              s.s_tick <- s.s_tick + 1;
+              let e = { state = Pending; stamp = s.s_tick } in
+              Hashtbl.add s.s_tbl key e;
+              Atomic.incr t.total;
+              Obs.set g_entries (Atomic.get t.total);
+              Claimed (e, s, evicted))
+
+  let fill (e : entry) (s : shard) ~body ~approximate =
+    locked s (fun () ->
+        e.state <- Ready { body; approximate };
+        Condition.broadcast s.s_filled)
+
+  (* Solver error on a claimed entry: withdraw it so later requests
+     re-solve as misses; anyone already awaiting re-solves on Failed. *)
+  let abandon t key (e : entry) (s : shard) =
+    locked s (fun () ->
+        e.state <- Failed;
+        (match Hashtbl.find_opt s.s_tbl key with
+        | Some e' when e' == e ->
+            Hashtbl.remove s.s_tbl key;
+            Atomic.decr t.total
+        | _ -> ());
+        Condition.broadcast s.s_filled)
+
+  let await (e : entry) (s : shard) =
+    locked s (fun () ->
+        while e.state = Pending do
+          Condition.wait s.s_filled s.s_m
+        done;
+        e.state)
+
+  (* -------- the classic direct API (tests, satellite fixes) -------- *)
+
+  let find t key =
+    let s = t.sh.(shard_of_key t key) in
+    locked s (fun () ->
+        match Hashtbl.find_opt s.s_tbl key with
+        | Some ({ state = Ready { body; approximate }; _ } as e) ->
+            s.s_tick <- s.s_tick + 1;
+            e.stamp <- s.s_tick;
+            s.s_hits <- s.s_hits + 1;
+            Some (body, approximate)
+        | _ ->
+            s.s_misses <- s.s_misses + 1;
+            None)
+
+  (* Returns the number of entries evicted to make room. A re-insert
+     of a live key is NOT dropped: it refreshes the entry's LRU stamp
+     (and body), so a hot entry recomputed after contention does not
+     age out first. (The old [Hashtbl.mem] guard silently ignored the
+     duplicate, leaving the stale stamp in place.) *)
+  let add t key ~body ~approximate =
+    let s = t.sh.(shard_of_key t key) in
+    locked s (fun () ->
+        if s.s_cap <= 0 then 0
+        else
+          match Hashtbl.find_opt s.s_tbl key with
+          | Some e ->
+              s.s_tick <- s.s_tick + 1;
+              e.stamp <- s.s_tick;
+              e.state <- Ready { body; approximate };
+              0
+          | None ->
+              let evicted = make_room t s in
+              s.s_tick <- s.s_tick + 1;
+              Hashtbl.add s.s_tbl key { state = Ready { body; approximate }; stamp = s.s_tick };
+              Atomic.incr t.total;
+              Obs.set g_entries (Atomic.get t.total);
+              evicted)
+
+  let length t = Atomic.get t.total
+
+  let shard_stats t =
+    Array.map (fun s -> locked s (fun () -> (s.s_hits, s.s_misses, s.s_evictions))) t.sh
 end
 
 (* ---------------- request parsing ---------------- *)
@@ -204,7 +401,9 @@ let parse_header ~default_id toks =
 
    Rational and log instances flow through the same serving logic via
    a record of closures built right after the parse — cheaper to read
-   than threading a first-class module through every call site. *)
+   than threading a first-class module through every call site. Solves
+   are always sequential within a request: with --jobs the parallelism
+   is across requests (the worker pool), not inside the DP. *)
 
 type solved = { log2_cost : float; seq : int array }
 
@@ -212,7 +411,7 @@ type engine = {
   e_n : int;
   e_canonical : string;  (* domain-prefixed canonical dump: the cache-key basis *)
   e_csg_bounded : limit:int -> int option;
-  e_solve : Pool.t option -> algo -> string * solved;
+  e_solve : algo -> string * solved;
   e_fallback : unit -> string * solved;
 }
 
@@ -235,9 +434,9 @@ let rat_engine payload =
     e_canonical = "rat\n" ^ Qo.Io.dump_rat inst;
     e_csg_bounded = (fun ~limit -> CCP.csg_count_bounded ~limit inst);
     e_solve =
-      (fun pool -> function
-        | Dp -> ("exact (subset DP)", solved (O.dp ?pool inst))
-        | Ccp -> ("exact CF (connected DP)", solved (CCP.dp_connected ?pool inst))
+      (function
+        | Dp -> ("exact (subset DP)", solved (O.dp inst))
+        | Ccp -> ("exact CF (connected DP)", solved (CCP.dp_connected inst))
         | Greedy -> ("greedy (min cost)", solved (O.greedy ~mode:O.Min_cost inst))
         | Sa -> ("simulated anneal", solved (O.simulated_annealing inst)));
     e_fallback = fallback;
@@ -260,9 +459,9 @@ let log_engine payload =
     e_canonical = "log\n" ^ Qo.Io.dump_log inst;
     e_csg_bounded = (fun ~limit -> CCP.csg_count_bounded ~limit inst);
     e_solve =
-      (fun pool -> function
-        | Dp -> ("exact (subset DP)", solved (O.dp ?pool inst))
-        | Ccp -> ("exact CF (connected DP)", solved (CCP.dp_connected ?pool inst))
+      (function
+        | Dp -> ("exact (subset DP)", solved (O.dp inst))
+        | Ccp -> ("exact CF (connected DP)", solved (CCP.dp_connected inst))
         | Greedy -> ("greedy (min cost)", solved (O.greedy ~mode:O.Min_cost inst))
         | Sa -> ("simulated anneal", solved (O.simulated_annealing inst)));
     e_fallback = fallback;
@@ -304,46 +503,390 @@ let over_budget cfg req eng =
           | Some csg ->
               float_of_int csg *. per_csg /. 1e6 > budget_ms))
 
-(* ---------------- responses ---------------- *)
+(* ---------------- responses (rendered to strings) ---------------- *)
 
 let one_line msg =
   String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) msg
 
-let write_block io header body =
-  io.write header;
-  io.write "\n";
+let block header body =
+  let b = Buffer.create (String.length header + 64) in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
   List.iter
     (fun l ->
-      io.write l;
-      io.write "\n")
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
     body;
-  io.write "end\n";
-  io.flush ()
+  Buffer.add_string b "end\n";
+  Buffer.contents b
 
-let respond_error st io ~id ~code msg =
-  Obs.incr c_err;
-  (match code with
-  | "too-large" ->
-      Obs.incr c_rejected;
-      st.rejected <- st.rejected + 1
-  | _ -> st.errors <- st.errors + 1);
-  write_block io
+let error_block ~id ~code msg =
+  block
     (Printf.sprintf "response id=%s status=error code=%s" id code)
     [ "error: " ^ one_line msg ]
 
-let respond_ok st io req ~cache_hit ~approximate body =
-  Obs.incr c_ok;
-  st.ok <- st.ok + 1;
-  write_block io
+let ok_block req ~cache_hit ~approximate body =
+  block
     (Printf.sprintf "response id=%s status=ok algo=%s domain=%s cache=%s approximate=%b"
        req.rq_id (algo_name req.rq_algo) (domain_name req.rq_domain)
        (if cache_hit then "hit" else "miss")
        approximate)
     [ body ]
 
-(* ---------------- request handling ---------------- *)
+(* ---------------- the pipeline ---------------- *)
 
-(* Read payload lines up to the terminating "end". [None] on EOF. *)
+type item =
+  | I_junk of string  (** unrecognized single line; owns no payload *)
+  | I_req of { toks : string list; payload : string option }
+      (** [payload = None]: EOF before the terminating "end" *)
+
+type batch = {
+  b_idx : int;  (** dense batch number: turnstile ticket + commit slot *)
+  b_first : int;  (** arrival ordinal (1-based) of the first item *)
+  b_items : item array;
+  b_t0 : float;  (** enqueue time, for latency percentiles *)
+}
+
+(* Per-item outcome of the pure prepare phase. *)
+type prepared =
+  | P_err of { id : string; code : string; msg : string }
+  | P_task of { req : request; eng : engine; approximate : bool; key : string }
+
+(* Per-item state between the turnstile cache pass and the solve/wait
+   phases. *)
+type step =
+  | S_done of string  (** response fully rendered *)
+  | S_solve of {
+      req : request;
+      eng : engine;
+      approximate : bool;
+      claim : (string * Cache.entry * Cache.shard) option;
+    }
+  | S_await of {
+      req : request;
+      eng : engine;
+      approximate : bool;
+      entry : Cache.entry;
+      shard : Cache.shard;
+    }
+
+let admission_cap algo =
+  match algo with
+  | Dp -> ("Opt.max_dp_n", Qo.Instances.Opt_rat.max_dp_n)
+  | Ccp -> ("Ccp.max_ccp_n", Qo.Instances.Ccp_rat.max_ccp_n)
+  | Greedy | Sa -> ("Io.max_parse_n", Qo.Io.max_parse_n)
+
+let solver_msg = function
+  | Invalid_argument m | Failure m -> m
+  | e -> Printexc.to_string e
+
+let prepare_item cfg ~ord it =
+  let default_id = string_of_int ord in
+  match it with
+  | I_junk line ->
+      P_err
+        {
+          id = default_id;
+          code = "bad-request";
+          msg = Printf.sprintf "unrecognized line %S (expected \"request ...\")" line;
+        }
+  | I_req { toks; payload } -> (
+      let id = scan_id ~default_id toks in
+      match parse_header ~default_id toks with
+      | Error msg -> P_err { id; code = "bad-request"; msg }
+      | Ok req -> (
+          match payload with
+          | None ->
+              P_err
+                { id = req.rq_id; code = "bad-request"; msg = "unexpected EOF before \"end\"" }
+          | Some payload -> (
+              match
+                try
+                  Ok
+                    (match req.rq_domain with
+                    | Rat -> rat_engine payload
+                    | Log -> log_engine payload)
+                with Invalid_argument msg | Failure msg -> Error msg
+              with
+              | Error msg -> P_err { id = req.rq_id; code = "parse"; msg }
+              | Ok eng ->
+                  let cap_name, cap = admission_cap req.rq_algo in
+                  if eng.e_n > cap then
+                    P_err
+                      {
+                        id = req.rq_id;
+                        code = "too-large";
+                        msg =
+                          Printf.sprintf "n=%d exceeds %s (%d) for algo=%s" eng.e_n cap_name
+                            cap (algo_name req.rq_algo);
+                      }
+                  else
+                    let approximate = over_budget cfg req eng in
+                    let key =
+                      Printf.sprintf "%s|%s|%s" (algo_name req.rq_algo)
+                        (if approximate then "approx" else "exact")
+                        (Digest.to_hex (Digest.string eng.e_canonical))
+                    in
+                    P_task { req; eng; approximate; key })))
+
+(* Batch tallies, folded into the shared stats under one lock. *)
+type tally = {
+  mutable t_req : int;
+  mutable t_ok : int;
+  mutable t_err : int;
+  mutable t_rej : int;
+  mutable t_hit : int;
+  mutable t_miss : int;
+  mutable t_evict : int;
+  mutable t_fb : int;
+}
+
+let fresh_tally () =
+  { t_req = 0; t_ok = 0; t_err = 0; t_rej = 0; t_hit = 0; t_miss = 0; t_evict = 0; t_fb = 0 }
+
+type pipeline = {
+  cfg : config;
+  cache : Cache.t;
+  st : stats;
+  st_m : Mutex.t;
+  io : io;
+  (* turnstile: serialises the cache pass in batch-arrival order *)
+  ts_m : Mutex.t;
+  ts_c : Condition.t;
+  mutable ts_next : int;
+  (* in-order commit: reorder buffer + cooperative writer *)
+  w_m : Mutex.t;
+  w_buf : (int, string array) Hashtbl.t;  (* rendered responses per batch *)
+  mutable w_next : int;
+  mutable w_dead : bool;  (* transport dropped: discard further output *)
+  mutable w_lats : float list;  (* one sample per request, ms *)
+}
+
+let make_pipeline ~cfg ~cache ~st io =
+  {
+    cfg;
+    cache;
+    st;
+    st_m = Mutex.create ();
+    io;
+    ts_m = Mutex.create ();
+    ts_c = Condition.create ();
+    ts_next = 0;
+    w_m = Mutex.create ();
+    w_buf = Hashtbl.create 16;
+    w_next = 0;
+    w_dead = false;
+    w_lats = [];
+  }
+
+let await_turn p i =
+  Mutex.lock p.ts_m;
+  while p.ts_next < i do
+    Condition.wait p.ts_c p.ts_m
+  done;
+  Mutex.unlock p.ts_m
+
+let advance_turn p =
+  Mutex.lock p.ts_m;
+  p.ts_next <- p.ts_next + 1;
+  Condition.broadcast p.ts_c;
+  Mutex.unlock p.ts_m
+
+(* Deliver a finished batch: park it in the reorder buffer and write
+   out every consecutive ready batch. Transport errors mark the writer
+   dead rather than killing the worker — the remaining pipeline drains
+   (responses discarded), matching the sequential loop's "connection is
+   over" handling. *)
+let commit p b_idx responses lat_ms =
+  Mutex.lock p.w_m;
+  match
+    Hashtbl.replace p.w_buf b_idx responses;
+    for _ = 1 to Array.length responses do
+      p.w_lats <- lat_ms :: p.w_lats
+    done;
+    let rec drain () =
+      match Hashtbl.find_opt p.w_buf p.w_next with
+      | None -> ()
+      | Some rs ->
+          Hashtbl.remove p.w_buf p.w_next;
+          p.w_next <- p.w_next + 1;
+          if not p.w_dead then
+            (try
+               Array.iter
+                 (fun r ->
+                   p.io.write r;
+                   p.io.flush ())
+                 rs
+             with Sys_error _ -> p.w_dead <- true);
+          drain ()
+    in
+    drain ()
+  with
+  | () -> Mutex.unlock p.w_m
+  | exception e ->
+      Mutex.unlock p.w_m;
+      raise e
+
+let apply_tally p (t : tally) =
+  Mutex.lock p.st_m;
+  let st = p.st in
+  st.requests <- st.requests + t.t_req;
+  st.ok <- st.ok + t.t_ok;
+  st.errors <- st.errors + t.t_err;
+  st.rejected <- st.rejected + t.t_rej;
+  st.cache_hits <- st.cache_hits + t.t_hit;
+  st.cache_misses <- st.cache_misses + t.t_miss;
+  st.evictions <- st.evictions + t.t_evict;
+  st.fallbacks <- st.fallbacks + t.t_fb;
+  Mutex.unlock p.st_m;
+  Obs.add c_requests t.t_req;
+  Obs.add c_ok t.t_ok;
+  Obs.add c_err (t.t_err + t.t_rej);
+  Obs.add c_rejected t.t_rej;
+  Obs.add c_hits t.t_hit;
+  Obs.add c_misses t.t_miss;
+  Obs.add c_evictions t.t_evict;
+  Obs.add c_fallbacks t.t_fb
+
+let run_solve eng ~approximate req =
+  match
+    try
+      let label, s = if approximate then eng.e_fallback () else eng.e_solve req.rq_algo in
+      Ok (render_plan ~label ~log2_cost:s.log2_cost ~seq:s.seq)
+    with e -> Error (solver_msg e)
+  with
+  | Ok body -> Ok body
+  | Error msg -> Error msg
+
+let process_batch p b =
+  Obs.span "serve.batch" @@ fun () ->
+  let tally = fresh_tally () in
+  let note_err code =
+    tally.t_req <- tally.t_req + 1;
+    if code = "too-large" then tally.t_rej <- tally.t_rej + 1
+    else tally.t_err <- tally.t_err + 1
+  in
+  (* phase 1: pure prepare (parallel across batches) *)
+  let prepared =
+    Array.mapi (fun i it -> prepare_item p.cfg ~ord:(b.b_first + i) it) b.b_items
+  in
+  (* phase 2: the cache pass, serialised in arrival order *)
+  await_turn p b.b_idx;
+  let steps =
+    Fun.protect
+      ~finally:(fun () -> advance_turn p)
+      (fun () ->
+        Array.map
+          (function
+            | P_err { id; code; msg } ->
+                note_err code;
+                S_done (error_block ~id ~code msg)
+            | P_task { req; eng; approximate; key } -> (
+                tally.t_req <- tally.t_req + 1;
+                if approximate then tally.t_fb <- tally.t_fb + 1;
+                match Cache.lookup_or_claim p.cache key with
+                | Cache.Hit_ready (body, entry_approx) ->
+                    tally.t_hit <- tally.t_hit + 1;
+                    tally.t_ok <- tally.t_ok + 1;
+                    S_done (ok_block req ~cache_hit:true ~approximate:entry_approx body)
+                | Cache.Hit_pending (entry, shard) ->
+                    tally.t_hit <- tally.t_hit + 1;
+                    S_await { req; eng; approximate; entry; shard }
+                | Cache.Claimed (entry, shard, evicted) ->
+                    tally.t_miss <- tally.t_miss + 1;
+                    tally.t_evict <- tally.t_evict + evicted;
+                    S_solve { req; eng; approximate; claim = Some (key, entry, shard) }
+                | Cache.Uncached ->
+                    tally.t_miss <- tally.t_miss + 1;
+                    S_solve { req; eng; approximate; claim = None }))
+          prepared)
+  in
+  (* phase 3: solves (parallel across batches); fill claims as each
+     completes so awaiting requests unblock as early as possible *)
+  let responses = Array.make (Array.length steps) "" in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | S_done r -> responses.(i) <- r
+      | S_await _ -> ()
+      | S_solve { req; eng; approximate; claim } -> (
+          match run_solve eng ~approximate req with
+          | Ok body ->
+              (match claim with
+              | Some (_, entry, shard) -> Cache.fill entry shard ~body ~approximate
+              | None -> ());
+              tally.t_ok <- tally.t_ok + 1;
+              responses.(i) <- ok_block req ~cache_hit:false ~approximate body
+          | Error msg ->
+              (match claim with
+              | Some (key, entry, shard) -> Cache.abandon p.cache key entry shard
+              | None -> ());
+              tally.t_err <- tally.t_err + 1;
+              responses.(i) <- error_block ~id:req.rq_id ~code:"solver" msg))
+    steps;
+  (* phase 4: resolve coalesced waits (the claimant is in an earlier
+     batch, already past its turnstile, so its fill cannot deadlock) *)
+  Array.iteri
+    (fun i s ->
+      match s with
+      | S_done _ | S_solve _ -> ()
+      | S_await { req; eng; approximate; entry; shard } -> (
+          match Cache.await entry shard with
+          | Cache.Ready { body; approximate = entry_approx } ->
+              tally.t_ok <- tally.t_ok + 1;
+              responses.(i) <- ok_block req ~cache_hit:true ~approximate:entry_approx body
+          | Cache.Failed | Cache.Pending -> (
+              (* the claimant's solve errored: solve independently *)
+              match run_solve eng ~approximate req with
+              | Ok body ->
+                  tally.t_ok <- tally.t_ok + 1;
+                  responses.(i) <- ok_block req ~cache_hit:false ~approximate body
+              | Error msg ->
+                  tally.t_err <- tally.t_err + 1;
+                  responses.(i) <- error_block ~id:req.rq_id ~code:"solver" msg)))
+    steps;
+  apply_tally p tally;
+  commit p b.b_idx responses ((Unix.gettimeofday () -. b.b_t0) *. 1e3)
+
+(* Catch-all wrapper: a bug in batch processing must not wedge the
+   turnstile or the commit order, so on an unexpected exception the
+   batch is answered with solver errors and the pipeline lives on. *)
+let process_batch_safe p b =
+  try process_batch p b
+  with e ->
+    let msg =
+      match e with
+      | Shutdown ->
+          (* a shutdown signal interrupted the batch mid-solve (main
+             domain only): still answer it, then let the reader wind
+             the session down *)
+          p.st.interrupted <- true;
+          "interrupted by shutdown"
+      | Sys_error m -> m
+      | e -> solver_msg e
+    in
+    (* make sure the turnstile has moved past this batch without ever
+       skipping ahead of batches still waiting for their turn *)
+    (try await_turn p b.b_idx with _ -> ());
+    Mutex.lock p.ts_m;
+    if p.ts_next = b.b_idx then begin
+      p.ts_next <- b.b_idx + 1;
+      Condition.broadcast p.ts_c
+    end;
+    Mutex.unlock p.ts_m;
+    let responses =
+      Array.mapi
+        (fun i _ -> error_block ~id:(string_of_int (b.b_first + i)) ~code:"solver" msg)
+        b.b_items
+    in
+    let tally = fresh_tally () in
+    tally.t_req <- Array.length b.b_items;
+    tally.t_err <- Array.length b.b_items;
+    apply_tally p tally;
+    (try commit p b.b_idx responses 0. with _ -> ())
+
+(* ---------------- reader + serve loops ---------------- *)
+
 let read_payload io =
   let buf = Buffer.create 256 in
   let rec go () =
@@ -359,117 +902,147 @@ let read_payload io =
   in
   go ()
 
-let admission_cap algo =
-  match algo with
-  | Dp -> ("Opt.max_dp_n", Qo.Instances.Opt_rat.max_dp_n)
-  | Ccp -> ("Ccp.max_ccp_n", Qo.Instances.Ccp_rat.max_ccp_n)
-  | Greedy | Sa -> ("Io.max_parse_n", Qo.Io.max_parse_n)
-
-let process ?pool ~cfg ~cache ~st io req payload =
-  match
-    try
-      Ok (match req.rq_domain with Rat -> rat_engine payload | Log -> log_engine payload)
-    with Invalid_argument msg | Failure msg -> Error msg
-  with
-  | Error msg -> respond_error st io ~id:req.rq_id ~code:"parse" msg
-  | Ok eng ->
-      let cap_name, cap = admission_cap req.rq_algo in
-      if eng.e_n > cap then
-        respond_error st io ~id:req.rq_id ~code:"too-large"
-          (Printf.sprintf "n=%d exceeds %s (%d) for algo=%s" eng.e_n cap_name cap
-             (algo_name req.rq_algo))
-      else begin
-        let approximate = over_budget cfg req eng in
-        if approximate then begin
-          Obs.incr c_fallbacks;
-          st.fallbacks <- st.fallbacks + 1
-        end;
-        let key =
-          Printf.sprintf "%s|%s|%s" (algo_name req.rq_algo)
-            (if approximate then "approx" else "exact")
-            (Digest.to_hex (Digest.string eng.e_canonical))
-        in
-        match Cache.find cache key with
-        | Some entry ->
-            Obs.incr c_hits;
-            st.cache_hits <- st.cache_hits + 1;
-            respond_ok st io req ~cache_hit:true ~approximate:entry.Cache.approximate
-              entry.Cache.body
-        | None -> (
-            Obs.incr c_misses;
-            st.cache_misses <- st.cache_misses + 1;
-            match
-              try
-                let label, s =
-                  if approximate then eng.e_fallback ()
-                  else eng.e_solve pool req.rq_algo
-                in
-                Ok (render_plan ~label ~log2_cost:s.log2_cost ~seq:s.seq)
-              with Invalid_argument msg | Failure msg -> Error msg
-            with
-            | Error msg -> respond_error st io ~id:req.rq_id ~code:"solver" msg
-            | Ok body ->
-                let evicted = Cache.add cache key body approximate in
-                if evicted > 0 then begin
-                  Obs.add c_evictions evicted;
-                  st.evictions <- st.evictions + evicted
-                end;
-                respond_ok st io req ~cache_hit:false ~approximate body)
-      end
-
-let handle_request ?pool ~cfg ~cache ~st io header_toks =
-  Obs.incr c_requests;
-  st.requests <- st.requests + 1;
-  let default_id = string_of_int st.requests in
-  let id = scan_id ~default_id header_toks in
-  (* A request header — even an invalid one — owns its payload up to
-     "end", so one bad request cannot desynchronise the stream. *)
-  let payload = read_payload io in
-  match parse_header ~default_id header_toks with
-  | Error msg -> respond_error st io ~id ~code:"bad-request" msg
-  | Ok req -> (
-      match payload with
-      | None ->
-          respond_error st io ~id:req.rq_id ~code:"bad-request"
-            "unexpected EOF before \"end\""
-      | Some payload ->
-          Obs.span "serve.request" (fun () -> process ?pool ~cfg ~cache ~st io req payload))
-
-(* ---------------- serve loops ---------------- *)
-
-let serve_loop ?pool ~cfg ~cache ~st io =
-  let t0 = Unix.gettimeofday () in
+(* One serve session over [io]: read, batch, submit, join. [submit]
+   either processes inline (sequential) or pushes into the channel
+   (concurrent); [finish] closes the channel and joins the workers. *)
+let reader_loop p ~batch_size ~submit ~finish =
+  let io = p.io in
+  let pending = ref [] in
+  let pending_n = ref 0 in
+  let first_ord = ref 1 in
+  let next_ord = ref 1 in
+  let batch_idx = ref 0 in
+  let flush_batch () =
+    if !pending_n > 0 then begin
+      let items = Array.of_list (List.rev !pending) in
+      pending := [];
+      pending_n := 0;
+      let b =
+        { b_idx = !batch_idx; b_first = !first_ord; b_items = items; b_t0 = Unix.gettimeofday () }
+      in
+      incr batch_idx;
+      first_ord := !next_ord;
+      submit b
+    end
+  in
+  let add_item it =
+    if !pending_n = 0 then first_ord := !next_ord;
+    pending := it :: !pending;
+    incr pending_n;
+    incr next_ord;
+    if !pending_n >= batch_size then flush_batch ()
+  in
   (try
      let rec loop () =
-       match io.next_line () with
-       | None -> ()
-       | Some raw ->
-           let line = String.trim raw in
-           if line = "" || line.[0] = '#' then loop ()
-           else begin
-             (match header_tokens line with
-             | "request" :: _ as toks -> handle_request ?pool ~cfg ~cache ~st io toks
-             | _ ->
-                 (* Not a request header: reject the single line, do
-                    not consume a payload that was never announced. *)
-                 Obs.incr c_requests;
-                 st.requests <- st.requests + 1;
-                 respond_error st io
-                   ~id:(string_of_int st.requests)
-                   ~code:"bad-request"
-                   (Printf.sprintf "unrecognized line %S (expected \"request ...\")" line));
-             loop ()
-           end
+       if p.w_dead then ()
+       else
+         match io.next_line () with
+         | None -> ()
+         | Some raw ->
+             let line = String.trim raw in
+             if line = "" || line.[0] = '#' then loop ()
+             else begin
+               (match header_tokens line with
+               | "request" :: _ as toks ->
+                   let payload = read_payload io in
+                   add_item (I_req { toks; payload })
+               | _ -> add_item (I_junk line));
+               loop ()
+             end
      in
      loop ()
    with
-  | Shutdown -> st.interrupted <- true
-  | Sys_error _ -> () (* transport dropped mid-stream: connection is over *));
-  st.seconds <- st.seconds +. (Unix.gettimeofday () -. t0);
+  | Shutdown -> p.st.interrupted <- true
+  | Sys_error _ -> ());
+  (* drain: the partial batch is in-flight work and still gets answered *)
+  (try flush_batch ()
+   with
+  | Shutdown -> p.st.interrupted <- true
+  | Sys_error _ -> ());
+  (* join must complete even if a late signal lands during the wait:
+     the workers own shared pipeline state until they exit *)
+  let rec join_workers () =
+    try finish ()
+    with Shutdown ->
+      p.st.interrupted <- true;
+      join_workers ()
+  in
+  join_workers ()
+
+let merge_latencies p =
+  let fresh = Array.of_list p.w_lats in
+  p.w_lats <- [];
+  let all = Array.append p.st.latencies_ms fresh in
+  Array.sort compare all;
+  p.st.latencies_ms <- all
+
+let serve_session ?pool ~cfg ~cache ~st io =
+  let jobs = match pool with Some pl -> Pool.jobs pl | None -> 1 in
+  let p = make_pipeline ~cfg ~cache ~st io in
+  let (), elapsed =
+    Obs.time (fun () ->
+        Obs.span "serve.loop" @@ fun () ->
+        match pool with
+        | Some pool when jobs > 1 ->
+            let chan = Pool.Chan.create ~capacity:(max 1 cfg.queue_capacity) in
+            let done_m = Mutex.create () in
+            let done_c = Condition.create () in
+            let active = ref (jobs - 1) in
+            for w = 0 to jobs - 2 do
+              Pool.async pool (fun () ->
+                  let c_batches =
+                    Obs.counter (Printf.sprintf "serve.worker.%d.batches" w)
+                  in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      Mutex.lock done_m;
+                      decr active;
+                      if !active = 0 then Condition.broadcast done_c;
+                      Mutex.unlock done_m)
+                    (fun () ->
+                      let rec wloop () =
+                        match Pool.Chan.pop chan with
+                        | None -> ()
+                        | Some b ->
+                            Obs.set g_queue (Pool.Chan.length chan);
+                            Obs.incr c_batches;
+                            process_batch_safe p b;
+                            wloop ()
+                      in
+                      wloop ()))
+            done;
+            let submit b =
+              if Pool.Chan.length chan >= cfg.queue_capacity then Obs.incr c_queue_full;
+              ignore (Pool.Chan.push chan b : bool);
+              Obs.set g_queue (Pool.Chan.length chan)
+            in
+            let finish () =
+              Pool.Chan.close chan;
+              Mutex.lock done_m;
+              match
+                while !active > 0 do
+                  Condition.wait done_c done_m
+                done
+              with
+              | () -> Mutex.unlock done_m
+              | exception e ->
+                  Mutex.unlock done_m;
+                  raise e
+            in
+            reader_loop p ~batch_size:(max 1 cfg.batch_size) ~submit ~finish
+        | _ ->
+            reader_loop p
+              ~batch_size:(max 1 cfg.batch_size)
+              ~submit:(fun b -> process_batch_safe p b)
+              ~finish:(fun () -> ()))
+  in
+  merge_latencies p;
+  st.seconds <- st.seconds +. elapsed;
   st
 
 let serve_io ?pool ?(config = default_config) io =
-  serve_loop ?pool ~cfg:config ~cache:(Cache.create config.cache_capacity)
+  serve_session ?pool ~cfg:config
+    ~cache:(Cache.create ~shards:config.cache_shards ~capacity:config.cache_capacity ())
     ~st:(fresh_stats ()) io
 
 let io_of_channels ic oc =
@@ -502,7 +1075,7 @@ let serve_string ?pool ?config input =
   (Buffer.contents out, st)
 
 let serve_socket ?pool ?(config = default_config) ?(max_conns = max_int) path =
-  let cache = Cache.create config.cache_capacity in
+  let cache = Cache.create ~shards:config.cache_shards ~capacity:config.cache_capacity () in
   let st = fresh_stats () in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -521,7 +1094,7 @@ let serve_socket ?pool ?(config = default_config) ?(max_conns = max_int) path =
            incr served;
            let ic = Unix.in_channel_of_descr fd in
            let oc = Unix.out_channel_of_descr fd in
-           ignore (serve_loop ?pool ~cfg:config ~cache ~st (io_of_channels ic oc));
+           ignore (serve_session ?pool ~cfg:config ~cache ~st (io_of_channels ic oc));
            (try flush oc with Sys_error _ -> ());
            (try Unix.close fd with Unix.Unix_error _ -> ())
      done
@@ -534,6 +1107,16 @@ let serve_socket ?pool ?(config = default_config) ?(max_conns = max_int) path =
 let hit_rate st =
   let lookups = st.cache_hits + st.cache_misses in
   if lookups = 0 then 0. else float_of_int st.cache_hits /. float_of_int lookups
+
+(* Nearest-rank percentile over the recorded (sorted) latencies. *)
+let latency_percentile st q =
+  let n = Array.length st.latencies_ms in
+  if n = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 100. q) in
+    let rank = int_of_float (Float.round (q /. 100. *. float_of_int (n - 1))) in
+    st.latencies_ms.(max 0 (min (n - 1) rank))
+  end
 
 let summary st =
   Printf.sprintf
@@ -562,7 +1145,21 @@ let report_json ~jobs st =
               ("fallbacks", Int st.fallbacks);
               ("cache_hit_rate", Float (hit_rate st));
               ("seconds", Float st.seconds);
+              ( "latency_ms",
+                Obj
+                  [
+                    ("p50", Float (latency_percentile st 50.));
+                    ("p95", Float (latency_percentile st 95.));
+                    ("p99", Float (latency_percentile st 99.));
+                  ] );
               ("interrupted", Bool st.interrupted);
             ] );
       ]
     ()
+
+(* The wall-clock fields a deterministic report comparison must mask;
+   shared with tests/CI so the masking stays declarative. *)
+let timing_fields =
+  [ "seconds"; "latency_ms"; "start_s"; "dur_s"; "minor_words"; "major_words" ]
+
+let report_json_masked ~jobs st = Obs.Json.mask_fields timing_fields (report_json ~jobs st)

@@ -53,11 +53,27 @@
     own cost is capped by the same budget — at a configurable
     nanoseconds-per-transition rate. A request whose model exceeds the
     budget falls back to the best of greedy / simulated annealing and
-    is marked [approximate=true]. *)
+    is marked [approximate=true].
+
+    {2 Concurrency}
+
+    With a {!Pool.t} of [jobs > 1], serving is pipelined: the calling
+    domain reads and batches requests, pushes batches into a bounded
+    queue (a full queue blocks the reader — that stall is the
+    admission backpressure), and [jobs - 1] pool workers process them.
+    A turnstile serialises the plan-cache pass in arrival order and a
+    reorder buffer restores response order, so {b output bytes, cache
+    decisions and stats totals are identical to [jobs = 1]} — the
+    sequential path runs the very same pipeline inline. Concurrent
+    duplicate requests are coalesced: the first claims the cache slot
+    and solves; the rest observe a hit and await the filled entry.
+    {!Shutdown} (SIGTERM/SIGINT) stops reading, drains every accepted
+    request through the workers, and only then returns. *)
 
 exception Shutdown
 (** Raise from a signal handler (SIGTERM/SIGINT) to stop the serve
-    loop after the in-flight request; the loop returns its stats with
+    loop; in-flight and already-queued requests are still answered
+    (graceful drain), then the loop returns its stats with
     [interrupted = true] instead of propagating. *)
 
 type algo = Dp | Ccp | Greedy | Sa
@@ -65,12 +81,22 @@ type domain = Rat | Log
 
 type config = {
   cache_capacity : int;  (** plan-cache entries before LRU eviction *)
+  cache_shards : int;
+      (** plan-cache shards (clamped to [capacity], so tiny caches keep
+          exact single-LRU semantics) *)
+  queue_capacity : int;  (** bounded request-queue depth, in batches *)
+  batch_size : int;
+      (** requests per worker batch. 1 (the default) keeps strict
+          request/response interleaving for interactive clients; bulk
+          streams can raise it to amortise hand-off costs. Never
+          affects response bytes. *)
   rat_transition_ns : float;  (** budget model: ns per DP transition, rational domain *)
   log_transition_ns : float;  (** budget model: ns per DP transition, log domain *)
 }
 
 val default_config : config
-(** [{cache_capacity = 256; rat_transition_ns = 100.; log_transition_ns = 10.}] *)
+(** [{cache_capacity = 256; cache_shards = 8; queue_capacity = 64;
+     batch_size = 1; rat_transition_ns = 100.; log_transition_ns = 10.}] *)
 
 type stats = {
   mutable requests : int;
@@ -83,6 +109,9 @@ type stats = {
   mutable fallbacks : int;  (** budget-driven exact-to-approximate downgrades *)
   mutable seconds : float;
   mutable interrupted : bool;  (** stopped by {!Shutdown} rather than EOF *)
+  mutable latencies_ms : float array;
+      (** per-request latency samples (sorted ascending), read → response
+          committed; basis for {!latency_percentile} *)
 }
 
 type io = {
@@ -93,16 +122,51 @@ type io = {
 (** Transport abstraction: the same loop serves stdin/stdout, a Unix
     socket connection, or an in-memory string (tests). *)
 
+(** The sharded LRU plan cache. Entries are distributed over shards by
+    canonical-hash prefix, each shard owning its mutex, LRU clock and
+    hit/miss/eviction counters — concurrent requests for different
+    shards never contend. Exposed for tests (sharding equivalence and
+    the duplicate-insert regression); the serve loops construct and
+    drive their own instance. *)
+module Cache : sig
+  type t
+
+  val create : ?shards:int -> capacity:int -> unit -> t
+  (** [shards] defaults to {!default_config}'s [cache_shards] and is
+      clamped to [capacity] so a capacity-1 cache is a single LRU.
+      [capacity <= 0] disables caching. *)
+
+  val shard_count : t -> int
+  val shard_of_key : t -> string -> int
+
+  val find : t -> string -> (string * bool) option
+  (** [(body, approximate)] for a ready entry, refreshing its LRU
+      stamp and counting a shard hit; [None] counts a shard miss. *)
+
+  val add : t -> string -> body:string -> approximate:bool -> int
+  (** Insert under LRU eviction; returns the number of entries evicted
+      to make room. Re-inserting a live key refreshes its LRU stamp
+      and body instead of being silently dropped. *)
+
+  val length : t -> int
+
+  val shard_stats : t -> (int * int * int) array
+  (** Per-shard [(hits, misses, evictions)], index-aligned with
+      {!shard_of_key}. *)
+end
+
 val render_plan : label:string -> log2_cost:float -> seq:int array -> string
 (** The one plan-line renderer, shared with [qopt optimize] so serve
     responses are byte-identical to one-shot CLI output:
     ["%-22s cost = 2^%.2f  seq = [i;j;...]"]. *)
 
 val serve_io : ?pool:Pool.t -> ?config:config -> io -> stats
-(** Run the request loop until end-of-stream or {!Shutdown}. Every
+(** Run the request pipeline until end-of-stream or {!Shutdown}. Every
     per-request failure is turned into an error response; the loop
     itself only ends on EOF, {!Shutdown}, or a dropped transport
-    ([Sys_error]). *)
+    ([Sys_error]). With [?pool] of [jobs > 1] the pipeline runs on the
+    pool's workers — same bytes, same stats (see {e Concurrency}
+    above). *)
 
 val serve_channels : ?pool:Pool.t -> ?config:config -> in_channel -> out_channel -> stats
 
@@ -120,10 +184,27 @@ val serve_socket : ?pool:Pool.t -> ?config:config -> ?max_conns:int -> string ->
 val hit_rate : stats -> float
 (** Cache hits over cache lookups (0. when no lookups happened). *)
 
+val latency_percentile : stats -> float -> float
+(** [latency_percentile st q]: nearest-rank [q]-th percentile (in
+    [0..100]) of the recorded per-request latencies, in milliseconds;
+    [0.] when no requests were served. *)
+
 val summary : stats -> string
 (** One-line human summary for the shutdown message on stderr. *)
 
 val report_json : jobs:int -> stats -> Obs.Json.t
 (** Schema-versioned serving report ([kind = "qopt-serve-report"])
-    via {!Obs.run_report}: totals from [stats] plus the process-wide
-    counter snapshot and span forest. *)
+    via {!Obs.run_report}: totals from [stats] — including
+    [latency_ms.{p50,p95,p99}] — plus the process-wide counter
+    snapshot and span forest. *)
+
+val timing_fields : string list
+(** The wall-clock-derived report fields ([seconds], [latency_ms],
+    span timings, GC words) that a deterministic comparison must mask
+    — the list {!report_json_masked} feeds to
+    {!Obs.Json.mask_fields}. *)
+
+val report_json_masked : jobs:int -> stats -> Obs.Json.t
+(** {!report_json} with {!timing_fields} masked to [null]: two runs
+    over the same request stream produce structurally equal masked
+    reports regardless of timing. *)

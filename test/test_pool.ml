@@ -107,6 +107,75 @@ let test_nested_exception () =
 let test_recommended_jobs () =
   Alcotest.(check bool) "recommended_jobs >= 1" true (Pool.recommended_jobs () >= 1)
 
+(* ---------------- async + bounded channel ---------------- *)
+
+let test_async_inline () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let ran = ref false in
+      Pool.async pool (fun () -> ran := true);
+      (* no workers: the task must have run inline before async returned *)
+      Alcotest.(check bool) "jobs=1 runs the task inline" true !ran)
+
+let test_async_on_worker () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let m = Mutex.create () and c = Condition.create () in
+      let ran = ref false in
+      Pool.async pool (fun () ->
+          Mutex.lock m;
+          ran := true;
+          Condition.broadcast c;
+          Mutex.unlock m);
+      Mutex.lock m;
+      while not !ran do
+        Condition.wait c m
+      done;
+      Mutex.unlock m;
+      Alcotest.(check bool) "task ran on a worker" true !ran)
+
+let test_chan_fifo_and_close () =
+  let ch = Pool.Chan.create ~capacity:4 in
+  Alcotest.(check bool) "push 1" true (Pool.Chan.push ch 1);
+  Alcotest.(check bool) "push 2" true (Pool.Chan.push ch 2);
+  Alcotest.(check bool) "push 3" true (Pool.Chan.push ch 3);
+  Alcotest.(check int) "length" 3 (Pool.Chan.length ch);
+  Pool.Chan.close ch;
+  (* items pushed before the close still drain, in order *)
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Pool.Chan.pop ch);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Pool.Chan.pop ch);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Pool.Chan.pop ch);
+  Alcotest.(check (option int)) "drained" None (Pool.Chan.pop ch);
+  Alcotest.(check bool) "push after close is dropped" false (Pool.Chan.push ch 4);
+  Alcotest.(check bool) "capacity < 1 rejected" true
+    (match Pool.Chan.create ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* A producer pushing through a tiny channel must block on the bound
+   (backpressure) yet deliver everything, in order, to a consumer on
+   another domain. *)
+let test_chan_backpressure () =
+  let n = 1000 in
+  let ch = Pool.Chan.create ~capacity:2 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          ignore (Pool.Chan.push ch i : bool)
+        done;
+        Pool.Chan.close ch)
+  in
+  let got = ref [] in
+  let rec drain () =
+    match Pool.Chan.pop ch with
+    | None -> ()
+    | Some x ->
+        got := x :: !got;
+        drain ()
+  in
+  drain ();
+  Domain.join producer;
+  Alcotest.(check bool) "all items, in order" true
+    (List.rev !got = List.init n (fun i -> i + 1))
+
 let () =
   Alcotest.run "pool"
     [
@@ -120,5 +189,12 @@ let () =
           Alcotest.test_case "nested sections" `Quick test_nested;
           Alcotest.test_case "nested exception" `Quick test_nested_exception;
           Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs;
+        ] );
+      ( "async + chan",
+        [
+          Alcotest.test_case "async inline at jobs=1" `Quick test_async_inline;
+          Alcotest.test_case "async on a worker" `Quick test_async_on_worker;
+          Alcotest.test_case "chan FIFO + close" `Quick test_chan_fifo_and_close;
+          Alcotest.test_case "chan backpressure" `Quick test_chan_backpressure;
         ] );
     ]

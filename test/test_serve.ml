@@ -243,6 +243,177 @@ let test_cache_eviction () =
   Alcotest.(check int) "capacity 0: no hits" 0 st0.Serve.cache_hits;
   Alcotest.(check int) "capacity 0: no evictions" 0 st0.Serve.evictions
 
+(* Regression: re-inserting a live key must refresh its LRU stamp (and
+   body), not be silently dropped — otherwise a hot entry recomputed
+   after contention is the next eviction victim. *)
+let test_duplicate_add_refresh () =
+  let c = Serve.Cache.create ~shards:1 ~capacity:2 () in
+  let add k body = ignore (Serve.Cache.add c k ~body ~approximate:false : int) in
+  add "k1" "one";
+  add "k2" "two";
+  (* re-insert of the live k1: with the old Hashtbl.mem guard this was
+     a no-op and k1 kept the oldest stamp *)
+  add "k1" "one'";
+  add "k3" "three";
+  Alcotest.(check bool) "refreshed k1 survives the eviction" true
+    (Serve.Cache.find c "k1" <> None);
+  Alcotest.(check bool) "k2 (actual LRU) was evicted" true (Serve.Cache.find c "k2" = None);
+  Alcotest.(check (option (pair string bool))) "re-insert refreshed the body too"
+    (Some ("one'", false))
+    (Serve.Cache.find c "k1")
+
+(* ---------------- cache sharding ---------------- *)
+
+(* Keys shaped like real cache keys ("algo|kind|<hex>"): the hex digit
+   after the last '|' picks the shard, which the tests rely on to aim
+   keys at specific shards. *)
+let skey hex tag = Printf.sprintf "dp|exact|%c%s" hex tag
+
+(* Shard counters must sum to exactly what an unsharded cache reports
+   for the same operation stream. *)
+let test_shard_counter_sums () =
+  let keys =
+    List.init 40 (fun i -> skey "0123456789abcdef".[i mod 16] (string_of_int (i mod 13)))
+  in
+  let drive cache =
+    List.iter
+      (fun k ->
+        match Serve.Cache.find cache k with
+        | Some _ -> ()
+        | None -> ignore (Serve.Cache.add cache k ~body:k ~approximate:false : int))
+      keys
+  in
+  let sharded = Serve.Cache.create ~shards:8 ~capacity:64 () in
+  let single = Serve.Cache.create ~shards:1 ~capacity:64 () in
+  drive sharded;
+  drive single;
+  let sum a = Array.fold_left (fun (h, m, e) (h', m', e') -> (h + h', m + m', e + e')) (0, 0, 0) a in
+  Alcotest.(check int) "eight shards" 8 (Serve.Cache.shard_count sharded);
+  Alcotest.(check (triple int int int)) "shard counters sum to the unsharded totals"
+    (sum (Serve.Cache.shard_stats single))
+    (sum (Serve.Cache.shard_stats sharded));
+  Alcotest.(check int) "same occupancy" (Serve.Cache.length single) (Serve.Cache.length sharded)
+
+(* Within one shard, eviction order is the plain LRU order the
+   pre-sharding cache used: same operation stream over the shard's keys,
+   same victims. *)
+let test_shard_eviction_order () =
+  (* two shards of capacity 2 each; '0','2',... land in shard 0 *)
+  let sharded = Serve.Cache.create ~shards:2 ~capacity:4 () in
+  let single = Serve.Cache.create ~shards:1 ~capacity:2 () in
+  let s0 = [ skey '0' "a"; skey '2' "b"; skey '4' "c" ] in
+  let s1 = [ skey '1' "x"; skey '3' "y" ] in
+  (match s0 with
+  | [ a; b; c ] ->
+      List.iter
+        (fun cache ->
+          ignore (Serve.Cache.add cache a ~body:"A" ~approximate:false : int);
+          ignore (Serve.Cache.add cache b ~body:"B" ~approximate:false : int))
+        [ sharded; single ];
+      (* interleave traffic on the other shard: must not disturb shard 0 *)
+      List.iter
+        (fun k -> ignore (Serve.Cache.add sharded k ~body:"Z" ~approximate:false : int))
+        s1;
+      List.iter (fun cache -> ignore (Serve.Cache.find cache a)) [ sharded; single ];
+      let ev_sharded = Serve.Cache.add sharded c ~body:"C" ~approximate:false in
+      let ev_single = Serve.Cache.add single c ~body:"C" ~approximate:false in
+      Alcotest.(check int) "one eviction either way" ev_single ev_sharded;
+      List.iter
+        (fun cache ->
+          Alcotest.(check bool) "refreshed key survives" true (Serve.Cache.find cache a <> None);
+          Alcotest.(check bool) "LRU key evicted" true (Serve.Cache.find cache b = None);
+          Alcotest.(check bool) "new key present" true (Serve.Cache.find cache c <> None))
+        [ sharded; single ];
+      (* the other shard was untouched by shard-0 evictions *)
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) "other shard undisturbed" true
+            (Serve.Cache.find sharded k <> None))
+        s1
+  | _ -> assert false)
+
+(* ---------------- concurrent pipeline ---------------- *)
+
+(* A mixed stream covering every response path: exact solves, a
+   canonical-form cache hit, a junk line, a parse error, an admission
+   rejection, a budget fallback, a heuristic solve and an infeasible
+   ccp instance. *)
+let mixed_stream =
+  request ~header:"request id=a algo=dp" inst2
+  ^ request ~header:"request id=b algo=dp" inst2_reordered
+  ^ "junk line\n"
+  ^ request ~header:"request id=c algo=dp" "this is not qon\n"
+  ^ request ~header:"request id=d algo=dp" (chain_inst 24)
+  ^ request ~header:"request id=e algo=dp budget_ms=0" (chain_inst 6)
+  ^ request ~header:"request id=f algo=greedy" inst2
+  ^ request ~header:"request id=g algo=ccp" disconnected
+  ^ request ~header:"request id=h algo=dp" (chain_inst 6)
+
+let stats_key (st : Serve.stats) =
+  ( st.Serve.requests,
+    st.Serve.ok,
+    st.Serve.errors,
+    st.Serve.rejected,
+    st.Serve.cache_hits,
+    st.Serve.cache_misses,
+    st.Serve.evictions,
+    st.Serve.fallbacks )
+
+(* The tentpole contract: the concurrent pipeline is byte-identical to
+   the sequential loop — same responses, same order, same stats — for
+   every jobs/batch-size combination. *)
+let test_concurrent_byte_identity () =
+  let seq_out, seq_st = Serve.serve_string mixed_stream in
+  List.iter
+    (fun (jobs, batch_size) ->
+      let config = { Serve.default_config with Serve.batch_size } in
+      let out, st =
+        Pool.with_pool ~jobs (fun pool -> Serve.serve_string ~pool ~config mixed_stream)
+      in
+      let label = Printf.sprintf "jobs=%d batch=%d" jobs batch_size in
+      Alcotest.(check string) (label ^ ": bytes identical") seq_out out;
+      Alcotest.(check bool) (label ^ ": stats identical") true
+        (stats_key seq_st = stats_key st))
+    [ (2, 1); (2, 3); (4, 1); (4, 3); (4, 64) ]
+
+(* Duplicate solves submitted concurrently coalesce on the claimed
+   cache entry; whatever the interleaving, the hit/miss split matches
+   the sequential one because cache claims happen in arrival order. *)
+let test_concurrent_coalescing () =
+  let dup = request ~header:"request algo=dp" (chain_inst 8) in
+  let stream = String.concat "" (List.init 12 (fun _ -> dup)) in
+  let seq_out, seq_st = Serve.serve_string stream in
+  let out, st = Pool.with_pool ~jobs:4 (fun pool -> Serve.serve_string ~pool stream) in
+  Alcotest.(check string) "coalesced bytes identical" seq_out out;
+  Alcotest.(check int) "one miss" 1 st.Serve.cache_misses;
+  Alcotest.(check int) "rest are hits" 11 st.Serve.cache_hits;
+  Alcotest.(check bool) "stats identical" true (stats_key seq_st = stats_key st)
+
+(* Satellite: report determinism. Two runs of the same stream differ
+   only in wall-clock fields; with those masked, the totals compare
+   structurally equal — no ad-hoc float tolerance needed. *)
+let test_report_masked_deterministic () =
+  let _out1, st1 = Serve.serve_string mixed_stream in
+  let _out2, st2 =
+    Pool.with_pool ~jobs:2 (fun pool -> Serve.serve_string ~pool mixed_stream)
+  in
+  let totals st =
+    match Obs.Json.member "totals" (Serve.report_json_masked ~jobs:1 st) with
+    | Some t -> t
+    | None -> Alcotest.fail "report has no totals"
+  in
+  let t1 = totals st1 and t2 = totals st2 in
+  Alcotest.(check bool) "seconds masked to null" true
+    (Obs.Json.member "seconds" t1 = Some Obs.Json.Null);
+  Alcotest.(check bool) "latency percentiles masked to null" true
+    (Obs.Json.member "latency_ms" t1 = Some Obs.Json.Null);
+  Alcotest.(check string) "masked totals structurally equal"
+    (Obs.Json.to_string t1) (Obs.Json.to_string t2);
+  (* the unmasked report still carries real latency percentiles *)
+  Alcotest.(check bool) "p99 >= p50 >= 0" true
+    (let p50 = Serve.latency_percentile st1 50. and p99 = Serve.latency_percentile st1 99. in
+     p99 >= p50 && p50 >= 0.)
+
 (* ---------------- graceful shutdown ---------------- *)
 
 let test_shutdown_mid_stream () =
@@ -354,7 +525,23 @@ let () =
           Alcotest.test_case "budget fallback" `Quick test_budget_fallback;
         ] );
       ( "cache",
-        [ Alcotest.test_case "LRU eviction" `Quick test_cache_eviction ] );
+        [
+          Alcotest.test_case "LRU eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "duplicate add refreshes LRU stamp" `Quick
+            test_duplicate_add_refresh;
+          Alcotest.test_case "shard counters sum to unsharded totals" `Quick
+            test_shard_counter_sums;
+          Alcotest.test_case "per-shard eviction order = single-cache order" `Quick
+            test_shard_eviction_order;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "seq-vs-concurrent byte identity" `Quick
+            test_concurrent_byte_identity;
+          Alcotest.test_case "duplicate coalescing" `Quick test_concurrent_coalescing;
+          Alcotest.test_case "masked report determinism" `Quick
+            test_report_masked_deterministic;
+        ] );
       ( "lifecycle",
         [
           Alcotest.test_case "shutdown mid-stream" `Quick test_shutdown_mid_stream;
