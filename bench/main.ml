@@ -287,6 +287,85 @@ let ccp_dp_check ~jobs =
   (!mismatches, vs_rows, beyond_rows)
 
 (* ------------------------------------------------------------------ *)
+(* Subset-convolution solver vs the connected DP. Two regimes:
+
+   - clique-ish graphs at matched n: nearly every subset is connected,
+     so ccp's hashed connected-subset walk degenerates to the full
+     lattice plus hashing overhead, while conv's cardinality-layered
+     flat-array sweep pays no hashing at all — the asymptotic win the
+     bench must show;
+   - chain/tree past the old 61-relation single-word ceiling: the
+     multi-word sparse regime, where a full-length join sequence is
+     the invariant a broken enumeration would break first. *)
+
+module CV = Qo.Instances.Conv_log
+
+let conv_check ~jobs =
+  Printf.printf "\n== Subset convolution vs connected DP (dense + multi-word reach) ==\n";
+  let mismatches = ref 0 in
+  Printf.printf "%-12s %4s %12s %12s %9s %14s\n" "graph" "n" "ccp (s)" "conv (s)"
+    "speedup" "bit-identical";
+  let vs_rows =
+    List.map
+      (fun (name, graph) ->
+        let inst = Qo.Gen_inst.L.over_graph ~seed:11 ~graph () in
+        let n = NL.n inst in
+        let ccp, t_ccp = Obs.time (fun () -> CCP.dp_connected inst) in
+        let cv, t_cv = Obs.time (fun () -> CV.solve inst) in
+        let same =
+          Logreal.compare ccp.OL.cost cv.OL.cost = 0 && ccp.OL.seq = cv.OL.seq
+        in
+        if not same then incr mismatches;
+        Printf.printf "%-12s %4d %12.4f %12.4f %8.1fx %14s\n" name n t_ccp t_cv
+          (if t_cv > 0.0 then t_ccp /. t_cv else Float.nan)
+          (if same then "yes" else "NO");
+        (name, n, t_ccp, t_cv, same))
+      [
+        ("clique-14", Graphlib.Ugraph.complete 14);
+        ("clique-16", Graphlib.Ugraph.complete 16);
+        ("clique-18", Graphlib.Ugraph.complete 18);
+        ("gnp-16-p80", Graphlib.Gen.gnp ~seed:7 ~n:16 ~p:0.8);
+      ]
+  in
+  (* past the old single-word ceiling (n > 61): the sparse regime on
+     Bitset-backed subsets. Shapes must keep the connected-subgraph
+     count polynomial — a random tree's is exponential (every branch
+     vertex multiplies subtree choices), so the tree row is a spider:
+     three paths joined at a hub, csg ~ (n/3)^3. *)
+  let spider ~legs ~len =
+    let g = Graphlib.Ugraph.create (1 + (legs * len)) in
+    for l = 0 to legs - 1 do
+      let base = 1 + (l * len) in
+      Graphlib.Ugraph.add_edge g 0 base;
+      for i = 0 to len - 2 do
+        Graphlib.Ugraph.add_edge g (base + i) (base + i + 1)
+      done
+    done;
+    g
+  in
+  ignore jobs;
+  Printf.printf "\n%-12s %4s %16s %12s %12s\n" "graph" "n" "csg (vs 2^n)" "conv (s)" "cost";
+  let beyond_rows =
+    List.map
+      (fun (name, graph) ->
+        let inst = Qo.Gen_inst.L.over_graph ~seed:11 ~graph () in
+        let n = NL.n inst in
+        let p, t = Obs.time (fun () -> CV.solve inst) in
+        if Array.length p.OL.seq <> n then incr mismatches;
+        Printf.printf "%-12s %4d %16s %12.4f %12s\n" name n
+          (Printf.sprintf "%d / 2^%d" (CCP.csg_count inst) n)
+          t
+          (Printf.sprintf "2^%.1f" (Logreal.to_log2 p.OL.cost));
+        (name, n, CCP.csg_count inst, t, Logreal.to_log2 p.OL.cost))
+      [
+        ("chain", Graphlib.Gen.path 128);
+        ("spider-3x21", spider ~legs:3 ~len:21);
+        ("chain-192", Graphlib.Gen.path 192);
+      ]
+  in
+  (!mismatches, vs_rows, beyond_rows)
+
+(* ------------------------------------------------------------------ *)
 (* qopt serve under a mixed workload: 120 requests — valid (with heavy
    duplication, exercising the plan cache), malformed, oversized, and
    budget-capped — through one in-process serving loop. The loop must
@@ -563,8 +642,42 @@ let fuzz_campaign_check ~jobs =
 
 (* Machine-readable mirror of the tables above: schema-versioned, written
    quietly at the repo root so CI can archive it without parsing stdout. *)
+let conv_json (vs_rows, beyond_rows) =
+  let open Obs.Json in
+  let speedup num den = if den > 0.0 then num /. den else Float.nan in
+  Obj
+    [
+      ( "conv_vs_ccp",
+        Arr
+          (List.map
+             (fun (name, n, t_ccp, t_cv, same) ->
+               Obj
+                 [
+                   ("graph", Str name);
+                   ("n", Int n);
+                   ("ccp_s", Float t_ccp);
+                   ("conv_s", Float t_cv);
+                   ("speedup", Float (speedup t_ccp t_cv));
+                   ("bit_identical", Bool same);
+                 ])
+             vs_rows) );
+      ( "conv_beyond_word",
+        Arr
+          (List.map
+             (fun (name, n, csg, t, log2_cost) ->
+               Obj
+                 [
+                   ("graph", Str name);
+                   ("n", Int n);
+                   ("connected_subsets", Int csg);
+                   ("conv_s", Float t);
+                   ("log2_cost", Float log2_cost);
+                 ])
+             beyond_rows) );
+    ]
+
 let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
-    ~serve_row ~serve_conc ~fuzz_row =
+    ~conv_rows ~serve_row ~serve_conc ~fuzz_row =
   let open Obs.Json in
   let speedup num den = if den > 0.0 then num /. den else Float.nan in
   let report =
@@ -647,6 +760,7 @@ let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_ro
                (fun (name, time_ns, r2) ->
                  Obj [ ("name", Str name); ("time_ns", Float time_ns); ("r_square", Float r2) ])
                kernels) );
+        ("conv", conv_json conv_rows);
         ( "serve",
           (let st, seconds, throughput, byte_identical = serve_row in
            Obj
@@ -709,6 +823,24 @@ let serve_concurrent_smoke ~requests =
   Printf.printf "\nwrote serve-concurrent-smoke.json (%d byte mismatch(es))\n" mismatches;
   exit (if mismatches > 0 then 1 else 0)
 
+(* CI smoke mode: `--conv` runs only the conv-vs-ccp check (downsampled
+   via jobs=2), writes a standalone report for jq schema checks, and
+   exits 1 on any bit-identity or sequence-length violation. *)
+let conv_smoke () =
+  let mismatches, vs_rows, beyond_rows = conv_check ~jobs:2 in
+  let open Obs.Json in
+  let report =
+    Obj
+      [
+        ("schema_version", Int 1);
+        ("kind", Str "qopt-conv-smoke");
+        ("conv", conv_json (vs_rows, beyond_rows));
+      ]
+  in
+  write_file "conv-smoke.json" report;
+  Printf.printf "\nwrote conv-smoke.json (%d mismatch(es))\n" mismatches;
+  exit (if mismatches > 0 then 1 else 0)
+
 let () =
   let rec smoke_scan = function
     | "--serve-concurrent" :: v :: _ -> int_of_string_opt v
@@ -718,6 +850,7 @@ let () =
   (match smoke_scan (Array.to_list Sys.argv) with
   | Some n when n >= 1 -> serve_concurrent_smoke ~requests:n
   | Some _ | None -> ());
+  if Array.exists (fun a -> a = "--conv") Sys.argv then conv_smoke ();
   let jobs =
     let rec scan = function
       | "--jobs" :: v :: _ | "-j" :: v :: _ -> int_of_string_opt v
@@ -760,6 +893,7 @@ let () =
     fails;
   let dp_mismatches, dp_rows = parallel_dp_check ~jobs:(Stdlib.max jobs 2) in
   let ccp_mismatches, vs_rows, beyond_rows = ccp_dp_check ~jobs:(Stdlib.max jobs 2) in
+  let conv_mismatches, conv_vs_rows, conv_beyond_rows = conv_check ~jobs:(Stdlib.max jobs 2) in
   let serve_mismatches, serve_st, serve_s, serve_tput, serve_ident = serve_workload_check () in
   let conc_requests = 100_000 in
   let conc_mismatches, conc_config, conc_rows =
@@ -769,10 +903,11 @@ let () =
   let kernels = run_benchmarks () in
   scaling_series ();
   write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
+    ~conv_rows:(conv_vs_rows, conv_beyond_rows)
     ~serve_row:(serve_st, serve_s, serve_tput, serve_ident)
     ~serve_conc:(conc_requests, conc_config, conc_rows)
     ~fuzz_row:(fuzz_r, fuzz_s, fuzz_tput);
   if
-    fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 || serve_mismatches > 0
-    || conc_mismatches > 0 || fuzz_fails > 0
+    fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 || conv_mismatches > 0
+    || serve_mismatches > 0 || conc_mismatches > 0 || fuzz_fails > 0
   then exit 1

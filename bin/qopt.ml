@@ -32,15 +32,18 @@ let with_jobs jobs f =
 
 (* --algo: which exact optimizer backs the run. The lattice DP walks
    all 2^n subsets; the connected-subgraph DP (dp_connected) only the
-   connected ones — bit-identical plans, far larger reach on sparse
-   graphs. *)
-let algo_conv = Arg.enum [ ("lattice", `Lattice); ("ccp", `Ccp) ]
+   connected ones; the subset-convolution solver layers the lattice by
+   cardinality (dense graphs) or delegates to the connected DP (sparse
+   graphs past the lattice limit) — all bit-identical plans. *)
+let algo_conv = Arg.enum [ ("lattice", `Lattice); ("ccp", `Ccp); ("conv", `Conv) ]
 
 let algo_term =
   let doc =
-    "Exact optimizer: $(b,lattice) (subset DP over all $(i,2^n) subsets) or $(b,ccp) \
+    "Exact optimizer: $(b,lattice) (subset DP over all $(i,2^n) subsets), $(b,ccp) \
      (connected-subgraph DP, same plan bit-for-bit, table sized by the number of connected \
-     subsets — use it on sparse graphs past the lattice limit)."
+     subsets — use it on sparse graphs past the lattice limit), or $(b,conv) (max-plus \
+     subset convolution: cardinality-layered lattice sweep on dense graphs, connected DP \
+     on sparse ones — same plan bit-for-bit at any admissible $(i,n))."
   in
   Arg.(value & opt algo_conv `Lattice & info [ "algo" ] ~docv:"ALGO" ~doc)
 
@@ -240,7 +243,7 @@ let optimize_cmd =
         exit 2
     in
     let dp_skip () =
-      Printf.printf "exact (subset DP)      skipped: n > 22 (try --algo ccp)\n"
+      Printf.printf "exact (subset DP)      skipped: n > 22 (try --algo ccp or conv)\n"
     in
     match domain with
     | `Rat ->
@@ -260,7 +263,11 @@ let optimize_cmd =
         | `Ccp ->
             Printf.printf "connected subsets: %d of 2^%d\n" (CCP.csg_count inst) n;
             with_jobs jobs (fun pool ->
-                show "exact CF (connected DP)" (CCP.dp_connected ?pool inst)));
+                show "exact CF (connected DP)" (CCP.dp_connected ?pool inst))
+        | `Conv ->
+            let module CV = Qo.Instances.Conv_rat in
+            with_jobs jobs (fun pool ->
+                show "exact CV (subset convolution)" (CV.solve ?pool inst)));
         show "greedy (min cost)" (O.greedy ~mode:O.Min_cost inst);
         show "greedy (min size)" (O.greedy ~mode:O.Min_size inst);
         show "iterative improve" (O.iterative_improvement inst);
@@ -282,7 +289,11 @@ let optimize_cmd =
         | `Ccp ->
             Printf.printf "connected subsets: %d of 2^%d\n" (CCP.csg_count inst) n;
             with_jobs jobs (fun pool ->
-                show "exact CF (connected DP)" (CCP.dp_connected ?pool inst)));
+                show "exact CF (connected DP)" (CCP.dp_connected ?pool inst))
+        | `Conv ->
+            let module CV = Qo.Instances.Conv_log in
+            with_jobs jobs (fun pool ->
+                show "exact CV (subset convolution)" (CV.solve ?pool inst)));
         show "greedy (min cost)" (O.greedy ~mode:O.Min_cost inst);
         show "greedy (min size)" (O.greedy ~mode:O.Min_size inst);
         show "iterative improve" (O.iterative_improvement inst);
@@ -338,11 +349,15 @@ let optimize_cmd =
     | `Lattice ->
         if n <= 22 then
           with_jobs jobs (fun pool -> show "exact (subset DP)" (OL.dp ?pool inst))
-        else Printf.printf "exact (subset DP)      skipped: n > 22 (try --algo ccp)\n"
+        else Printf.printf "exact (subset DP)      skipped: n > 22 (try --algo ccp or conv)\n"
     | `Ccp ->
         Printf.printf "connected subsets: %d of 2^%d\n" (CCP.csg_count inst) n;
         with_jobs jobs (fun pool ->
-            show "exact CF (connected DP)" (CCP.dp_connected ?pool inst)));
+            show "exact CF (connected DP)" (CCP.dp_connected ?pool inst))
+    | `Conv ->
+        let module CV = Qo.Instances.Conv_log in
+        with_jobs jobs (fun pool ->
+            show "exact CV (subset convolution)" (CV.solve ?pool inst)));
     show "greedy (min cost)" (OL.greedy ~mode:OL.Min_cost inst);
     show "greedy (min size)" (OL.greedy ~mode:OL.Min_size inst);
     show "iterative improve" (OL.iterative_improvement inst);
@@ -480,6 +495,14 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
+  let oracle_term =
+    let doc =
+      "Restrict the campaign to the named oracle (repeatable). The case stream is \
+       unchanged — same seeds, same instances — only the checks run per case shrink. \
+       Unknown names are an error."
+    in
+    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
+  in
   let replay_files files =
     let failed = ref 0 in
     List.iter
@@ -507,11 +530,16 @@ let fuzz_cmd =
       files;
     if !failed > 0 then 1 else 0
   in
-  let campaign runs seed corpus out jobs report =
+  let campaign runs seed corpus out jobs report oracle_names =
     let corpus_cases = Array.of_list (List.map snd (Fuzz.load_corpus corpus)) in
+    let only = match oracle_names with [] -> None | names -> Some names in
     let result =
-      with_jobs jobs (fun pool ->
-          Fuzz.run_campaign ?pool ~corpus:corpus_cases ~seed ~runs ())
+      try
+        with_jobs jobs (fun pool ->
+            Fuzz.run_campaign ?pool ~corpus:corpus_cases ?only ~seed ~runs ())
+      with Invalid_argument msg ->
+        Printf.eprintf "qopt: %s\n" msg;
+        exit 2
     in
     (* stdout is deterministic per (seed, runs); timing goes to stderr *)
     Printf.printf "fuzz: %d runs, %d oracle checks: %d pass, %d skip, %d fail\n"
@@ -537,11 +565,12 @@ let fuzz_cmd =
     | None -> ());
     if result.Fuzz.fails > 0 then 1 else 0
   in
-  let run files runs seed corpus out jobs stats trace report =
+  let run files runs seed corpus out jobs stats trace report oracle_names =
     let jobs = resolve_jobs jobs in
     setup_obs stats trace;
     let code =
-      if files <> [] then replay_files files else campaign runs seed corpus out jobs report
+      if files <> [] then replay_files files
+      else campaign runs seed corpus out jobs report oracle_names
     in
     finish_obs stats trace;
     code
@@ -553,7 +582,7 @@ let fuzz_cmd =
           generated/adversarial/mutated instances, with a minimizing shrinker and qon \
           reproducers")
     Term.(const run $ files $ runs $ seed $ corpus $ out $ jobs_term $ stats_term
-          $ trace_term $ report_term)
+          $ trace_term $ report_term $ oracle_term)
 
 (* ---------------- shared instance building ---------------- *)
 
@@ -614,6 +643,10 @@ let explain_cmd =
              this renders the infeasibility block (and still exits 0) *)
           ( "exact CF connected DP",
             with_jobs jobs (fun pool -> CCP.dp_connected ?pool inst) )
+      | `Conv ->
+          let module CV = Qo.Instances.Conv_rat in
+          ( "exact CV subset convolution",
+            with_jobs jobs (fun pool -> CV.solve ?pool inst) )
     in
     Printf.printf "Optimal plan (%s):\n\n%s\n" label
       (Qo.Explain.Rat.render inst best.Opt.seq);

@@ -49,6 +49,7 @@ module Checks (D : DOMAIN) = struct
   module O = Qo.Opt.Make (D.C)
   module P = Qo.Ccp.Make (D.C)
   module K = Qo.Ik.Make (D.C)
+  module V = Qo.Conv.Make (D.C)
 
   let tol = 1e-6
   let l2 = C.to_log2
@@ -281,6 +282,34 @@ module Checks (D : DOMAIN) = struct
       else if a.O.seq <> b.O.seq then Fail "dp_no_cartesian / dp_connected sequences differ"
       else Pass
 
+  (* genuinely differential: the convolution's dense regime is flat
+     mask-indexed layers, ccp is the hash-indexed connected sublattice —
+     independent code paths that must agree bit for bit *)
+  let conv_vs_ccp (inst : I.t) =
+    if inst.I.n > exact_cap then Skip "n > exact cap"
+    else
+      let a = V.solve inst in
+      let b = P.dp_connected inst in
+      if not (C.equal a.O.cost b.O.cost) then
+        Fail
+          (Printf.sprintf "conv %s <> dp_connected %s" (show a.O.cost) (show b.O.cost))
+      else if a.O.seq <> b.O.seq then Fail "conv / dp_connected sequences differ"
+      else Pass
+
+  (* drives the multi-word (Bitset) subset machinery at small n, where
+     the single-word path is the reference *)
+  let ccp_words (inst : I.t) =
+    if inst.I.n > exact_cap then Skip "n > exact cap"
+    else
+      let a = P.dp_connected inst in
+      let b = P.dp_connected_words inst in
+      if not (C.equal a.O.cost b.O.cost) then
+        Fail
+          (Printf.sprintf "single-word ccp %s <> multi-word ccp %s" (show a.O.cost)
+             (show b.O.cost))
+      else if a.O.seq <> b.O.seq then Fail "single-word / multi-word ccp sequences differ"
+      else Pass
+
   let dp_vs_exhaustive (inst : I.t) =
     if inst.I.n > exhaustive_cap then Skip "n > exhaustive cap"
     else
@@ -505,6 +534,8 @@ let per_domain name fr fl =
 let oracles =
   [
     per_domain "dp-vs-ccp" CR.dp_vs_ccp CL.dp_vs_ccp;
+    per_domain "conv-vs-ccp" CR.conv_vs_ccp CL.conv_vs_ccp;
+    per_domain "ccp-words" CR.ccp_words CL.ccp_words;
     per_domain "dp-vs-exhaustive" CR.dp_vs_exhaustive CL.dp_vs_exhaustive;
     per_domain "dp-dominates" CR.dp_dominates CL.dp_dominates;
     per_domain "ik-tree" CR.ik_tree CL.ik_tree;
@@ -729,12 +760,23 @@ let bucket_of descriptor =
   | Some i -> String.sub descriptor 0 i
   | None -> descriptor
 
-let run_campaign ?pool ?(corpus = [||]) ~seed ~runs () =
+let run_campaign ?pool ?(corpus = [||]) ?only ~seed ~runs () =
+  let active =
+    match only with
+    | None -> oracles
+    | Some names ->
+        List.iter
+          (fun name ->
+            if not (List.exists (fun o -> o.name = name) oracles) then
+              invalid_arg (Printf.sprintf "Fuzz.run_campaign: unknown oracle %S" name))
+          names;
+        List.filter (fun o -> List.mem o.name names) oracles
+  in
   let t0 = Unix.gettimeofday () in
   let one run =
     let descriptor, case = generate ~corpus ~seed ~run in
     Obs.incr c_runs;
-    let outs = List.map (fun o -> (o.name, check_case o case)) oracles in
+    let outs = List.map (fun o -> (o.name, check_case o case)) active in
     (run, descriptor, case, outs)
   in
   let slots = Array.init runs Fun.id in
@@ -764,7 +806,7 @@ let run_campaign ?pool ?(corpus = [||]) ~seed ~runs () =
               bump per name (fun (p, s, f) -> (p, s, f + 1)) (0, 0, 0);
               incr fails;
               Obs.incr c_failures;
-              let o = List.find (fun o -> o.name = name) oracles in
+              let o = List.find (fun o -> o.name = name) active in
               let shrunk, steps = shrink o case in
               total_shrink := !total_shrink + steps;
               failures :=
@@ -784,7 +826,7 @@ let run_campaign ?pool ?(corpus = [||]) ~seed ~runs () =
   let per_oracle =
     List.map
       (fun o -> (o.name, Option.value ~default:(0, 0, 0) (Hashtbl.find_opt per o.name)))
-      oracles
+      active
   in
   let mix =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) mix []

@@ -130,11 +130,20 @@ val generate : corpus:case array -> seed:int -> run:int -> string * case
     magnitudes), 35% corpus mutations (falling back to shapes when the
     corpus is empty). Returns [(descriptor, case)]. *)
 
-val run_campaign : ?pool:Pool.t -> ?corpus:case array -> seed:int -> runs:int -> unit -> result
+val run_campaign :
+  ?pool:Pool.t ->
+  ?corpus:case array ->
+  ?only:string list ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  result
 (** Generate [runs] cases, run every oracle on each ([pool]-parallel,
     slot-deterministic), then shrink each failure sequentially.
     Updates [fuzz.runs], [fuzz.failures], [fuzz.shrink_steps] and the
-    per-oracle counters. *)
+    per-oracle counters. [?only] restricts the campaign to the named
+    oracles (the case stream is unchanged — same seeds, same
+    instances); unknown names raise [Invalid_argument]. *)
 
 val replay : case -> (string * outcome) list
 (** Every oracle's outcome on one case — the reproducer/corpus replay

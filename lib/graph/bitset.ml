@@ -45,6 +45,78 @@ let is_empty t = Array.for_all (fun w -> w = 0) t.words
 let same_cap a b =
   if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
 
+(* Deterministic, implementation-defined hash over the word array —
+   equal sets hash equal (capacities must match for equality anyway). *)
+let hash t =
+  let h = ref t.n in
+  for i = 0 to Array.length t.words - 1 do
+    h := (!h * 486187739) + t.words.(i)
+  done;
+  !h land max_int
+
+(* Total order: the sets compared as little-endian multi-word unsigned
+   integers (highest word first, each word unsigned 63-bit). On n <= 62
+   this coincides with [Stdlib.compare] of the single-word mask. *)
+let compare a b =
+  same_cap a b;
+  let ux w = w lxor min_int in
+  let rec go i =
+    if i < 0 then 0
+    else
+      let c = Stdlib.compare (ux a.words.(i)) (ux b.words.(i)) in
+      if c <> 0 then c else go (i - 1)
+  in
+  go (Array.length a.words - 1)
+
+let prefix n k =
+  if k < 0 || k > n then invalid_arg "Bitset.prefix";
+  let t = create n in
+  let fw = k / word_bits in
+  for i = 0 to fw - 1 do
+    t.words.(i) <- -1
+  done;
+  let rem = k mod word_bits in
+  if rem > 0 then t.words.(fw) <- (1 lsl rem) - 1;
+  t
+
+let lowest t =
+  let rec go i =
+    if i >= Array.length t.words then -1
+    else if t.words.(i) = 0 then go (i + 1)
+    else begin
+      let w = t.words.(i) in
+      let low = w land -w in
+      let rec idx j v = if v land 1 = 1 then j else idx (j + 1) (v lsr 1) in
+      (i * word_bits) + idx 0 low
+    end
+  in
+  go 0
+
+let assign ~dst src =
+  same_cap dst src;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+(* t := (t - 1) land mask over the little-endian multi-word integer:
+   borrow-propagate the decrement (a zero word becomes all-ones — the
+   full 63-bit lane, i.e. [-1] — and the borrow carries on), then mask.
+   The single-word special case is the classic subset-walk step
+   [(sub - 1) land cand]; [t] must be nonzero. *)
+let decr_and t mask =
+  same_cap t mask;
+  let nw = Array.length t.words in
+  let rec borrow i =
+    if i < nw then
+      if t.words.(i) = 0 then begin
+        t.words.(i) <- -1;
+        borrow (i + 1)
+      end
+      else t.words.(i) <- t.words.(i) - 1
+  in
+  borrow 0;
+  for i = 0 to nw - 1 do
+    t.words.(i) <- t.words.(i) land mask.words.(i)
+  done
+
 let equal a b =
   same_cap a b;
   Array.for_all2 ( = ) a.words b.words
@@ -70,6 +142,20 @@ let inter_into ~dst a b =
   same_cap dst a;
   for i = 0 to Array.length dst.words - 1 do
     dst.words.(i) <- a.words.(i) land b.words.(i)
+  done
+
+let union_into ~dst a b =
+  same_cap a b;
+  same_cap dst a;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- a.words.(i) lor b.words.(i)
+  done
+
+let diff_into ~dst a b =
+  same_cap a b;
+  same_cap dst a;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- a.words.(i) land lnot b.words.(i)
   done
 
 let inter_cardinal a b =

@@ -22,6 +22,13 @@ module Ccp_log = Ccp.Make (Log_cost)
 module Ccp_rat = Ccp.Make (Rat_cost)
 (** Connected-subgraph DP over exact rationals. *)
 
+module Conv_log = Conv.Make (Log_cost)
+(** Tropical subset-convolution exact solver ([solve]) in the log
+    domain; plans are [Opt_log.plan] values. *)
+
+module Conv_rat = Conv.Make (Rat_cost)
+(** Tropical subset-convolution exact solver over exact rationals. *)
+
 (** Convert an exact-rational instance to the log domain (for
     cross-validation: costs must agree up to float tolerance). *)
 let log_of_rat (inst : Nl_rat.t) : Nl_log.t =

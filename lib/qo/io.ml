@@ -38,8 +38,10 @@ let fail fmt = Printf.ksprintf (fun m -> invalid_arg ("Qo.Io.parse: " ^ m)) fmt
    validated before any allocation: "n 99999999999" used to die with a
    bare [Invalid_argument "Array.make"] (or OOM the process) instead of
    a line-numbered parse error. 1024 relations is far beyond every
-   solver in the portfolio (the exact DPs cap at 23/61; the heuristics
-   are O(n^3)-ish and already minutes-slow well below it). *)
+   solver in the portfolio (the lattice DP caps at 23; the connected
+   DP and subset-convolution solver at Ccp.max_ccp_n = 256, feasible
+   only on sparse shapes; the heuristics are O(n^3)-ish and already
+   minutes-slow well below it). *)
 let max_parse_n = 1024
 
 let parse_generic ~scalar_of_string text =

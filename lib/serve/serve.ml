@@ -36,10 +36,15 @@
 
 exception Shutdown
 
-type algo = Dp | Ccp | Greedy | Sa
+type algo = Dp | Ccp | Conv | Greedy | Sa
 type domain = Rat | Log
 
-let algo_name = function Dp -> "dp" | Ccp -> "ccp" | Greedy -> "greedy" | Sa -> "sa"
+let algo_name = function
+  | Dp -> "dp"
+  | Ccp -> "ccp"
+  | Conv -> "conv"
+  | Greedy -> "greedy"
+  | Sa -> "sa"
 let domain_name = function Rat -> "rat" | Log -> "log"
 
 type config = {
@@ -374,11 +379,12 @@ let parse_header ~default_id toks =
                   match v with
                   | "dp" -> algo := Some Dp
                   | "ccp" -> algo := Some Ccp
+                  | "conv" -> algo := Some Conv
                   | "greedy" -> algo := Some Greedy
                   | "sa" -> algo := Some Sa
                   | _ ->
                       fail
-                        (Printf.sprintf "unknown algo %S (expected dp|ccp|greedy|sa)" v))
+                        (Printf.sprintf "unknown algo %S (expected dp|ccp|conv|greedy|sa)" v))
               | "domain" -> (
                   match v with
                   | "rat" -> domain := Rat
@@ -392,7 +398,7 @@ let parse_header ~default_id toks =
         kvs;
       match (!err, !algo) with
       | Some msg, _ -> Error msg
-      | None, None -> Error "missing algo=<dp|ccp|greedy|sa>"
+      | None, None -> Error "missing algo=<dp|ccp|conv|greedy|sa>"
       | None, Some a ->
           Ok { rq_id = !id; rq_algo = a; rq_domain = !domain; rq_budget_ms = !budget })
   | _ -> Error "expected a \"request ...\" header"
@@ -419,6 +425,7 @@ let rat_engine payload =
   let module N = Qo.Instances.Nl_rat in
   let module O = Qo.Instances.Opt_rat in
   let module CCP = Qo.Instances.Ccp_rat in
+  let module CV = Qo.Instances.Conv_rat in
   let inst = Qo.Io.parse_rat payload in
   let solved (p : O.plan) =
     { log2_cost = Qo.Rat_cost.to_log2 p.O.cost; seq = p.O.seq }
@@ -437,6 +444,7 @@ let rat_engine payload =
       (function
         | Dp -> ("exact (subset DP)", solved (O.dp inst))
         | Ccp -> ("exact CF (connected DP)", solved (CCP.dp_connected inst))
+        | Conv -> ("exact CV (subset convolution)", solved (CV.solve inst))
         | Greedy -> ("greedy (min cost)", solved (O.greedy ~mode:O.Min_cost inst))
         | Sa -> ("simulated anneal", solved (O.simulated_annealing inst)));
     e_fallback = fallback;
@@ -446,6 +454,7 @@ let log_engine payload =
   let module N = Qo.Instances.Nl_log in
   let module O = Qo.Instances.Opt_log in
   let module CCP = Qo.Instances.Ccp_log in
+  let module CV = Qo.Instances.Conv_log in
   let inst = Qo.Io.parse_log payload in
   let solved (p : O.plan) = { log2_cost = Logreal.to_log2 p.O.cost; seq = p.O.seq } in
   let fallback () =
@@ -462,6 +471,7 @@ let log_engine payload =
       (function
         | Dp -> ("exact (subset DP)", solved (O.dp inst))
         | Ccp -> ("exact CF (connected DP)", solved (CCP.dp_connected inst))
+        | Conv -> ("exact CV (subset convolution)", solved (CV.solve inst))
         | Greedy -> ("greedy (min cost)", solved (O.greedy ~mode:O.Min_cost inst))
         | Sa -> ("simulated anneal", solved (O.simulated_annealing inst)));
     e_fallback = fallback;
@@ -489,13 +499,22 @@ let over_budget cfg req eng =
             n *. Float.pow 2. n *. transition_ns cfg req.rq_domain /. 1e6
           in
           est_ms > budget_ms
-      | Ccp -> (
+      | Conv when eng.e_n <= Qo.Instances.Conv_rat.dense_max_n ->
+          (* Dense regime: same full-lattice transition count as dp. *)
+          let n = float_of_int eng.e_n in
+          let est_ms =
+            n *. Float.pow 2. n *. transition_ns cfg req.rq_domain /. 1e6
+          in
+          est_ms > budget_ms
+      | Ccp | Conv -> (
+          (* Sparse conv delegates to the connected DP, so the csg
+             work model applies to both. *)
           let per_csg =
             transition_ns cfg req.rq_domain *. float_of_int (max 1 eng.e_n)
           in
           let raw = budget_ms *. 1e6 /. per_csg in
           let limit =
-            if Float.is_finite raw && raw < 1e9 then int_of_float raw
+            if Float.is_finite raw && raw < 1e9 then max 0 (int_of_float raw)
             else max_int - 1
           in
           match eng.e_csg_bounded ~limit with
@@ -570,11 +589,16 @@ type step =
       shard : Cache.shard;
     }
 
+(* Exhaustive over [algo] on purpose — no or-patterns, no wildcard —
+   so adding a solver variant is a compile error here until its true
+   cap is declared. *)
 let admission_cap algo =
   match algo with
   | Dp -> ("Opt.max_dp_n", Qo.Instances.Opt_rat.max_dp_n)
   | Ccp -> ("Ccp.max_ccp_n", Qo.Instances.Ccp_rat.max_ccp_n)
-  | Greedy | Sa -> ("Io.max_parse_n", Qo.Io.max_parse_n)
+  | Conv -> ("Conv.max_conv_n", Qo.Instances.Conv_rat.max_conv_n)
+  | Greedy -> ("Io.max_parse_n", Qo.Io.max_parse_n)
+  | Sa -> ("Io.max_parse_n", Qo.Io.max_parse_n)
 
 let solver_msg = function
   | Invalid_argument m | Failure m -> m

@@ -4,7 +4,7 @@
     and line-delimited sockets alike. A request is:
 
     {v
-    request id=<token> algo=<dp|ccp|greedy|sa> [domain=<rat|log>] [budget_ms=<float>]
+    request id=<token> algo=<dp|ccp|conv|greedy|sa> [domain=<rat|log>] [budget_ms=<float>]
     qon 1
     n 2
     size 0 100
@@ -34,8 +34,9 @@
     Error-code contract: [bad-request] = malformed header or truncated
     payload; [parse] = the payload is not a valid [qon 1] instance;
     [too-large] = admission control rejected the request against
-    [Opt.max_dp_n] / [Ccp.max_ccp_n] / {!Qo.Io.max_parse_n} before any
-    solving work; [solver] = the solve itself failed. A disconnected
+    [Opt.max_dp_n] / [Ccp.max_ccp_n] / [Conv.max_conv_n] /
+    {!Qo.Io.max_parse_n} before any solving work; [solver] = the solve
+    itself failed. A disconnected
     query graph under [algo=ccp] is {e not} an error: it yields a
     [status=ok] response whose plan line carries [cost = 2^inf] and an
     empty sequence, exactly like one-shot [qopt].
@@ -76,8 +77,15 @@ exception Shutdown
     (graceful drain), then the loop returns its stats with
     [interrupted = true] instead of propagating. *)
 
-type algo = Dp | Ccp | Greedy | Sa
+type algo = Dp | Ccp | Conv | Greedy | Sa
 type domain = Rat | Log
+
+val admission_cap : algo -> string * int
+(** [(cap_name, cap)] used by admission control for a solver variant —
+    the largest [n] it will serve, and the constant's name as quoted in
+    [too-large] error responses. Exhaustive over [algo] in the
+    implementation, so a new solver variant fails to compile until its
+    true cap is declared. *)
 
 type config = {
   cache_capacity : int;  (** plan-cache entries before LRU eviction *)

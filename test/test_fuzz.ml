@@ -54,11 +54,25 @@ let test_oracles_clean () =
 
 (* The registry's order and names are part of the report schema. *)
 let test_registry () =
-  check_int "registry size" 11 (List.length Fuzz.oracles);
+  check_int "registry size" 13 (List.length Fuzz.oracles);
   check_str "first oracle" "dp-vs-ccp" (List.hd Fuzz.oracles).Fuzz.name;
   let names = List.map (fun o -> o.Fuzz.name) Fuzz.oracles in
   check "ik-tree registered" true (List.mem "ik-tree" names);
-  check "rat-vs-log registered" true (List.mem "rat-vs-log" names)
+  check "rat-vs-log registered" true (List.mem "rat-vs-log" names);
+  check "conv-vs-ccp registered" true (List.mem "conv-vs-ccp" names);
+  check "ccp-words registered" true (List.mem "ccp-words" names)
+
+(* [?only] restricts the oracle set without disturbing the seeded case
+   stream, and rejects unknown names. *)
+let test_campaign_only () =
+  let r = Fuzz.run_campaign ~only:[ "conv-vs-ccp" ] ~seed:5 ~runs:10 () in
+  check_int "one oracle" 1 (List.length r.Fuzz.per_oracle);
+  check_str "the conv oracle" "conv-vs-ccp" (fst (List.hd r.Fuzz.per_oracle));
+  check_int "checks = runs" 10 r.Fuzz.checks;
+  check_int "no failures" 0 r.Fuzz.fails;
+  Alcotest.check_raises "unknown oracle rejected"
+    (Invalid_argument "Fuzz.run_campaign: unknown oracle \"no-such\"") (fun () ->
+      ignore (Fuzz.run_campaign ~only:[ "no-such" ] ~seed:5 ~runs:1 ()))
 
 (* ------------------------------------------------------------- shrinker *)
 
@@ -222,6 +236,7 @@ let () =
       ( "campaign",
         [
           Alcotest.test_case "deterministic, jobs-invariant" `Quick test_campaign_deterministic;
+          Alcotest.test_case "oracle filter" `Quick test_campaign_only;
           Alcotest.test_case "report schema" `Quick test_report_schema;
         ] );
     ]

@@ -38,7 +38,155 @@ let prop_bitset_ops =
       && Bitset.subset a (Bitset.union a b)
       && Bitset.cardinal a = IS.cardinal sa)
 
-(* -------------------- Ugraph -------------------- *)
+(* Word-boundary audit: [word_bits = Sys.int_size = 63], so every
+   operation is exercised against a naive [bool array] reference model
+   exactly at the word seams — n ∈ {0, 62, 63, 64, 126} — where
+   off-by-ones in [full]/[prefix]/[decr_and]/[cardinal] would hide. *)
+
+module Ref_model = struct
+  (* a set is [(n, bits)] with index i set iff the bit is in the set *)
+  let of_list n xs =
+    let a = Array.make (max 1 n) false in
+    List.iter (fun i -> if i >= 0 && i < n then a.(i) <- true) xs;
+    (n, a)
+
+  let elements (n, a) = List.filter (fun i -> a.(i)) (List.init n (fun i -> i))
+  let cardinal m = List.length (elements m)
+
+  let map2 f (n, a) (_, b) = (n, Array.init (Array.length a) (fun i -> f a.(i) b.(i)))
+  let inter = map2 ( && )
+  let union = map2 ( || )
+  let diff = map2 (fun x y -> x && not y)
+  let subset (n, a) (_, b) = List.for_all (fun i -> (not a.(i)) || b.(i)) (List.init n (fun i -> i))
+
+  (* little-endian binary decrement; the set must be nonempty *)
+  let decr (_, a) =
+    let i = ref 0 in
+    while not a.(!i) do
+      a.(!i) <- true;
+      incr i
+    done;
+    a.(!i) <- false
+end
+
+let boundary_ns = [ 0; 62; 63; 64; 126 ]
+
+let gen_boundary_sets =
+  QCheck2.Gen.(
+    let* n = oneofl boundary_ns in
+    let* xs = list_size (int_bound 40) (int_bound (max 0 (n - 1))) in
+    let* ys = list_size (int_bound 40) (int_bound (max 0 (n - 1))) in
+    return (n, (if n = 0 then [] else xs), if n = 0 then [] else ys))
+
+let prop_bitset_boundary_ops =
+  QCheck2.Test.make ~name:"bitset ops at word boundaries match bool-array reference"
+    ~count:400 gen_boundary_sets (fun (n, xs, ys) ->
+      let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+      let ra = Ref_model.of_list n xs and rb = Ref_model.of_list n ys in
+      let eq bs m = Bitset.elements bs = Ref_model.elements m in
+      eq a ra && eq b rb
+      && Bitset.cardinal a = Ref_model.cardinal ra
+      && Bitset.is_empty a = (Ref_model.cardinal ra = 0)
+      && eq (Bitset.inter a b) (Ref_model.inter ra rb)
+      && eq (Bitset.union a b) (Ref_model.union ra rb)
+      && eq (Bitset.diff a b) (Ref_model.diff ra rb)
+      && Bitset.inter_cardinal a b = Ref_model.cardinal (Ref_model.inter ra rb)
+      && Bitset.subset a b = Ref_model.subset ra rb
+      && Bitset.equal a b = (Ref_model.elements ra = Ref_model.elements rb)
+      && List.for_all (fun i -> Bitset.mem a i = List.mem i (Ref_model.elements ra))
+           (List.init n (fun i -> i))
+      && Bitset.choose a
+         = (match Ref_model.elements ra with [] -> None | x :: _ -> Some x)
+      && Bitset.lowest a = (match Ref_model.elements ra with [] -> -1 | x :: _ -> x)
+      && Bitset.fold (fun i acc -> i :: acc) a [] = List.rev (Ref_model.elements ra)
+      &&
+      (* allocation-free variants agree with their pure counterparts *)
+      let d = Bitset.create n in
+      Bitset.inter_into ~dst:d a b;
+      let i_ok = eq d (Ref_model.inter ra rb) in
+      Bitset.union_into ~dst:d a b;
+      let u_ok = eq d (Ref_model.union ra rb) in
+      Bitset.diff_into ~dst:d a b;
+      let df_ok = eq d (Ref_model.diff ra rb) in
+      Bitset.assign ~dst:d a;
+      i_ok && u_ok && df_ok && Bitset.equal d a
+      && (Bitset.equal a b = (Bitset.compare a b = 0))
+      && ((not (Bitset.equal a b)) || Bitset.hash a = Bitset.hash b))
+
+(* [full]/[prefix]/[add]/[remove]/[mem] pinned exactly at the seams. *)
+let test_bitset_boundary_full () =
+  List.iter
+    (fun n ->
+      let f = Bitset.full n in
+      Alcotest.(check int) (Printf.sprintf "full %d cardinal" n) n (Bitset.cardinal f);
+      Alcotest.(check (list int))
+        (Printf.sprintf "full %d elements" n)
+        (List.init n (fun i -> i))
+        (Bitset.elements f);
+      Alcotest.(check bool)
+        (Printf.sprintf "full %d has no phantom bit" n)
+        false (Bitset.mem f n);
+      for k = 0 to min n 4 do
+        Alcotest.(check int)
+          (Printf.sprintf "prefix %d %d cardinal" n k)
+          k
+          (Bitset.cardinal (Bitset.prefix n k))
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "prefix %d %d = full" n n)
+        n
+        (Bitset.cardinal (Bitset.prefix n n));
+      if n > 0 then begin
+        (* add/remove at the extreme indices round-trip *)
+        let s = Bitset.create n in
+        List.iter
+          (fun i ->
+            Bitset.add s i;
+            Alcotest.(check bool) (Printf.sprintf "n=%d mem %d" n i) true (Bitset.mem s i);
+            Bitset.remove s i;
+            Alcotest.(check bool) (Printf.sprintf "n=%d removed %d" n i) false (Bitset.mem s i))
+          [ 0; n - 1 ];
+        Alcotest.check_raises
+          (Printf.sprintf "n=%d add out of range" n)
+          (Invalid_argument (Printf.sprintf "Bitset: index %d out of [0,%d)" n n))
+          (fun () -> Bitset.add s n)
+      end)
+    boundary_ns
+
+(* The multi-word subset walk: starting from sub = cand and stepping
+   [decr_and sub cand], the walk must visit every nonempty subset of
+   cand exactly once, in the same descending order as the classic
+   single-word [(sub - 1) land cand] — checked against the reference
+   decrement at capacities that straddle word seams. *)
+let prop_bitset_decr_and =
+  QCheck2.Test.make ~name:"decr_and walks subsets like the single-word idiom" ~count:200
+    QCheck2.Gen.(
+      let* n = oneofl [ 62; 63; 64; 126 ] in
+      let* xs = list_size (int_range 1 6) (int_bound (n - 1)) in
+      return (n, xs))
+    (fun (n, xs) ->
+      let cand = Bitset.of_list n xs in
+      let k = Bitset.cardinal cand in
+      if k = 0 then true
+      else begin
+        let sub = Bitset.copy cand in
+        let _, rsub = Ref_model.of_list n xs in
+        let rcand = Array.copy rsub in
+        let seen = ref 0 and ok = ref true in
+        let continue = ref true in
+        while !continue do
+          incr seen;
+          if Bitset.elements sub
+             <> Ref_model.elements (n, rsub)
+          then ok := false;
+          (* reference step: decrement, then mask back into cand *)
+          Ref_model.decr (n, rsub);
+          Array.iteri (fun i v -> rsub.(i) <- v && rcand.(i)) (Array.copy rsub);
+          Bitset.decr_and sub cand;
+          if Bitset.is_empty sub then continue := false
+        done;
+        !ok && !seen = (1 lsl k) - 1
+      end)
 
 let test_ugraph_basics () =
   let g = Ugraph.create 5 in
@@ -320,8 +468,13 @@ let () =
   Alcotest.run "graph"
     [
       ( "bitset",
-        [ Alcotest.test_case "basics" `Quick test_bitset_basics ]
-        @ List.map QCheck_alcotest.to_alcotest [ prop_bitset_ops ] );
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "word boundaries: full/prefix/add/remove" `Quick
+            test_bitset_boundary_full;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_bitset_ops; prop_bitset_boundary_ops; prop_bitset_decr_and ] );
       ( "ugraph",
         [
           Alcotest.test_case "basics" `Quick test_ugraph_basics;

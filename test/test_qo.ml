@@ -386,6 +386,134 @@ let test_ccp_infeasible () =
   Alcotest.(check bool) "summary reports infeasibility" true
     (Astring_like.contains (Qo.Explain.Rat.summary inst b.OR_.seq) "infeasible")
 
+(* ------------- multi-word subsets + subset convolution ------------- *)
+
+module CVR = Qo.Instances.Conv_rat
+module CVL = Qo.Instances.Conv_log
+
+(* The multi-word (Bitset) dp must be bit-identical to the single-word
+   dp at every n both admit — including disconnected G(n,p). *)
+let prop_ccp_words_equiv =
+  QCheck2.Test.make ~name:"multi-word ccp ≡ single-word ccp (both domains)" ~count:40
+    gen_connected_sparse (fun inst ->
+      let li = Qo.Instances.log_of_rat inst in
+      let a = CCPR.dp_connected inst and b = CCPR.dp_connected_words inst in
+      let al = CCPL.dp_connected li and bl = CCPL.dp_connected_words li in
+      RC.equal a.OR_.cost b.OR_.cost
+      && a.OR_.seq = b.OR_.seq
+      && Logreal.compare al.OL.cost bl.OL.cost = 0
+      && al.OL.seq = bl.OL.seq)
+
+let prop_ccp_words_gnp =
+  QCheck2.Test.make ~name:"multi-word ccp ≡ single-word ccp on G(n,p), disconnected included"
+    ~count:40 gen_instance (fun inst ->
+      let a = CCPR.dp_connected inst and b = CCPR.dp_connected_words inst in
+      (RC.is_finite a.OR_.cost = RC.is_finite b.OR_.cost)
+      && ((not (RC.is_finite a.OR_.cost)) || RC.equal a.OR_.cost b.OR_.cost)
+      && a.OR_.seq = b.OR_.seq)
+
+let prop_conv_lattice_rat =
+  QCheck2.Test.make ~name:"conv ≡ dp_no_cartesian ≡ ccp bit-identical (rational)" ~count:60
+    gen_connected_sparse (fun inst ->
+      let a = OR_.dp_no_cartesian inst
+      and b = CCPR.dp_connected inst
+      and c = CVR.solve inst in
+      RC.equal a.OR_.cost c.OR_.cost && a.OR_.seq = c.OR_.seq
+      && RC.equal b.OR_.cost c.OR_.cost && b.OR_.seq = c.OR_.seq)
+
+let prop_conv_lattice_log =
+  QCheck2.Test.make ~name:"conv ≡ dp_no_cartesian ≡ ccp bit-identical (log domain)" ~count:60
+    gen_connected_sparse (fun inst ->
+      let li = Qo.Instances.log_of_rat inst in
+      let a = OL.dp_no_cartesian li and c = CVL.solve li in
+      Logreal.compare a.OL.cost c.OL.cost = 0 && a.OL.seq = c.OL.seq)
+
+let prop_conv_gnp =
+  QCheck2.Test.make ~name:"conv ≡ dp_no_cartesian on G(n,p), disconnected included" ~count:60
+    gen_instance (fun inst ->
+      let a = OR_.dp_no_cartesian inst and c = CVR.solve inst in
+      (RC.is_finite a.OR_.cost = RC.is_finite c.OR_.cost)
+      && ((not (RC.is_finite a.OR_.cost)) || RC.equal a.OR_.cost c.OR_.cost)
+      && a.OR_.seq = c.OR_.seq)
+
+let prop_conv_parallel_equiv =
+  QCheck2.Test.make ~name:"parallel conv ≡ sequential conv (both domains)" ~count:20
+    gen_big_instance (fun inst ->
+      let li = Qo.Instances.log_of_rat inst in
+      with_test_pool (fun pool ->
+          let sr = CVR.solve inst and pr = CVR.solve ~pool inst in
+          let sl = CVL.solve li and pl = CVL.solve ~pool li in
+          RC.equal sr.OR_.cost pr.OR_.cost
+          && sr.OR_.seq = pr.OR_.seq
+          && Logreal.compare sl.OL.cost pl.OL.cost = 0
+          && sl.OL.seq = pl.OL.seq))
+
+(* Instances straddling the old single-word cap (n = 61): every solver
+   that admits the size must produce the identical plan, and on chains
+   (trees) the IK ordering cross-checks the optimum cost exactly. *)
+let test_cap_straddle () =
+  List.iter
+    (fun n ->
+      let inst = Qo.Gen_inst.R.chain ~seed:11 ~n () in
+      let b = CCPR.dp_connected inst in
+      let w = CCPR.dp_connected_words inst in
+      let c = CVR.solve inst in
+      let lbl s = Printf.sprintf "chain n=%d: %s" n s in
+      Alcotest.(check rc) (lbl "ccp = conv cost") b.OR_.cost c.OR_.cost;
+      Alcotest.(check bool) (lbl "ccp = conv seq") true (b.OR_.seq = c.OR_.seq);
+      Alcotest.(check rc) (lbl "word = multi-word cost") b.OR_.cost w.OR_.cost;
+      Alcotest.(check bool) (lbl "word = multi-word seq") true (b.OR_.seq = w.OR_.seq);
+      let cik, _ = IKR.solve inst in
+      Alcotest.(check rc) (lbl "IK cross-check") cik b.OR_.cost;
+      Alcotest.(check rc) (lbl "plan evaluates to cost") b.OR_.cost (NR.cost inst b.OR_.seq);
+      Alcotest.(check int) (lbl "csg count") (n * (n + 1) / 2) (CCPR.csg_count inst))
+    [ 60; 61; 62; 100 ]
+
+(* The lifted ceiling end to end: a chain at n = 128 (well past the old
+   61 cap) solved exactly by both the multi-word connected DP and the
+   sparse-regime convolution, cross-checked against IK. *)
+let test_chain_128 () =
+  let n = 128 in
+  let inst = Qo.Gen_inst.R.chain ~seed:5 ~n () in
+  let b = CCPR.dp_connected inst in
+  let c = CVR.solve inst in
+  Alcotest.(check int) "full-length sequence" n (Array.length b.OR_.seq);
+  Alcotest.(check rc) "ccp = conv cost" b.OR_.cost c.OR_.cost;
+  Alcotest.(check bool) "ccp = conv seq" true (b.OR_.seq = c.OR_.seq);
+  let cik, _ = IKR.solve inst in
+  Alcotest.(check rc) "IK cross-check at n=128" cik b.OR_.cost;
+  Alcotest.(check int) "csg count at n=128" (n * (n + 1) / 2) (CCPR.csg_count inst)
+
+(* csg_count_bounded: [None] means exactly "over budget" or "over the
+   n cap" — a negative limit is a caller bug and raises, instead of
+   masquerading as budget exhaustion (the old conflation). *)
+let test_csg_count_bounded () =
+  let chain n = Qo.Gen_inst.R.over_graph ~seed:1 ~graph:(Graphlib.Gen.path n) () in
+  let inst = chain 20 in
+  (* exact boundary: 210 connected subsets on a 20-chain *)
+  Alcotest.(check (option int)) "at the boundary" (Some 210)
+    (CCPR.csg_count_bounded ~limit:210 inst);
+  Alcotest.(check (option int)) "one below" None (CCPR.csg_count_bounded ~limit:209 inst);
+  Alcotest.(check (option int)) "zero limit" None (CCPR.csg_count_bounded ~limit:0 inst);
+  Alcotest.(check (option int)) "generous limit" (Some 210)
+    (CCPR.csg_count_bounded ~limit:max_int inst);
+  Alcotest.check_raises "negative limit raises"
+    (Invalid_argument "Ccp.csg_count_bounded: negative limit -1") (fun () ->
+      ignore (CCPR.csg_count_bounded ~limit:(-1) inst));
+  Alcotest.check_raises "negative limit raises even above the cap"
+    (Invalid_argument "Ccp.csg_count_bounded: negative limit -7") (fun () ->
+      ignore (CCPR.csg_count_bounded ~limit:(-7) (chain 300)));
+  (* above max_ccp_n: still None (dp_connected would refuse) *)
+  Alcotest.(check (option int)) "above the n cap" None
+    (CCPR.csg_count_bounded ~limit:max_int (chain 300));
+  (* multi-word path (n > 61) honors the same contract *)
+  let c100 = chain 100 in
+  Alcotest.(check (option int)) "multi-word at the boundary" (Some 5050)
+    (CCPR.csg_count_bounded ~limit:5050 c100);
+  Alcotest.(check (option int)) "multi-word over budget" None
+    (CCPR.csg_count_bounded ~limit:5049 c100);
+  Alcotest.(check int) "multi-word csg_count" 5050 (CCPR.csg_count c100)
+
 let test_csg_count () =
   let count g = CCPR.csg_count (Qo.Gen_inst.R.over_graph ~seed:1 ~graph:g ()) in
   (* chain: one connected set per (start, length) pair *)
@@ -697,6 +825,7 @@ let () =
         [
           Alcotest.test_case "disconnected graph is infeasible" `Quick test_ccp_infeasible;
           Alcotest.test_case "csg counts on known families" `Quick test_csg_count;
+          Alcotest.test_case "csg_count_bounded contract" `Quick test_csg_count_bounded;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [
@@ -704,6 +833,20 @@ let () =
               prop_ccp_lattice_log;
               prop_ccp_lattice_gnp;
               prop_ccp_parallel_equiv;
+              prop_ccp_words_equiv;
+              prop_ccp_words_gnp;
+            ] );
+      ( "subset convolution",
+        [
+          Alcotest.test_case "plans straddling the old n=61 cap" `Quick test_cap_straddle;
+          Alcotest.test_case "chain n=128 past the lifted ceiling" `Slow test_chain_128;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_conv_lattice_rat;
+              prop_conv_lattice_log;
+              prop_conv_gnp;
+              prop_conv_parallel_equiv;
             ] );
       ( "io",
         [

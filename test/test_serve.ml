@@ -159,21 +159,49 @@ let test_truncated_payload () =
 let test_admission () =
   let input =
     request ~header:"request id=big-dp algo=dp" (chain_inst 24)
-    ^ request ~header:"request id=big-ccp algo=ccp" (chain_inst 62)
+    ^ request ~header:"request id=big-ccp algo=ccp" (chain_inst 300)
+    ^ request ~header:"request id=big-conv algo=conv" (chain_inst 300)
     ^ request ~header:"request id=big-greedy algo=greedy" (chain_inst 24)
+    ^ request ~header:"request id=word-ccp algo=ccp" (chain_inst 62)
   in
   let out, st = Serve.serve_string input in
   Alcotest.(check bool) "dp n=24 rejected" true
     (contains out "response id=big-dp status=error code=too-large"
     && contains out "exceeds Opt.max_dp_n (23)");
-  Alcotest.(check bool) "ccp n=62 rejected" true
+  Alcotest.(check bool) "ccp n=300 rejected" true
     (contains out "response id=big-ccp status=error code=too-large"
-    && contains out "exceeds Ccp.max_ccp_n (61)");
+    && contains out "exceeds Ccp.max_ccp_n (256)");
+  Alcotest.(check bool) "conv n=300 rejected" true
+    (contains out "response id=big-conv status=error code=too-large"
+    && contains out "exceeds Conv.max_conv_n (256)");
   Alcotest.(check bool) "greedy n=24 admitted" true
     (contains out "response id=big-greedy status=ok");
-  Alcotest.(check int) "rejected counted separately" 2 st.Serve.rejected;
+  (* Past the old single-word ceiling of 61: now served exactly. *)
+  Alcotest.(check bool) "ccp n=62 admitted" true
+    (contains out "response id=word-ccp status=ok");
+  Alcotest.(check int) "rejected counted separately" 3 st.Serve.rejected;
   Alcotest.(check int) "not counted as plain errors" 0 st.Serve.errors;
-  Alcotest.(check int) "greedy solved" 1 st.Serve.ok
+  Alcotest.(check int) "admitted requests solved" 2 st.Serve.ok
+
+(* Every served algo must report its {e true} cap — the very constant
+   the underlying solver enforces — so admission can never admit an
+   instance the solver then rejects, or refuse one it could solve. *)
+let test_admission_caps_truthful () =
+  let check_cap algo name cap =
+    let got_name, got_cap = Serve.admission_cap algo in
+    Alcotest.(check string) (name ^ " cap name") name got_name;
+    Alcotest.(check int) (name ^ " cap value") cap got_cap
+  in
+  check_cap Serve.Dp "Opt.max_dp_n" O.max_dp_n;
+  check_cap Serve.Ccp "Ccp.max_ccp_n" CCP.max_ccp_n;
+  check_cap Serve.Conv "Conv.max_conv_n" Qo.Instances.Conv_rat.max_conv_n;
+  check_cap Serve.Greedy "Io.max_parse_n" Qo.Io.max_parse_n;
+  check_cap Serve.Sa "Io.max_parse_n" Qo.Io.max_parse_n;
+  (* The serve-layer cap for conv matches the solver's own guard: n at
+     the cap is admitted, n past it is exactly what Conv.solve refuses. *)
+  let _, conv_cap = Serve.admission_cap Serve.Conv in
+  Alcotest.(check int) "conv cap = Ccp cap (sparse regime delegates)"
+    CCP.max_ccp_n conv_cap
 
 (* Oversized declared n is stopped by the parser's own cap, long before
    Array.make: the serve loop reports it as a parse error and lives. *)
@@ -522,6 +550,8 @@ let () =
       ( "admission + budget",
         [
           Alcotest.test_case "admission control caps" `Quick test_admission;
+          Alcotest.test_case "per-algo caps are truthful" `Quick
+            test_admission_caps_truthful;
           Alcotest.test_case "budget fallback" `Quick test_budget_fallback;
         ] );
       ( "cache",
