@@ -505,6 +505,12 @@ let serve_concurrent_workload ~requests =
     Buffer.add_string buf "end\n"
   in
   for i = 0 to requests - 1 do
+    (* in-band introspection probes, mid-stream: the responses ride the
+       same output channel but must not perturb a single non-control
+       byte (checked below by stripping them before the jobs-1 diff) *)
+    if i = requests / 3 then Buffer.add_string buf "#stats\n";
+    if i = requests / 2 then Buffer.add_string buf "#health\n";
+    if i = 2 * requests / 3 then Buffer.add_string buf "#hist solve\n";
     let pick arr = arr.((i * 7919) mod Array.length arr) in
     match i mod 20 with
     | 7 -> Buffer.add_string buf "sustained-load junk line\n" (* bad-request error *)
@@ -527,7 +533,14 @@ let serve_concurrent_check ~requests ~jobs_list =
     (Domain.recommended_domain_count ());
   let input = serve_concurrent_workload ~requests in
   let config =
-    { Serve.default_config with Serve.cache_capacity = 1024; batch_size = 32 }
+    {
+      Serve.default_config with
+      Serve.cache_capacity = 1024;
+      batch_size = 32;
+      (* keep the exact per-request latencies so the histogram
+         quantiles can be checked against ground truth below *)
+      record_exact_latencies = true;
+    }
   in
   let run jobs =
     Obs.time (fun () ->
@@ -543,36 +556,119 @@ let serve_concurrent_check ~requests ~jobs_list =
       st.Serve.cache_misses,
       st.Serve.fallbacks )
   in
-  Printf.printf "%6s %10s %12s %9s %9s %9s %9s %14s\n" "jobs" "seconds" "req/s" "speedup"
-    "p50 ms" "p95 ms" "p99 ms" "byte-identical";
+  (* A control block is valid when its header reports status=ok and its
+     body is one line of schema-versioned JSON; the #stats snapshot must
+     additionally report a positive accepted count — it was issued a
+     third of the way into the stream, and [accepted] is the reader-side
+     arrival counter, so it is deterministic at any jobs (the committed
+     totals may legitimately lag the reader in the concurrent pipeline). *)
+  let controls_ok controls =
+    let json_ok body =
+      match Obs.Json.of_string (String.trim body) with
+      | Error _ -> false
+      | Ok j -> (
+          match (Obs.Json.member "schema_version" j, Obs.Json.member "kind" j) with
+          | Some (Obs.Json.Int 1), Some (Obs.Json.Str "qopt-serve-control") -> true
+          | _ -> false)
+    in
+    let header_ok h =
+      match String.split_on_char ' ' h with
+      | "control" :: _ :: "status=ok" :: _ -> true
+      | _ -> false
+    in
+    let stats_has_progress (h, body) =
+      String.length h >= 13
+      && String.sub h 0 13 = "control stats"
+      &&
+      match Obs.Json.of_string (String.trim body) with
+      | Ok j -> (
+          match Obs.Json.member "accepted" j with
+          | Some (Obs.Json.Int n) -> n > 0
+          | _ -> false)
+      | Error _ -> false
+    in
+    List.length controls = 3
+    && List.for_all (fun (h, body) -> header_ok h && json_ok body) controls
+    && List.exists stats_has_progress controls
+  in
+  (* exact nearest-rank percentile over the recorded per-request
+     latencies — the ground truth the histogram quantile must land
+     within one bucket width of *)
+  let exact_percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else
+      let rank = int_of_float (Float.round (q /. 100. *. float_of_int (n - 1))) in
+      sorted.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
+  in
+  let hist_vs_exact (st : Serve.stats) =
+    let sorted = Array.of_list st.Serve.exact_latencies_ms in
+    Array.sort compare sorted;
+    List.map
+      (fun q ->
+        let hist_ms = Serve.latency_percentile st q in
+        let exact_ms = exact_percentile sorted q in
+        (* one bucket width at the exact value, in ms, plus 1ns of
+           slack for the float->int truncation when recording *)
+        let width_ms =
+          float_of_int (Obs.Histogram.width_at (int_of_float (exact_ms *. 1e6))) /. 1e6
+        in
+        let within = Float.abs (hist_ms -. exact_ms) <= width_ms +. 1e-6 in
+        (q, hist_ms, exact_ms, width_ms, within))
+      [ 50.; 95.; 99. ]
+  in
+  Printf.printf "%6s %10s %12s %9s %9s %9s %9s %14s %8s %9s\n" "jobs" "seconds" "req/s"
+    "speedup" "p50 ms" "p95 ms" "p99 ms" "byte-identical" "ctl-ok" "hist-ok";
   let mismatches = ref 0 in
   let base = ref None in
   let rows =
     List.map
       (fun jobs ->
         let (out, st), seconds = run jobs in
-        let base_out, base_st, base_s =
+        let plain, controls = Serve.split_control out in
+        let base_plain, base_st, base_s =
           match !base with
           | None ->
-              base := Some (out, st, seconds);
-              (out, st, seconds)
+              base := Some (plain, st, seconds);
+              (plain, st, seconds)
           | Some b -> b
         in
-        let identical = String.equal out base_out && stats_key st = stats_key base_st in
+        let identical =
+          String.equal plain base_plain && stats_key st = stats_key base_st
+        in
         if not identical then begin
           incr mismatches;
           Printf.printf "  MISMATCH jobs=%d output differs from sequential run\n" jobs
         end;
+        let control_ok = controls_ok controls in
+        if not control_ok then begin
+          incr mismatches;
+          Printf.printf "  MISMATCH jobs=%d invalid control responses (%d block(s))\n" jobs
+            (List.length controls)
+        end;
+        let hve = hist_vs_exact st in
+        List.iter
+          (fun (q, hist_ms, exact_ms, width_ms, within) ->
+            if not within then begin
+              incr mismatches;
+              Printf.printf
+                "  MISMATCH jobs=%d p%g histogram %.6fms vs exact %.6fms (width %.6fms)\n"
+                jobs q hist_ms exact_ms width_ms
+            end)
+          hve;
+        let hist_ok = List.for_all (fun (_, _, _, _, w) -> w) hve in
         let throughput = float_of_int st.Serve.requests /. seconds in
         let p50 = Serve.latency_percentile st 50.
         and p95 = Serve.latency_percentile st 95.
         and p99 = Serve.latency_percentile st 99. in
-        Printf.printf "%6d %10.3f %12.0f %8.2fx %9.3f %9.3f %9.3f %14s\n" jobs seconds
-          throughput
+        Printf.printf "%6d %10.3f %12.0f %8.2fx %9.3f %9.3f %9.3f %14s %8s %9s\n" jobs
+          seconds throughput
           (if seconds > 0.0 then base_s /. seconds else Float.nan)
           p50 p95 p99
-          (if identical then "yes" else "NO");
-        (jobs, st, seconds, throughput, p50, p95, p99, identical))
+          (if identical then "yes" else "NO")
+          (if control_ok then "yes" else "NO")
+          (if hist_ok then "yes" else "NO");
+        (jobs, st, seconds, throughput, p50, p95, p99, identical, control_ok, hve))
       jobs_list
   in
   (!mismatches, config, rows)
@@ -591,7 +687,7 @@ let serve_concurrent_json ~requests ~(config : Serve.config) rows =
       ( "rows",
         Arr
           (List.map
-             (fun (jobs, st, seconds, throughput, p50, p95, p99, identical) ->
+             (fun (jobs, st, seconds, throughput, p50, p95, p99, identical, control_ok, hve) ->
                Obj
                  [
                    ("jobs", Int jobs);
@@ -608,8 +704,84 @@ let serve_concurrent_json ~requests ~(config : Serve.config) rows =
                    ("p95_ms", Float p95);
                    ("p99_ms", Float p99);
                    ("byte_identical_to_sequential", Bool identical);
+                   ("control_ok", Bool control_ok);
+                   ( "hist_vs_exact",
+                     Arr
+                       (List.map
+                          (fun (q, hist_ms, exact_ms, width_ms, within) ->
+                            Obj
+                              [
+                                ("q", Float q);
+                                ("hist_ms", Float hist_ms);
+                                ("exact_ms", Float exact_ms);
+                                ("width_ms", Float width_ms);
+                                ("within", Bool within);
+                              ])
+                          hve) );
                  ])
              rows) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Latency-store before/after: serve used to keep every request latency
+   in a sorted float list, re-sorted on every batch merge — O(total^2
+   log) comparisons over a run and O(requests) memory. The histogram
+   replacement is O(1) per record and O(buckets) memory regardless of
+   sample count. The old strategy is emulated here verbatim (append a
+   32-element batch, re-sort) on a reduced sample count because running
+   it at 100k would dominate the whole bench; rates are per-sample so
+   the two sides stay comparable. *)
+
+let latency_store_check () =
+  let hist_samples = 100_000 and old_samples = 20_000 and batch = 32 in
+  let sample i =
+    float_of_int (((i * 7919) mod 9973) + (i mod 97) * 1000) /. 100.
+  in
+  Printf.printf "\n== serve latency store: sorted-list merge vs log-bucket histogram ==\n";
+  let h = Obs.Histogram.create () in
+  let (), hist_s =
+    Obs.time (fun () ->
+        for i = 0 to hist_samples - 1 do
+          Obs.Histogram.record h (int_of_float (sample i *. 1e6))
+        done)
+  in
+  let store = ref [] in
+  let (), old_s =
+    Obs.time (fun () ->
+        let pending = ref [] and n_pending = ref 0 in
+        let flush () =
+          store := List.sort compare (List.rev_append !pending !store);
+          pending := [];
+          n_pending := 0
+        in
+        for i = 0 to old_samples - 1 do
+          pending := sample i :: !pending;
+          incr n_pending;
+          if !n_pending >= batch then flush ()
+        done;
+        flush ())
+  in
+  let per_s n s = if s > 0.0 then float_of_int n /. s else Float.nan in
+  let hist_rate = per_s hist_samples hist_s and old_rate = per_s old_samples old_s in
+  Printf.printf "  %-28s %9d samples %10.4fs %14.0f samples/s\n" "histogram (new)"
+    hist_samples hist_s hist_rate;
+  Printf.printf "  %-28s %9d samples %10.4fs %14.0f samples/s\n"
+    "sorted-list merge (old)" old_samples old_s old_rate;
+  Printf.printf "  speedup %.1fx; memory: %d buckets (fixed) vs %d stored floats (grows)\n"
+    (if old_rate > 0.0 then hist_rate /. old_rate else Float.nan)
+    Obs.Histogram.bucket_count (List.length !store);
+  let open Obs.Json in
+  Obj
+    [
+      ("hist_samples", Int hist_samples);
+      ("hist_seconds", Float hist_s);
+      ("hist_samples_per_s", Float hist_rate);
+      ("old_samples", Int old_samples);
+      ("old_seconds", Float old_s);
+      ("old_samples_per_s", Float old_rate);
+      ("speedup", Float (if old_rate > 0.0 then hist_rate /. old_rate else Float.nan));
+      ("hist_buckets", Int Obs.Histogram.bucket_count);
+      ("old_store_entries", Int (List.length !store));
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -677,7 +849,7 @@ let conv_json (vs_rows, beyond_rows) =
     ]
 
 let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
-    ~conv_rows ~serve_row ~serve_conc ~fuzz_row =
+    ~conv_rows ~serve_row ~serve_conc ~latency_store ~fuzz_row =
   let open Obs.Json in
   let speedup num den = if den > 0.0 then num /. den else Float.nan in
   let report =
@@ -780,6 +952,7 @@ let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_ro
         ( "serve_concurrent",
           (let requests, config, rows = serve_conc in
            serve_concurrent_json ~requests ~config rows) );
+        ("latency_store", latency_store);
         ( "fuzz",
           (let r, seconds, throughput = fuzz_row in
            Obj
@@ -810,6 +983,7 @@ let serve_concurrent_smoke ~requests =
   let mismatches, config, rows =
     serve_concurrent_check ~requests ~jobs_list:[ 1; 2 ]
   in
+  let latency_store = latency_store_check () in
   let open Obs.Json in
   let report =
     Obj
@@ -817,6 +991,7 @@ let serve_concurrent_smoke ~requests =
         ("schema_version", Int 1);
         ("kind", Str "qopt-serve-concurrent-smoke");
         ("serve_concurrent", serve_concurrent_json ~requests ~config rows);
+        ("latency_store", latency_store);
       ]
   in
   write_file "serve-concurrent-smoke.json" report;
@@ -899,6 +1074,7 @@ let () =
   let conc_mismatches, conc_config, conc_rows =
     serve_concurrent_check ~requests:conc_requests ~jobs_list:[ 1; 2; 4 ]
   in
+  let latency_store_row = latency_store_check () in
   let fuzz_fails, fuzz_r, fuzz_s, fuzz_tput = fuzz_campaign_check ~jobs:(Stdlib.max jobs 2) in
   let kernels = run_benchmarks () in
   scaling_series ();
@@ -906,6 +1082,7 @@ let () =
     ~conv_rows:(conv_vs_rows, conv_beyond_rows)
     ~serve_row:(serve_st, serve_s, serve_tput, serve_ident)
     ~serve_conc:(conc_requests, conc_config, conc_rows)
+    ~latency_store:latency_store_row
     ~fuzz_row:(fuzz_r, fuzz_s, fuzz_tput);
   if
     fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 || conv_mismatches > 0

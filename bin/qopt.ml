@@ -415,7 +415,26 @@ let serve_cmd =
              request/response interleaving for interactive clients; bulk streams can \
              raise it to amortise hand-off costs. Response bytes are unaffected.")
   in
-  let run socket cache_size queue_size batch_size jobs stats trace report =
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"PATH"
+          ~doc:
+            "Write periodic heartbeat snapshots (kind qopt-serve-heartbeat: totals, \
+             latency quantiles, per-stage histograms) to $(docv) while serving. Each \
+             write is atomic (temp file + rename), so scrapers never read a torn \
+             snapshot; one initial and one final snapshot bracket the run.")
+  in
+  let metrics_interval =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "metrics-interval" ] ~docv:"S"
+          ~doc:"Seconds between heartbeat snapshots (with --metrics-file; default 1.0).")
+  in
+  let run socket cache_size queue_size batch_size jobs stats trace report metrics_file
+      metrics_interval =
     let jobs = resolve_jobs jobs in
     setup_obs stats trace;
     let config =
@@ -435,11 +454,56 @@ let serve_cmd =
     (* a client hanging up mid-response must surface as Sys_error
        (connection over), not kill the process *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* the serve loop and the heartbeat domain share one caller-owned
+       stats record; its counts and histogram cells are safe to read
+       live (benign races, exact after the loop returns) *)
+    let shared_st = Serve.fresh_stats () in
+    let hb_stop = Atomic.make false in
+    let heartbeat =
+      match metrics_file with
+      | None -> None
+      | Some path ->
+          let interval = Float.max 0.05 metrics_interval in
+          Some
+            (Domain.spawn (fun () ->
+                 let write () =
+                   try Serve.write_heartbeat ~jobs ~path shared_st
+                   with Sys_error _ -> ()
+                 in
+                 write ();
+                 (* sleep in short slices so shutdown is prompt *)
+                 let rec wait left =
+                   if not (Atomic.get hb_stop) then
+                     if left <= 0. then begin
+                       write ();
+                       wait interval
+                     end
+                     else begin
+                       let dt = Float.min left 0.1 in
+                       Unix.sleepf dt;
+                       wait (left -. dt)
+                     end
+                 in
+                 wait interval))
+    in
     let st =
-      with_jobs jobs (fun pool ->
-          match socket with
-          | Some path -> Serve.serve_socket ?pool ~config path
-          | None -> Serve.serve_channels ?pool ~config stdin stdout)
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set hb_stop true;
+          match heartbeat with
+          | Some d ->
+              Domain.join d;
+              (* final snapshot, after the loop: exact totals *)
+              (match metrics_file with
+              | Some path -> (
+                  try Serve.write_heartbeat ~jobs ~path shared_st with Sys_error _ -> ())
+              | None -> ())
+          | None -> ())
+        (fun () ->
+          with_jobs jobs (fun pool ->
+              match socket with
+              | Some path -> Serve.serve_socket ?pool ~config ~stats:shared_st path
+              | None -> Serve.serve_channels ?pool ~config ~stats:shared_st stdin stdout))
     in
     Printf.eprintf "%s\n" (Serve.summary st);
     (match report with
@@ -454,9 +518,11 @@ let serve_cmd =
          "Serve optimization requests (qon instances, line-delimited protocol) over \
           stdin/stdout or a Unix socket, with a sharded plan cache and admission \
           control. With --jobs N > 1 requests are pipelined across N-1 worker domains \
-          behind a bounded queue; responses stay byte-identical to --jobs 1.")
+          behind a bounded queue; responses stay byte-identical to --jobs 1. In-band \
+          #stats/#health/#hist control requests and --metrics-file heartbeats expose \
+          live latency histograms.")
     Term.(const run $ socket $ cache_size $ queue_size $ batch_size $ jobs_term
-          $ stats_term $ trace_term $ report_term)
+          $ stats_term $ trace_term $ report_term $ metrics_file $ metrics_interval)
 
 (* ---------------- fuzz ---------------- *)
 

@@ -479,6 +479,63 @@ module Checks (D : DOMAIN) = struct
         Fail "concurrent serve stats differ from sequential"
       else Pass
     end
+
+  (* In-band #stats/#health/#hist control requests must not perturb
+     normal traffic: stripping the control blocks from a run with
+     controls interleaved must reproduce the control-free run's bytes
+     and stats, and each control body must be a valid schema-versioned
+     snapshot. *)
+  let served_control (inst : I.t) =
+    if inst.I.n > exact_cap then Skip "n > exact cap"
+    else begin
+      let payload = D.dump inst in
+      let payload =
+        if payload <> "" && payload.[String.length payload - 1] = '\n' then payload
+        else payload ^ "\n"
+      in
+      let req id algo =
+        Printf.sprintf "request id=%s algo=%s domain=%s\n%send\n" id algo D.name payload
+      in
+      let plain_in = req "a" "dp" ^ req "b" "dp" ^ "junk\n" ^ req "c" "greedy" in
+      let ctl_in =
+        "#stats\n" ^ req "a" "dp" ^ "#hist latency\n" ^ req "b" "dp" ^ "junk\n"
+        ^ "#health\n" ^ req "c" "greedy" ^ "#stats\n"
+      in
+      let plain_out, plain_st = Serve.serve_string plain_in in
+      let ctl_out, ctl_st = Serve.serve_string ctl_in in
+      let stripped, ctls = Serve.split_control ctl_out in
+      let key (st : Serve.stats) =
+        (st.requests, st.ok, st.errors, st.cache_hits, st.cache_misses, st.fallbacks)
+      in
+      let ok_header h =
+        match String.split_on_char ' ' h with
+        | "control" :: _ :: "status=ok" :: _ -> true
+        | _ -> false
+      in
+      let bad_ctl =
+        List.find_map
+          (fun (header, body) ->
+            if not (ok_header header) then
+              Some (Printf.sprintf "control answered %S" header)
+            else
+              match Obs.Json.of_string body with
+              | Error msg -> Some (Printf.sprintf "control body is not JSON: %s" msg)
+              | Ok j -> (
+                  match (Obs.Json.member "schema_version" j, Obs.Json.member "kind" j) with
+                  | Some (Obs.Json.Int 1), Some (Obs.Json.Str "qopt-serve-control") -> None
+                  | _ -> Some (Printf.sprintf "control body missing envelope: %S" body)))
+          ctls
+      in
+      if stripped <> plain_out then
+        Fail
+          (Printf.sprintf "non-control bytes perturbed by controls: %S <> %S" stripped
+             plain_out)
+      else if key ctl_st <> key plain_st then
+        Fail "stats perturbed by control requests"
+      else if List.length ctls <> 4 then
+        Fail (Printf.sprintf "expected 4 control blocks, got %d" (List.length ctls))
+      else match bad_ctl with Some m -> Fail m | None -> Pass
+    end
 end
 
 module Dom_rat = struct
@@ -545,6 +602,7 @@ let oracles =
     };
     per_domain "oneshot-vs-served" CR.oneshot_vs_served CL.oneshot_vs_served;
     per_domain "served-seq-vs-par" CR.served_seq_vs_par CL.served_seq_vs_par;
+    per_domain "served-control" CR.served_control CL.served_control;
     per_domain "relabel" CR.relabel CL.relabel;
     per_domain "io-roundtrip" CR.io_roundtrip CL.io_roundtrip;
     per_domain "scale-monotone" CR.scale_monotone CL.scale_monotone;

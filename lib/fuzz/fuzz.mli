@@ -51,7 +51,11 @@ val oracles : oracle list
     cartesian-free one), [ik-tree] (Ibaraki–Kameda optimal on trees),
     [rat-vs-log] (cost-domain agreement within tolerance, rational
     cases only), [oneshot-vs-served] (plan line through [qopt serve]
-    byte-identical to the one-shot render), [relabel] (optimum
+    byte-identical to the one-shot render), [served-seq-vs-par]
+    (concurrent serve output byte-identical to sequential),
+    [served-control] (in-band [#stats]/[#health]/[#hist] requests
+    answered with valid schema-versioned snapshots without perturbing
+    non-control bytes or stats), [relabel] (optimum
     invariant under vertex permutation), [io-roundtrip] (dump → parse →
     dump byte-identity), [scale-monotone] (optimum does not decrease
     when all sizes and access costs scale up), [heuristic-bound]

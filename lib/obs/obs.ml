@@ -301,11 +301,27 @@ let locked f =
   Mutex.lock reg_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock reg_mutex) f
 
+(* Counters, gauges and histograms share one namespace: snapshots and
+   the Prometheus exposition key entries by name alone, so a name
+   registered under two kinds would produce ambiguous rows. [kinds]
+   records the kind that first claimed each name; a cross-kind
+   re-registration is a hard [Invalid_argument]. Same-kind
+   re-registration stays idempotent. Must be called under [reg_mutex]. *)
+let kinds : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let claim_name ~kind ~fn name =
+  match Hashtbl.find_opt kinds name with
+  | Some k when k <> kind ->
+      invalid_arg (Printf.sprintf "%s: %S is already registered as a %s" fn name k)
+  | Some _ -> ()
+  | None -> Hashtbl.add kinds name kind
+
 let counter name =
   locked (fun () ->
       match Hashtbl.find_opt counters name with
       | Some c -> c
       | None ->
+          claim_name ~kind:"counter" ~fn:"Obs.counter" name;
           (* The DLS init runs once per (counter, domain); it registers
              the fresh cell so snapshots can find it. The init fires at
              [Domain.DLS.get] time (never here, where the registry lock
@@ -334,11 +350,267 @@ let gauge name =
       match Hashtbl.find_opt gauges name with
       | Some g -> g
       | None ->
+          claim_name ~kind:"gauge" ~fn:"Obs.gauge" name;
           let g = { g_name = name; value = Atomic.make 0 } in
           Hashtbl.add gauges name g;
           g)
 
 let set g v = Atomic.set g.value v
+
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  (* HDR-style log-linear bucketing over non-negative ints: values
+     below [sub_count] land in exact unit buckets; each power-of-two
+     range [2^m, 2^(m+1)) above is split into [sub_half] equal linear
+     sub-buckets, so the relative bucket width never exceeds
+     2^(1-sub_bits) = 6.25% while the whole 62-bit positive range fits
+     in [bucket_count] integer slots. Recording follows the counter
+     cell discipline (per-domain DLS cells, lock-free after first
+     touch, benign racy snapshots that are exact once the writing
+     domains joined); bucket counts are integers, so merged snapshots
+     are deterministic regardless of merge order. *)
+
+  let sub_bits = 5
+  let sub_count = 1 lsl sub_bits
+  let sub_half = sub_count / 2
+
+  (* The top value bit of a 63-bit OCaml int is bit 61; buckets cover
+     msb positions sub_bits..61, half of each range linearly. *)
+  let bucket_count = sub_count + ((62 - sub_bits) * sub_half)
+
+  let log2_floor v =
+    (* floor(log2 v) for v > 0, by shift cascade (no stdlib clz). *)
+    let m = ref 0 and v = ref v in
+    if !v lsr 32 <> 0 then (m := !m + 32; v := !v lsr 32);
+    if !v lsr 16 <> 0 then (m := !m + 16; v := !v lsr 16);
+    if !v lsr 8 <> 0 then (m := !m + 8; v := !v lsr 8);
+    if !v lsr 4 <> 0 then (m := !m + 4; v := !v lsr 4);
+    if !v lsr 2 <> 0 then (m := !m + 2; v := !v lsr 2);
+    if !v lsr 1 <> 0 then m := !m + 1;
+    !m
+
+  let bucket_of v =
+    if v < sub_count then (if v < 0 then 0 else v)
+    else
+      let m = log2_floor v in
+      let idx =
+        sub_count + ((m - sub_bits) * sub_half)
+        + ((v lsr (m - sub_bits + 1)) - sub_half)
+      in
+      if idx >= bucket_count then bucket_count - 1 else idx
+
+  let bucket_bounds i =
+    if i < 0 || i >= bucket_count then
+      invalid_arg (Printf.sprintf "Obs.Histogram.bucket_bounds: %d" i);
+    if i < sub_count then (i, i)
+    else
+      let j = i - sub_count in
+      let m = sub_bits + (j / sub_half) in
+      let off = j mod sub_half in
+      let w = 1 lsl (m - sub_bits + 1) in
+      let lo = (sub_half + off) * w in
+      if i = bucket_count - 1 then (lo, max_int) else (lo, lo + w - 1)
+
+  let width_at v =
+    let i = bucket_of v in
+    if i < sub_count then 1
+    else 1 lsl (sub_bits + ((i - sub_count) / sub_half) - sub_bits + 1)
+
+  type hcell = {
+    counts : int array;
+    mutable hc_n : int;
+    mutable hc_sum : int;
+    mutable hc_min : int;
+    mutable hc_max : int;
+  }
+
+  let fresh_cell () =
+    { counts = Array.make bucket_count 0; hc_n = 0; hc_sum = 0;
+      hc_min = max_int; hc_max = min_int }
+
+  let clear_cell c =
+    Array.fill c.counts 0 bucket_count 0;
+    c.hc_n <- 0;
+    c.hc_sum <- 0;
+    c.hc_min <- max_int;
+    c.hc_max <- min_int
+
+  type t = { h_key : hcell Domain.DLS.key; h_cells : hcell list ref }
+
+  let create () =
+    let h_cells = ref [] in
+    let h_key =
+      Domain.DLS.new_key (fun () ->
+          let cell = fresh_cell () in
+          locked (fun () -> h_cells := cell :: !h_cells);
+          cell)
+    in
+    { h_key; h_cells }
+
+  let record h v =
+    let v = if v < 0 then 0 else v in
+    let c = Domain.DLS.get h.h_key in
+    let i = bucket_of v in
+    c.counts.(i) <- c.counts.(i) + 1;
+    c.hc_n <- c.hc_n + 1;
+    c.hc_sum <- c.hc_sum + v;
+    if v < c.hc_min then c.hc_min <- v;
+    if v > c.hc_max then c.hc_max <- v
+
+  type snap = {
+    count : int;
+    sum : int;
+    min_value : int;
+    max_value : int;
+    buckets : int array; (* dense, length [bucket_count]; [||] iff empty *)
+  }
+
+  let empty = { count = 0; sum = 0; min_value = 0; max_value = 0; buckets = [||] }
+
+  let snap h =
+    let cells = locked (fun () -> !(h.h_cells)) in
+    if cells = [] then empty
+    else begin
+      let buckets = Array.make bucket_count 0 in
+      let sum = ref 0 and mn = ref max_int and mx = ref min_int in
+      List.iter
+        (fun c ->
+          for i = 0 to bucket_count - 1 do
+            buckets.(i) <- buckets.(i) + c.counts.(i)
+          done;
+          sum := !sum + c.hc_sum;
+          if c.hc_min < !mn then mn := c.hc_min;
+          if c.hc_max > !mx then mx := c.hc_max)
+        cells;
+      (* Derive [count] from the bucket array itself so quantile ranks
+         stay internally consistent even under racy mid-run reads. *)
+      let count = Array.fold_left ( + ) 0 buckets in
+      if count = 0 then empty
+      else { count; sum = !sum; min_value = !mn; max_value = !mx; buckets }
+    end
+
+  let merge a b =
+    if a.count = 0 then b
+    else if b.count = 0 then a
+    else
+      {
+        count = a.count + b.count;
+        sum = a.sum + b.sum;
+        min_value = min a.min_value b.min_value;
+        max_value = max a.max_value b.max_value;
+        buckets = Array.init bucket_count (fun i -> a.buckets.(i) + b.buckets.(i));
+      }
+
+  let diff before after =
+    if before.count = 0 then after
+    else begin
+      let count = after.count - before.count in
+      if count <= 0 then empty
+      else
+        (* min/max of only the delta are not recoverable from bucket
+           counts; keep the after-snapshot's observed range (a
+           superset of the delta's). *)
+        {
+          count;
+          sum = after.sum - before.sum;
+          min_value = after.min_value;
+          max_value = after.max_value;
+          buckets = Array.init bucket_count (fun i -> after.buckets.(i) - before.buckets.(i));
+        }
+    end
+
+  let quantile s q =
+    if s.count = 0 then 0
+    else begin
+      let q = Float.max 0.0 (Float.min 100.0 q) in
+      (* Same nearest-rank formula as a sorted-array percentile over
+         [count] samples; the rank's sample and the returned
+         representative land in the same bucket, so the two differ by
+         less than one bucket width. *)
+      let rank = int_of_float (Float.round (q /. 100.0 *. float_of_int (s.count - 1))) in
+      let rank = max 0 (min (s.count - 1) rank) in
+      (* the extreme ranks are tracked exactly — answer them from the
+         recorded extrema rather than a bucket representative *)
+      if rank = 0 then s.min_value
+      else if rank = s.count - 1 then s.max_value
+      else
+      let rec find i cum =
+        if i >= bucket_count then s.max_value
+        else
+          let cum = cum + s.buckets.(i) in
+          if rank < cum then begin
+            let lo, hi = bucket_bounds i in
+            let rep = if hi = max_int then lo else lo + ((hi - lo) / 2) in
+            min (max rep s.min_value) s.max_value
+          end
+          else find (i + 1) cum
+      in
+      find 0 0
+    end
+
+  let to_json s =
+    let buckets = ref [] in
+    if s.count > 0 then
+      for i = bucket_count - 1 downto 0 do
+        if s.buckets.(i) <> 0 then
+          let lo, hi = bucket_bounds i in
+          buckets :=
+            Json.Obj [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int s.buckets.(i)) ]
+            :: !buckets
+      done;
+    Json.Obj
+      [
+        ("count", Json.Int s.count);
+        ("sum", Json.Int s.sum);
+        ("min", Json.Int s.min_value);
+        ("max", Json.Int s.max_value);
+        ("p50", Json.Int (quantile s 50.0));
+        ("p95", Json.Int (quantile s 95.0));
+        ("p99", Json.Int (quantile s 99.0));
+        ("p999", Json.Int (quantile s 99.9));
+        ("buckets", Json.Arr !buckets);
+      ]
+
+  let sanitize name =
+    String.map
+      (fun ch -> match ch with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ch | _ -> '_')
+      name
+
+  let prometheus ~name s =
+    let n = sanitize name in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+    let cum = ref 0 in
+    if s.count > 0 then
+      for i = 0 to bucket_count - 1 do
+        if s.buckets.(i) <> 0 then begin
+          cum := !cum + s.buckets.(i);
+          let _, hi = bucket_bounds i in
+          if hi <> max_int then
+            Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n hi !cum)
+        end
+      done;
+    Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n s.count);
+    Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n s.sum);
+    Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n s.count);
+    Buffer.contents buf
+end
+
+let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  (* [Histogram.create] only builds the DLS key (its init — the part
+     that needs the registry lock — runs later, at first record), so
+     calling it with [reg_mutex] held is safe. *)
+  locked (fun () ->
+      match Hashtbl.find_opt hists name with
+      | Some h -> h
+      | None ->
+          claim_name ~kind:"histogram" ~fn:"Obs.histogram" name;
+          let h = Histogram.create () in
+          Hashtbl.add hists name h;
+          h)
 
 type snapshot = (string * int) list
 
@@ -369,6 +641,14 @@ let diff before after =
       let d = v_after - v_before in
       if d = 0 then None else Some (name, d))
     after
+
+let histograms () =
+  (* Collect handles under the lock, snap outside it ([Histogram.snap]
+     takes the registry lock itself). *)
+  let hs = locked (fun () -> Hashtbl.fold (fun name h acc -> (name, h) :: acc) hists []) in
+  List.map
+    (fun (name, h) -> (name, Histogram.snap h))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) hs)
 
 (* ------------------------------------------------------------------ *)
 
@@ -459,6 +739,9 @@ let reset () =
   locked (fun () ->
       Hashtbl.iter (fun _ c -> List.iter (fun cell -> cell.v <- 0) !(c.cells)) counters;
       Hashtbl.iter (fun _ g -> Atomic.set g.value 0) gauges;
+      Hashtbl.iter
+        (fun _ (h : Histogram.t) -> List.iter Histogram.clear_cell !(h.Histogram.h_cells))
+        hists;
       List.iter
         (fun st ->
           st.stack <- [];
@@ -476,6 +759,20 @@ let render_stats () =
     List.iter
       (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-44s %14d\n" name v))
       snap;
+  let hs = List.filter (fun (_, s) -> s.Histogram.count > 0) (histograms ()) in
+  if hs <> [] then begin
+    Buffer.add_string buf "\n== obs: histograms ==\n";
+    List.iter
+      (fun (name, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s n %10d  p50 %12d  p95 %12d  p99 %12d  max %12d\n" name
+             s.Histogram.count
+             (Histogram.quantile s 50.0)
+             (Histogram.quantile s 95.0)
+             (Histogram.quantile s 99.0)
+             s.Histogram.max_value))
+      hs
+  end;
   let roots = spans () in
   if roots <> [] then begin
     Buffer.add_string buf "\n== obs: spans (wall clock, GC deltas) ==\n";
@@ -512,11 +809,19 @@ let rec span_json node =
 let counters_json snap =
   Json.Obj (List.filter_map (fun (k, v) -> if v <> 0 then Some (k, Json.Int v) else None) snap)
 
+let histograms_json () =
+  Json.Obj
+    (List.filter_map
+       (fun (name, s) ->
+         if s.Histogram.count = 0 then None else Some (name, Histogram.to_json s))
+       (histograms ()))
+
 let stats_json () =
   Json.Obj
     [
       ("schema_version", Json.Int 1);
       ("counters", counters_json (snapshot ()));
+      ("histograms", histograms_json ());
       ("spans", Json.Arr (List.map span_json (spans ())));
     ]
 
@@ -528,6 +833,7 @@ let run_report ~kind ?(extra = []) () =
     ((("schema_version", Json.Int 1) :: ("kind", Json.Str kind) :: extra)
     @ [
         ("counters", counters_json (snapshot ()));
+        ("histograms", histograms_json ());
         ("spans", Json.Arr (List.map span_json (spans ())));
       ])
 
@@ -585,3 +891,25 @@ let write_trace path =
   Json.write_file path
     (Json.Obj
        [ ("traceEvents", Json.Arr (List.rev !events)); ("displayTimeUnit", Json.Str "ms") ])
+
+let prometheus () =
+  let buf = Buffer.create 1024 in
+  let cs =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun name c acc ->
+            (name, List.fold_left (fun s cell -> s + cell.v) 0 !(c.cells)) :: acc)
+          counters [])
+  in
+  let gs = locked (fun () -> Hashtbl.fold (fun name g acc -> (name, Atomic.get g.value) :: acc) gauges []) in
+  let emit kind (name, v) =
+    let n = Histogram.sanitize name in
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n%s %d\n" n kind n v)
+  in
+  List.iter (emit "counter") (List.sort by_name cs);
+  List.iter (emit "gauge") (List.sort by_name gs);
+  List.iter
+    (fun (name, s) ->
+      if s.Histogram.count > 0 then Buffer.add_string buf (Histogram.prometheus ~name s))
+    (histograms ());
+  Buffer.contents buf

@@ -14,10 +14,12 @@
       time; spans form a per-domain tree, so a parallel run exports one
       Chrome-trace process per domain.
 
-    Counter/gauge registration is idempotent: [counter name] returns
-    the existing counter when one is already registered under [name],
-    so functor bodies (e.g. [Opt.Make]) can be applied repeatedly while
-    sharing one set of metrics. *)
+    Counter/gauge/histogram registration is idempotent: [counter name]
+    returns the existing counter when one is already registered under
+    [name], so functor bodies (e.g. [Opt.Make]) can be applied
+    repeatedly while sharing one set of metrics. The three kinds share
+    one namespace: registering a name under a different kind than the
+    one that first claimed it raises [Invalid_argument]. *)
 
 module Json : sig
   (** A minimal JSON tree with a stable printer (object keys are
@@ -79,10 +81,106 @@ type gauge
 
 val gauge : string -> gauge
 (** Register (or look up) a gauge: a last-value-wins integer (e.g. a
-    table occupancy). Gauges share the counter namespace in snapshots —
-    keep the names distinct. *)
+    table occupancy). Gauges share the counter/histogram namespace in
+    snapshots and expositions; registering a gauge under a name already
+    claimed by another metric kind (or vice versa) raises
+    [Invalid_argument] — both directions are hard errors, not doc
+    warnings. *)
 
 val set : gauge -> int -> unit
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  (** Lock-free mergeable latency histograms: HDR-style log-linear
+      bucketing over non-negative integers (unit buckets below
+      [2^sub_bits], then [2^(sub_bits-1)] linear sub-buckets per
+      power-of-two range, ≤ 6.25% relative bucket width), recorded on
+      per-domain DLS cells exactly like counters — no lock, no
+      allocation after the first touch per domain. Bucket counts are
+      deterministic integers, so cross-domain merges commute and a
+      parallel run's snapshot is independent of merge order. *)
+
+  val sub_bits : int
+  val bucket_count : int
+  (** Total number of buckets covering [0 .. max_int]. *)
+
+  val bucket_of : int -> int
+  (** Bucket index for a value (negatives clamp to bucket 0). *)
+
+  val bucket_bounds : int -> int * int
+  (** [(lo, hi)] inclusive value range of a bucket index; raises
+      [Invalid_argument] out of range. The top bucket's [hi] is
+      [max_int]. *)
+
+  val width_at : int -> int
+  (** Nominal width of the bucket containing a value — the agreement
+      tolerance between histogram quantiles and exact sorted-array
+      percentiles. *)
+
+  type t
+
+  val create : unit -> t
+  (** An unregistered histogram (no name, not in snapshots) — e.g. one
+      serve session's latency series. Use {!Obs.histogram} for
+      registered ones. *)
+
+  val record : t -> int -> unit
+  (** Record one sample on this domain's cell. Negatives clamp to 0. *)
+
+  type snap = {
+    count : int;
+    sum : int;
+    min_value : int;
+    max_value : int;
+    buckets : int array;  (** dense, [bucket_count] long; [[||]] iff empty *)
+  }
+
+  val empty : snap
+
+  val snap : t -> snap
+  (** Aggregate every domain's cells. Mid-run reads are benign races
+      (like counter snapshots); exact once the writing domains have
+      been joined. *)
+
+  val merge : snap -> snap -> snap
+  (** Element-wise sum; commutative and associative. *)
+
+  val diff : snap -> snap -> snap
+  (** [diff before after]: the delta window. [min_value]/[max_value]
+      are the after-snapshot's (the delta's own extrema are not
+      recoverable from bucket counts). *)
+
+  val quantile : snap -> float -> int
+  (** [quantile s q] for [q] in [0..100] (clamped): the same
+      nearest-rank formula as an exact sorted-array percentile —
+      [rank = round (q/100 * (count-1))] — answered from cumulative
+      bucket counts. The result is the rank's bucket representative
+      clamped to [[min_value, max_value]], so it differs from the exact
+      sorted-array percentile by less than one bucket width
+      ({!width_at}); the extreme ranks (first and last sample) are
+      answered exactly from the recorded extrema. Returns 0 on an
+      empty snapshot. *)
+
+  val to_json : snap -> Json.t
+  (** [{count; sum; min; max; p50; p95; p99; p999; buckets}] with only
+      non-zero buckets listed as [{lo; hi; count}]. *)
+
+  val prometheus : name:string -> snap -> string
+  (** Prometheus text exposition: cumulative [_bucket{le="..."}] lines
+      for non-empty buckets plus [le="+Inf"], then [_sum] and [_count].
+      Non-[[a-zA-Z0-9_]] name characters become [_]. *)
+end
+
+val histogram : string -> Histogram.t
+(** Register (or look up) the histogram named [name]; included in
+    {!histograms}, {!stats_json}/{!run_report} and {!prometheus}.
+    Raises [Invalid_argument] if [name] is already a counter or
+    gauge. *)
+
+val histograms : unit -> (string * Histogram.snap) list
+(** Name-sorted snapshots of every registered histogram (empty ones
+    included). *)
 
 (** {1 Snapshots} *)
 
@@ -133,19 +231,29 @@ val spans : unit -> span_node list
 (** {1 Exporters} *)
 
 val render_stats : unit -> string
-(** Human-readable report: non-zero counters/gauges (sorted), then the
-    span forest with per-span wall-clock and GC deltas. *)
+(** Human-readable report: non-zero counters/gauges (sorted), then
+    non-empty histograms (count + p50/p95/p99/max), then the span
+    forest with per-span wall-clock and GC deltas. *)
 
 val stats_json : unit -> Json.t
 (** The same report as a schema-versioned JSON object:
-    [{schema_version; counters; spans}]. *)
+    [{schema_version; counters; histograms; spans}] (histograms with
+    zero samples omitted). *)
 
 val run_report : kind:string -> ?extra:(string * Json.t) list -> unit -> Json.t
 (** Schema-versioned report envelope shared by the JSON report writers:
-    [{schema_version = 1; kind; ...extra; counters; spans}]. Callers
-    put their domain-specific fields (totals, workload rows) in
-    [extra]; the current counter snapshot and span forest are appended
-    so every report is self-describing. *)
+    [{schema_version = 1; kind; ...extra; counters; histograms;
+    spans}]. Callers put their domain-specific fields (totals, workload
+    rows) in [extra]; the current counter snapshot, non-empty
+    registered histograms and span forest are appended so every report
+    is self-describing. *)
+
+val prometheus : unit -> string
+(** Prometheus-style text exposition of every registered metric:
+    [# TYPE] lines plus samples for all counters and gauges
+    (name-sorted, ['.'] and other non-identifier characters mapped to
+    ['_']), then {!Histogram.prometheus} blocks for each non-empty
+    registered histogram. *)
 
 val write_trace : string -> unit
 (** Write the span forest as Chrome [trace_event] JSON ([B]/[E] event
@@ -153,5 +261,7 @@ val write_trace : string -> unit
     {{:https://ui.perfetto.dev}Perfetto}. *)
 
 val reset : unit -> unit
-(** Zero every counter/gauge and drop all recorded spans. Test helper —
-    only call while no other domain is running instrumented code. *)
+(** Zero every counter/gauge/histogram cell and drop all recorded
+    spans. The kind registry is {e not} cleared — a name keeps its
+    first-claimed kind for the process lifetime. Test helper — only
+    call while no other domain is running instrumented code. *)

@@ -54,6 +54,7 @@ type config = {
   batch_size : int;
   rat_transition_ns : float;
   log_transition_ns : float;
+  record_exact_latencies : bool;
 }
 
 let default_config =
@@ -64,7 +65,21 @@ let default_config =
     batch_size = 1;
     rat_transition_ns = 100.;
     log_transition_ns = 10.;
+    record_exact_latencies = false;
   }
+
+(* Per-stage latency series (integer nanoseconds). Each pipeline stage
+   a request flows through — queue wait, prepare, cache pass, solve,
+   commit — gets its own histogram, plus [latency] for the end-to-end
+   enqueue-to-commit time; #hist and the heartbeat expose them by the
+   names in [latency_series]. *)
+type stage_hists = {
+  h_queue_wait : Obs.Histogram.t;
+  h_prepare : Obs.Histogram.t;
+  h_cache : Obs.Histogram.t;
+  h_solve : Obs.Histogram.t;
+  h_commit : Obs.Histogram.t;
+}
 
 type stats = {
   mutable requests : int;
@@ -77,7 +92,9 @@ type stats = {
   mutable fallbacks : int;
   mutable seconds : float;
   mutable interrupted : bool;
-  mutable latencies_ms : float array;
+  latency : Obs.Histogram.t;
+  stages : stage_hists;
+  mutable exact_latencies_ms : float list;
 }
 
 let fresh_stats () =
@@ -92,8 +109,31 @@ let fresh_stats () =
     fallbacks = 0;
     seconds = 0.;
     interrupted = false;
-    latencies_ms = [||];
+    latency = Obs.Histogram.create ();
+    stages =
+      {
+        h_queue_wait = Obs.Histogram.create ();
+        h_prepare = Obs.Histogram.create ();
+        h_cache = Obs.Histogram.create ();
+        h_solve = Obs.Histogram.create ();
+        h_commit = Obs.Histogram.create ();
+      };
+    exact_latencies_ms = [];
   }
+
+let latency_series st =
+  [
+    ("latency", st.latency);
+    ("queue_wait", st.stages.h_queue_wait);
+    ("prepare", st.stages.h_prepare);
+    ("cache", st.stages.h_cache);
+    ("solve", st.stages.h_solve);
+    ("commit", st.stages.h_commit);
+  ]
+
+let hit_rate st =
+  let lookups = st.cache_hits + st.cache_misses in
+  if lookups = 0 then 0. else float_of_int st.cache_hits /. float_of_int lookups
 
 type io = {
   next_line : unit -> string option;
@@ -112,8 +152,15 @@ let c_misses = Obs.counter "serve.cache.misses"
 let c_evictions = Obs.counter "serve.cache.evictions"
 let c_fallbacks = Obs.counter "serve.fallbacks"
 let c_queue_full = Obs.counter "serve.queue.full"
+let c_control = Obs.counter "serve.control.requests"
 let g_entries = Obs.gauge "serve.cache.entries"
 let g_queue = Obs.gauge "serve.queue.depth"
+
+(* The registered (process-global) latency histogram: every session's
+   end-to-end request latency, in integer nanoseconds, visible in
+   `--stats`, run reports and [Obs.prometheus]. Per-session series live
+   in [stats.latency]/[stats.stages]. *)
+let h_latency = Obs.histogram "serve.latency_ns"
 
 (* ---------------- plan rendering ---------------- *)
 
@@ -683,7 +730,6 @@ type pipeline = {
   w_buf : (int, string array) Hashtbl.t;  (* rendered responses per batch *)
   mutable w_next : int;
   mutable w_dead : bool;  (* transport dropped: discard further output *)
-  mutable w_lats : float list;  (* one sample per request, ms *)
 }
 
 let make_pipeline ~cfg ~cache ~st io =
@@ -700,7 +746,6 @@ let make_pipeline ~cfg ~cache ~st io =
     w_buf = Hashtbl.create 16;
     w_next = 0;
     w_dead = false;
-    w_lats = [];
   }
 
 let await_turn p i =
@@ -722,12 +767,23 @@ let advance_turn p =
    (responses discarded), matching the sequential loop's "connection is
    over" handling. *)
 let commit p b_idx responses lat_ms =
+  (* One end-to-end sample (enqueue -> commit) per request in the
+     batch. Histogram recording is lock-free on this domain's cells —
+     O(buckets) memory total, unlike the old sorted-array store that
+     appended + re-sorted every batch and grew with the request
+     count. *)
+  let lat_ns = int_of_float (lat_ms *. 1e6) in
+  for _ = 1 to Array.length responses do
+    Obs.Histogram.record p.st.latency lat_ns;
+    Obs.Histogram.record h_latency lat_ns
+  done;
   Mutex.lock p.w_m;
   match
     Hashtbl.replace p.w_buf b_idx responses;
-    for _ = 1 to Array.length responses do
-      p.w_lats <- lat_ms :: p.w_lats
-    done;
+    if p.cfg.record_exact_latencies then
+      for _ = 1 to Array.length responses do
+        p.st.exact_latencies_ms <- lat_ms :: p.st.exact_latencies_ms
+      done;
     let rec drain () =
       match Hashtbl.find_opt p.w_buf p.w_next with
       | None -> ()
@@ -783,7 +839,23 @@ let run_solve eng ~approximate req =
   | Error msg -> Error msg
 
 let process_batch p b =
-  Obs.span "serve.batch" @@ fun () ->
+  let nreq = Array.length b.b_items in
+  let t_start = Unix.gettimeofday () in
+  let ns dt = int_of_float (dt *. 1e9) in
+  let record_each h v = for _ = 1 to nreq do Obs.Histogram.record h v done in
+  (* queue wait: enqueue-to-dequeue, shared by every request in the
+     batch (they were enqueued together) *)
+  record_each p.st.stages.h_queue_wait (ns (t_start -. b.b_t0));
+  (* The span keeps the stable "serve.batch" name when tracing is off
+     (it is free then); when enabled it carries the arrival-ordinal
+     range, so a Chrome trace correlates each request with its
+     queue-wait/prepare/cache/solve/commit stages. *)
+  let label =
+    if Obs.enabled () then
+      Printf.sprintf "serve.batch#%d[%d..%d]" b.b_idx b.b_first (b.b_first + nreq - 1)
+    else "serve.batch"
+  in
+  Obs.span label @@ fun () ->
   let tally = fresh_tally () in
   let note_err code =
     tally.t_req <- tally.t_req + 1;
@@ -792,7 +864,14 @@ let process_batch p b =
   in
   (* phase 1: pure prepare (parallel across batches) *)
   let prepared =
-    Array.mapi (fun i it -> prepare_item p.cfg ~ord:(b.b_first + i) it) b.b_items
+    Obs.span "serve.stage.prepare" @@ fun () ->
+    Array.mapi
+      (fun i it ->
+        let t0 = Unix.gettimeofday () in
+        let r = prepare_item p.cfg ~ord:(b.b_first + i) it in
+        Obs.Histogram.record p.st.stages.h_prepare (ns (Unix.gettimeofday () -. t0));
+        r)
+      b.b_items
   in
   (* phase 2: the cache pass, serialised in arrival order *)
   await_turn p b.b_idx;
@@ -800,62 +879,74 @@ let process_batch p b =
     Fun.protect
       ~finally:(fun () -> advance_turn p)
       (fun () ->
+        Obs.span "serve.stage.cache" @@ fun () ->
         Array.map
-          (function
-            | P_err { id; code; msg } ->
-                note_err code;
-                S_done (error_block ~id ~code msg)
-            | P_task { req; eng; approximate; key } -> (
-                tally.t_req <- tally.t_req + 1;
-                if approximate then tally.t_fb <- tally.t_fb + 1;
-                match Cache.lookup_or_claim p.cache key with
-                | Cache.Hit_ready (body, entry_approx) ->
-                    tally.t_hit <- tally.t_hit + 1;
-                    tally.t_ok <- tally.t_ok + 1;
-                    S_done (ok_block req ~cache_hit:true ~approximate:entry_approx body)
-                | Cache.Hit_pending (entry, shard) ->
-                    tally.t_hit <- tally.t_hit + 1;
-                    S_await { req; eng; approximate; entry; shard }
-                | Cache.Claimed (entry, shard, evicted) ->
-                    tally.t_miss <- tally.t_miss + 1;
-                    tally.t_evict <- tally.t_evict + evicted;
-                    S_solve { req; eng; approximate; claim = Some (key, entry, shard) }
-                | Cache.Uncached ->
-                    tally.t_miss <- tally.t_miss + 1;
-                    S_solve { req; eng; approximate; claim = None }))
+          (fun pr ->
+            let t0 = Unix.gettimeofday () in
+            let s =
+              match pr with
+              | P_err { id; code; msg } ->
+                  note_err code;
+                  S_done (error_block ~id ~code msg)
+              | P_task { req; eng; approximate; key } -> (
+                  tally.t_req <- tally.t_req + 1;
+                  if approximate then tally.t_fb <- tally.t_fb + 1;
+                  match Cache.lookup_or_claim p.cache key with
+                  | Cache.Hit_ready (body, entry_approx) ->
+                      tally.t_hit <- tally.t_hit + 1;
+                      tally.t_ok <- tally.t_ok + 1;
+                      S_done (ok_block req ~cache_hit:true ~approximate:entry_approx body)
+                  | Cache.Hit_pending (entry, shard) ->
+                      tally.t_hit <- tally.t_hit + 1;
+                      S_await { req; eng; approximate; entry; shard }
+                  | Cache.Claimed (entry, shard, evicted) ->
+                      tally.t_miss <- tally.t_miss + 1;
+                      tally.t_evict <- tally.t_evict + evicted;
+                      S_solve { req; eng; approximate; claim = Some (key, entry, shard) }
+                  | Cache.Uncached ->
+                      tally.t_miss <- tally.t_miss + 1;
+                      S_solve { req; eng; approximate; claim = None })
+            in
+            Obs.Histogram.record p.st.stages.h_cache (ns (Unix.gettimeofday () -. t0));
+            s)
           prepared)
   in
   (* phase 3: solves (parallel across batches); fill claims as each
      completes so awaiting requests unblock as early as possible *)
   let responses = Array.make (Array.length steps) "" in
-  Array.iteri
-    (fun i s ->
-      match s with
-      | S_done r -> responses.(i) <- r
-      | S_await _ -> ()
-      | S_solve { req; eng; approximate; claim } -> (
-          match run_solve eng ~approximate req with
-          | Ok body ->
-              (match claim with
-              | Some (_, entry, shard) -> Cache.fill entry shard ~body ~approximate
-              | None -> ());
-              tally.t_ok <- tally.t_ok + 1;
-              responses.(i) <- ok_block req ~cache_hit:false ~approximate body
-          | Error msg ->
-              (match claim with
-              | Some (key, entry, shard) -> Cache.abandon p.cache key entry shard
-              | None -> ());
-              tally.t_err <- tally.t_err + 1;
-              responses.(i) <- error_block ~id:req.rq_id ~code:"solver" msg))
-    steps;
+  (Obs.span "serve.stage.solve" @@ fun () ->
+   Array.iteri
+     (fun i s ->
+       match s with
+       | S_done r -> responses.(i) <- r
+       | S_await _ -> ()
+       | S_solve { req; eng; approximate; claim } -> (
+           let t0 = Unix.gettimeofday () in
+           (match run_solve eng ~approximate req with
+           | Ok body ->
+               (match claim with
+               | Some (_, entry, shard) -> Cache.fill entry shard ~body ~approximate
+               | None -> ());
+               tally.t_ok <- tally.t_ok + 1;
+               responses.(i) <- ok_block req ~cache_hit:false ~approximate body
+           | Error msg ->
+               (match claim with
+               | Some (key, entry, shard) -> Cache.abandon p.cache key entry shard
+               | None -> ());
+               tally.t_err <- tally.t_err + 1;
+               responses.(i) <- error_block ~id:req.rq_id ~code:"solver" msg);
+           Obs.Histogram.record p.st.stages.h_solve (ns (Unix.gettimeofday () -. t0))))
+     steps);
   (* phase 4: resolve coalesced waits (the claimant is in an earlier
-     batch, already past its turnstile, so its fill cannot deadlock) *)
+     batch, already past its turnstile, so its fill cannot deadlock);
+     the wait time counts as that request's solve time *)
   Array.iteri
     (fun i s ->
       match s with
       | S_done _ | S_solve _ -> ()
       | S_await { req; eng; approximate; entry; shard } -> (
-          match Cache.await entry shard with
+          let t0 = Unix.gettimeofday () in
+          (match Cache.await entry shard with
           | Cache.Ready { body; approximate = entry_approx } ->
               tally.t_ok <- tally.t_ok + 1;
               responses.(i) <- ok_block req ~cache_hit:true ~approximate:entry_approx body
@@ -867,10 +958,14 @@ let process_batch p b =
                   responses.(i) <- ok_block req ~cache_hit:false ~approximate body
               | Error msg ->
                   tally.t_err <- tally.t_err + 1;
-                  responses.(i) <- error_block ~id:req.rq_id ~code:"solver" msg)))
+                  responses.(i) <- error_block ~id:req.rq_id ~code:"solver" msg));
+          Obs.Histogram.record p.st.stages.h_solve (ns (Unix.gettimeofday () -. t0))))
     steps;
   apply_tally p tally;
-  commit p b.b_idx responses ((Unix.gettimeofday () -. b.b_t0) *. 1e3)
+  let t_commit = Unix.gettimeofday () in
+  Obs.span "serve.stage.commit" (fun () ->
+      commit p b.b_idx responses ((t_commit -. b.b_t0) *. 1e3));
+  record_each p.st.stages.h_commit (ns (Unix.gettimeofday () -. t_commit))
 
 (* Catch-all wrapper: a bug in batch processing must not wedge the
    turnstile or the commit order, so on an unexpected exception the
@@ -926,6 +1021,157 @@ let read_payload io =
   in
   go ()
 
+(* ---------------- in-band introspection ----------------
+
+   Control requests ride on the comment syntax: exactly [#stats],
+   [#health] and [#hist NAME] are answered in-band with a one-line
+   schema-versioned JSON snapshot wrapped in a
+   "control <name> status=ok|error ... / end" block; every other
+   #-line stays a comment (so existing workloads are unaffected).
+   Controls are answered by the reader itself, under the writer lock,
+   so they never enter the batching pipeline: they are not counted in
+   [stats.requests], they do not perturb batch boundaries, ordinals or
+   cache state, and non-control response bytes stay identical at any
+   --jobs. A control answer is emitted at the reader's current point
+   in the stream — batches still in flight behind it appear in the
+   snapshot only once committed. *)
+
+type control = C_stats | C_health | C_hist of string
+
+let control_request line =
+  if line = "#stats" then Some C_stats
+  else if line = "#health" then Some C_health
+  else if String.length line > 6 && String.sub line 0 6 = "#hist " then
+    Some (C_hist (String.trim (String.sub line 6 (String.length line - 6))))
+  else None
+
+let control_schema_version = 1
+
+let control_fields control rest =
+  Obs.Json.Obj
+    (("schema_version", Obs.Json.Int control_schema_version)
+    :: ("kind", Obs.Json.Str "qopt-serve-control")
+    :: ("control", Obs.Json.Str control)
+    :: rest)
+
+let totals_json st =
+  let open Obs.Json in
+  let lat = Obs.Histogram.snap st.latency in
+  let q x = float_of_int (Obs.Histogram.quantile lat x) /. 1e6 in
+  Obj
+    [
+      ("requests", Int st.requests);
+      ("ok", Int st.ok);
+      ("errors", Int st.errors);
+      ("rejected", Int st.rejected);
+      ("cache_hits", Int st.cache_hits);
+      ("cache_misses", Int st.cache_misses);
+      ("evictions", Int st.evictions);
+      ("fallbacks", Int st.fallbacks);
+      ("cache_hit_rate", Float (hit_rate st));
+      ( "latency_ms",
+        Obj
+          [
+            ("count", Int lat.Obs.Histogram.count);
+            ("p50", Float (q 50.));
+            ("p95", Float (q 95.));
+            ("p99", Float (q 99.));
+            ("p999", Float (q 99.9));
+            ("max", Float (float_of_int lat.Obs.Histogram.max_value /. 1e6));
+          ] );
+    ]
+
+let control_response st ~accepted ctl =
+  let open Obs.Json in
+  match ctl with
+  | C_stats ->
+      (* [accepted] is the reader-side arrival count — deterministic at
+         any jobs, unlike the committed totals which lag behind the
+         reader in the concurrent pipeline *)
+      block "control stats status=ok"
+        [
+          to_string
+            (control_fields "stats"
+               [ ("accepted", Int accepted); ("totals", totals_json st) ]);
+        ]
+  | C_health ->
+      block "control health status=ok"
+        [
+          to_string
+            (control_fields "health"
+               [
+                 ("status", Str (if st.interrupted then "draining" else "ok"));
+                 ("accepted", Int accepted);
+                 ("completed", Int st.requests);
+                 ("interrupted", Bool st.interrupted);
+               ]);
+        ]
+  | C_hist name -> (
+      match List.assoc_opt name (latency_series st) with
+      | Some h ->
+          block
+            (Printf.sprintf "control hist status=ok name=%s" name)
+            [
+              to_string
+                (control_fields "hist"
+                   [
+                     ("name", Str name);
+                     ("unit", Str "ns");
+                     ("hist", Obs.Histogram.to_json (Obs.Histogram.snap h));
+                   ]);
+            ]
+      | None ->
+          block "control hist status=error"
+            [
+              Printf.sprintf
+                "error: unknown histogram %S (expected %s)" name
+                (String.concat "|" (List.map fst (latency_series st)));
+            ])
+
+(* Controls bypass the reorder buffer but still take the writer lock,
+   so a control block never interleaves with a response block. *)
+let answer_control p ~accepted ctl =
+  Obs.incr c_control;
+  let body = control_response p.st ~accepted ctl in
+  Mutex.lock p.w_m;
+  if not p.w_dead then (
+    try
+      p.io.write body;
+      p.io.flush ()
+    with Sys_error _ -> p.w_dead <- true);
+  Mutex.unlock p.w_m
+
+(* Strip control blocks out of a transcript: returns the non-control
+   bytes (which must be identical to a control-free run) and each
+   control block's (header, body) — the test/bench helper for the
+   "controls do not perturb traffic" invariant. *)
+let split_control out =
+  let lines = String.split_on_char '\n' out in
+  let buf = Buffer.create (String.length out) in
+  let ctls = ref [] in
+  let rec go = function
+    | [] -> ()
+    | [ "" ] -> ()  (* the final newline's empty tail *)
+    | l :: rest ->
+        if String.length l >= 8 && String.sub l 0 8 = "control " then begin
+          let rec take acc = function
+            | "end" :: rest' -> (List.rev acc, rest')
+            | x :: rest' -> take (x :: acc) rest'
+            | [] -> (List.rev acc, [])
+          in
+          let body, rest' = take [] rest in
+          ctls := (l, String.concat "\n" body) :: !ctls;
+          go rest'
+        end
+        else begin
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n';
+          go rest
+        end
+  in
+  go lines;
+  (Buffer.contents buf, List.rev !ctls)
+
 (* One serve session over [io]: read, batch, submit, join. [submit]
    either processes inline (sequential) or pushes into the channel
    (concurrent); [finish] closes the channel and joins the workers. *)
@@ -964,7 +1210,12 @@ let reader_loop p ~batch_size ~submit ~finish =
          | None -> ()
          | Some raw ->
              let line = String.trim raw in
-             if line = "" || line.[0] = '#' then loop ()
+             if line = "" || line.[0] = '#' then begin
+               (match control_request line with
+               | Some ctl -> answer_control p ~accepted:(!next_ord - 1) ctl
+               | None -> ());
+               loop ()
+             end
              else begin
                (match header_tokens line with
                | "request" :: _ as toks ->
@@ -992,13 +1243,6 @@ let reader_loop p ~batch_size ~submit ~finish =
       join_workers ()
   in
   join_workers ()
-
-let merge_latencies p =
-  let fresh = Array.of_list p.w_lats in
-  p.w_lats <- [];
-  let all = Array.append p.st.latencies_ms fresh in
-  Array.sort compare all;
-  p.st.latencies_ms <- all
 
 let serve_session ?pool ~cfg ~cache ~st io =
   let jobs = match pool with Some pl -> Pool.jobs pl | None -> 1 in
@@ -1060,14 +1304,14 @@ let serve_session ?pool ~cfg ~cache ~st io =
               ~submit:(fun b -> process_batch_safe p b)
               ~finish:(fun () -> ()))
   in
-  merge_latencies p;
   st.seconds <- st.seconds +. elapsed;
   st
 
-let serve_io ?pool ?(config = default_config) io =
+let serve_io ?pool ?(config = default_config) ?stats io =
+  let st = match stats with Some st -> st | None -> fresh_stats () in
   serve_session ?pool ~cfg:config
     ~cache:(Cache.create ~shards:config.cache_shards ~capacity:config.cache_capacity ())
-    ~st:(fresh_stats ()) io
+    ~st io
 
 let io_of_channels ic oc =
   {
@@ -1077,7 +1321,8 @@ let io_of_channels ic oc =
     flush = (fun () -> flush oc);
   }
 
-let serve_channels ?pool ?config ic oc = serve_io ?pool ?config (io_of_channels ic oc)
+let serve_channels ?pool ?config ?stats ic oc =
+  serve_io ?pool ?config ?stats (io_of_channels ic oc)
 
 let serve_string ?pool ?config input =
   let out = Buffer.create 1024 in
@@ -1098,9 +1343,9 @@ let serve_string ?pool ?config input =
   in
   (Buffer.contents out, st)
 
-let serve_socket ?pool ?(config = default_config) ?(max_conns = max_int) path =
+let serve_socket ?pool ?(config = default_config) ?stats ?(max_conns = max_int) path =
   let cache = Cache.create ~shards:config.cache_shards ~capacity:config.cache_capacity () in
-  let st = fresh_stats () in
+  let st = match stats with Some st -> st | None -> fresh_stats () in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
@@ -1128,19 +1373,14 @@ let serve_socket ?pool ?(config = default_config) ?(max_conns = max_int) path =
 
 (* ---------------- reporting ---------------- *)
 
-let hit_rate st =
-  let lookups = st.cache_hits + st.cache_misses in
-  if lookups = 0 then 0. else float_of_int st.cache_hits /. float_of_int lookups
-
-(* Nearest-rank percentile over the recorded (sorted) latencies. *)
+(* Nearest-rank percentile (ms) over the latency histogram. Same rank
+   formula as the old sorted-array store, answered from bucket counts:
+   agrees with the exact sorted-array percentile to within one bucket
+   width ([Obs.Histogram.width_at], ≤ 6.25% of the value). *)
 let latency_percentile st q =
-  let n = Array.length st.latencies_ms in
-  if n = 0 then 0.
-  else begin
-    let q = Float.max 0. (Float.min 100. q) in
-    let rank = int_of_float (Float.round (q /. 100. *. float_of_int (n - 1))) in
-    st.latencies_ms.(max 0 (min (n - 1) rank))
-  end
+  let s = Obs.Histogram.snap st.latency in
+  if s.Obs.Histogram.count = 0 then 0.
+  else float_of_int (Obs.Histogram.quantile s q) /. 1e6
 
 let summary st =
   Printf.sprintf
@@ -1149,6 +1389,12 @@ let summary st =
     st.requests st.ok st.errors st.rejected st.cache_hits st.cache_misses st.evictions
     (100. *. hit_rate st) st.fallbacks st.seconds
     (if st.interrupted then " (interrupted)" else "")
+
+let stages_json st =
+  Obs.Json.Obj
+    (List.map
+       (fun (name, h) -> (name, Obs.Histogram.to_json (Obs.Histogram.snap h)))
+       (latency_series st))
 
 let report_json ~jobs st =
   let open Obs.Json in
@@ -1172,18 +1418,42 @@ let report_json ~jobs st =
               ( "latency_ms",
                 Obj
                   [
+                    ("count", Int (Obs.Histogram.snap st.latency).Obs.Histogram.count);
                     ("p50", Float (latency_percentile st 50.));
                     ("p95", Float (latency_percentile st 95.));
                     ("p99", Float (latency_percentile st 99.));
+                    ("p999", Float (latency_percentile st 99.9));
                   ] );
               ("interrupted", Bool st.interrupted);
             ] );
+        ("stages", stages_json st);
       ]
     ()
 
 (* The wall-clock fields a deterministic report comparison must mask;
    shared with tests/CI so the masking stays declarative. *)
 let timing_fields =
-  [ "seconds"; "latency_ms"; "start_s"; "dur_s"; "minor_words"; "major_words" ]
+  [ "seconds"; "latency_ms"; "stages"; "histograms"; "start_s"; "dur_s"; "minor_words";
+    "major_words" ]
 
 let report_json_masked ~jobs st = Obs.Json.mask_fields timing_fields (report_json ~jobs st)
+
+(* ---------------- heartbeat snapshots ---------------- *)
+
+let heartbeat_json ~jobs st =
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int control_schema_version);
+      ("kind", Obs.Json.Str "qopt-serve-heartbeat");
+      ("unix_time", Obs.Json.Float (Unix.gettimeofday ()));
+      ("jobs", Obs.Json.Int jobs);
+      ("interrupted", Obs.Json.Bool st.interrupted);
+      ("totals", totals_json st);
+      ("stages", stages_json st);
+    ]
+
+(* Write-then-rename so a scraper never reads a torn snapshot. *)
+let write_heartbeat ~jobs ~path st =
+  let tmp = path ^ ".tmp" in
+  Obs.Json.write_file tmp (heartbeat_json ~jobs st);
+  Sys.rename tmp path

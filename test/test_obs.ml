@@ -170,6 +170,233 @@ let test_write_trace () =
       | _ -> Alcotest.fail "traceEvents missing")
   | Ok _ -> Alcotest.fail "trace is not an object"
 
+(* ---------------- histograms ---------------- *)
+
+let test_hist_bucketing () =
+  let module H = Obs.Histogram in
+  (* unit buckets below 2^sub_bits *)
+  for v = 0 to (1 lsl H.sub_bits) - 1 do
+    Alcotest.(check int) (Printf.sprintf "unit bucket for %d" v) v (H.bucket_of v);
+    Alcotest.(check bool) "unit bounds" true (H.bucket_bounds v = (v, v))
+  done;
+  Alcotest.(check int) "negatives clamp to bucket 0" 0 (H.bucket_of (-5));
+  Alcotest.(check int) "max_int lands in the top bucket" (H.bucket_count - 1)
+    (H.bucket_of max_int);
+  Alcotest.(check bool) "top bucket hi is max_int" true
+    (snd (H.bucket_bounds (H.bucket_count - 1)) = max_int);
+  (* every bucket contains its value, indices are monotone in v, and
+     relative width stays within the log-linear design bound *)
+  let sweep = ref [] in
+  let v = ref 1 in
+  while !v > 0 && !v < max_int / 3 do
+    sweep := !v :: (!v + 1) :: ((!v * 3) - 1) :: !sweep;
+    v := !v * 2
+  done;
+  sweep := [ 0; max_int - 1; max_int ] @ List.sort compare !sweep;
+  let prev_idx = ref (-1) and prev_v = ref (-1) in
+  List.iter
+    (fun v ->
+      let idx = Obs.Histogram.bucket_of v in
+      Alcotest.(check bool)
+        (Printf.sprintf "index in range for %d" v)
+        true
+        (idx >= 0 && idx < H.bucket_count);
+      let lo, hi = H.bucket_bounds idx in
+      Alcotest.(check bool) (Printf.sprintf "lo <= %d <= hi" v) true (lo <= v && v <= hi);
+      if v >= !prev_v then
+        Alcotest.(check bool) (Printf.sprintf "monotone at %d" v) true (idx >= !prev_idx);
+      if v >= 1 lsl H.sub_bits then
+        Alcotest.(check bool)
+          (Printf.sprintf "relative width <= 6.25%% at %d" v)
+          true
+          (float_of_int (H.width_at v) <= (0.0625 *. float_of_int v) +. 1.0);
+      prev_idx := idx;
+      prev_v := v)
+    !sweep;
+  Alcotest.check_raises "bucket_bounds out of range"
+    (Invalid_argument (Printf.sprintf "Obs.Histogram.bucket_bounds: %d" H.bucket_count))
+    (fun () -> ignore (H.bucket_bounds H.bucket_count))
+
+let test_hist_quantile_edges () =
+  let module H = Obs.Histogram in
+  Alcotest.(check int) "empty snapshot quantile is 0" 0 (H.quantile H.empty 50.);
+  let h = H.create () in
+  H.record h 12345;
+  let s = H.snap h in
+  Alcotest.(check int) "single sample count" 1 s.H.count;
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "single sample exact at q=%g" q)
+        12345 (H.quantile s q))
+    [ 0.; 50.; 100. ];
+  let h2 = H.create () in
+  List.iter (H.record h2) [ 10; 20; 30; 40; 50 ];
+  let s2 = H.snap h2 in
+  Alcotest.(check int) "q<0 clamps to min" 10 (H.quantile s2 (-3.));
+  Alcotest.(check int) "q>100 clamps to max" 50 (H.quantile s2 200.);
+  Alcotest.(check int) "q=0 is the minimum" 10 (H.quantile s2 0.);
+  Alcotest.(check int) "q=100 is the maximum" 50 (H.quantile s2 100.);
+  (* values at the extreme top of the range: the top bucket's nominal
+     width is huge, but the representative is clamped to the recorded
+     extrema so quantiles stay exact here *)
+  let h3 = H.create () in
+  H.record h3 max_int;
+  H.record h3 (max_int - 1);
+  let s3 = H.snap h3 in
+  Alcotest.(check int) "beyond-top-bucket max recoverable" max_int (H.quantile s3 100.);
+  Alcotest.(check int) "negative record clamps to 0" 0
+    (let h4 = H.create () in
+     H.record h4 (-42);
+     H.quantile (H.snap h4) 50.)
+
+(* Property: against a deterministic LCG sample stream, every histogram
+   quantile lands within one bucket width of the exact sorted-array
+   nearest-rank percentile — the contract that let serve swap its
+   sorted latency store for the histogram. *)
+let test_hist_vs_exact_property () =
+  let module H = Obs.Histogram in
+  let n = 2000 in
+  let state = ref 42 in
+  let next () =
+    (* Lehmer-style LCG, deterministic across runs and platforms *)
+    state := (!state * 48271) mod 0x7FFFFFFF;
+    !state
+  in
+  let samples = Array.init n (fun i -> next () mod (1 lsl (7 + (i mod 24)))) in
+  let h = H.create () in
+  Array.iter (H.record h) samples;
+  let s = H.snap h in
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      let exact =
+        sorted.(int_of_float (Float.round (q /. 100. *. float_of_int (n - 1))))
+      in
+      let approx = H.quantile s q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g within one bucket width (exact %d, hist %d)" q exact approx)
+        true
+        (abs (approx - exact) <= H.width_at exact))
+    [ 0.; 1.; 10.; 25.; 50.; 75.; 90.; 95.; 99.; 99.9; 100. ]
+
+let test_hist_merge_deterministic () =
+  let module H = Obs.Histogram in
+  let n = 10_000 in
+  let sample i = (i * 7919) mod 1_000_003 in
+  (* same sample set recorded on 1 vs 2 domains: snapshots (count, sum,
+     extrema and every bucket) must be identical — merge is commutative
+     integer addition, there is no float accumulation order to leak *)
+  let record_with ~jobs =
+    let h = H.create () in
+    if jobs <= 1 then
+      for i = 0 to n - 1 do
+        H.record h (sample i)
+      done
+    else
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.parallel_for pool ~lo:0 ~hi:(n - 1) (fun i -> H.record h (sample i)));
+    H.snap h
+  in
+  let s1 = record_with ~jobs:1 and s2 = record_with ~jobs:2 in
+  Alcotest.(check int) "counts agree" s1.H.count s2.H.count;
+  Alcotest.(check int) "sums agree" s1.H.sum s2.H.sum;
+  Alcotest.(check int) "min agrees" s1.H.min_value s2.H.min_value;
+  Alcotest.(check int) "max agrees" s1.H.max_value s2.H.max_value;
+  Alcotest.(check bool) "bucket arrays identical" true (s1.H.buckets = s2.H.buckets);
+  (* merge of two disjoint halves equals one recording of the union *)
+  let ha = H.create () and hb = H.create () in
+  for i = 0 to (n / 2) - 1 do
+    H.record ha (sample i)
+  done;
+  for i = n / 2 to n - 1 do
+    H.record hb (sample i)
+  done;
+  let m = H.merge (H.snap ha) (H.snap hb) in
+  Alcotest.(check int) "merged count" s1.H.count m.H.count;
+  Alcotest.(check int) "merged sum" s1.H.sum m.H.sum;
+  Alcotest.(check bool) "merged buckets" true (s1.H.buckets = m.H.buckets);
+  Alcotest.(check bool) "merge commutes" true
+    (H.merge (H.snap hb) (H.snap ha) = m)
+
+let test_hist_exposition () =
+  let module H = Obs.Histogram in
+  let h = H.create () in
+  List.iter (H.record h) [ 5; 100; 100_000 ];
+  let s = H.snap h in
+  (match H.to_json s with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool) "count field" true
+        (List.assoc_opt "count" fields = Some (Obs.Json.Int 3));
+      (match List.assoc_opt "buckets" fields with
+      | Some (Obs.Json.Arr bs) ->
+          Alcotest.(check int) "only non-zero buckets listed" 3 (List.length bs)
+      | _ -> Alcotest.fail "buckets array missing")
+  | _ -> Alcotest.fail "to_json is not an object");
+  let text = H.prometheus ~name:"serve.latency ns" s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "prometheus contains %S" needle) true
+        (let nl = String.length needle and tl = String.length text in
+         let rec scan i = i + nl <= tl && (String.sub text i nl = needle || scan (i + 1)) in
+         scan 0))
+    [
+      "# TYPE serve_latency_ns histogram";
+      "serve_latency_ns_bucket{le=\"+Inf\"} 3";
+      "serve_latency_ns_sum 100105";
+      "serve_latency_ns_count 3";
+    ]
+
+(* ---------------- cross-kind name collisions ---------------- *)
+
+(* The kind registry persists across Obs.reset by design (handles stay
+   live in module initialisers), so these use names nothing else
+   claims. *)
+
+let test_name_collisions () =
+  reset ();
+  let _c = Obs.counter "t.collide.counter" in
+  Alcotest.check_raises "counter name refused as gauge"
+    (Invalid_argument "Obs.gauge: \"t.collide.counter\" is already registered as a counter")
+    (fun () -> ignore (Obs.gauge "t.collide.counter"));
+  Alcotest.check_raises "counter name refused as histogram"
+    (Invalid_argument
+       "Obs.histogram: \"t.collide.counter\" is already registered as a counter")
+    (fun () -> ignore (Obs.histogram "t.collide.counter"));
+  let _g = Obs.gauge "t.collide.gauge" in
+  Alcotest.check_raises "gauge name refused as counter"
+    (Invalid_argument "Obs.counter: \"t.collide.gauge\" is already registered as a gauge")
+    (fun () -> ignore (Obs.counter "t.collide.gauge"));
+  let _h = Obs.histogram "t.collide.hist" in
+  Alcotest.check_raises "histogram name refused as counter"
+    (Invalid_argument
+       "Obs.counter: \"t.collide.hist\" is already registered as a histogram")
+    (fun () -> ignore (Obs.counter "t.collide.hist"));
+  Alcotest.check_raises "histogram name refused as gauge"
+    (Invalid_argument "Obs.gauge: \"t.collide.hist\" is already registered as a histogram")
+    (fun () -> ignore (Obs.gauge "t.collide.hist"));
+  (* same-kind re-registration stays idempotent, not an error *)
+  Alcotest.(check bool) "counter re-registration fine" true
+    (ignore (Obs.counter "t.collide.counter");
+     true);
+  Alcotest.(check bool) "histogram re-registration fine" true
+    (ignore (Obs.histogram "t.collide.hist");
+     true)
+
+let test_registered_histograms () =
+  reset ();
+  let h = Obs.histogram "t.reg.hist" in
+  Obs.Histogram.record h 77;
+  (match List.assoc_opt "t.reg.hist" (Obs.histograms ()) with
+  | Some s ->
+      Alcotest.(check int) "registered snapshot sees the sample" 1 s.Obs.Histogram.count
+  | None -> Alcotest.fail "registered histogram missing from Obs.histograms");
+  reset ();
+  match List.assoc_opt "t.reg.hist" (Obs.histograms ()) with
+  | Some s -> Alcotest.(check int) "reset clears samples" 0 s.Obs.Histogram.count
+  | None -> Alcotest.fail "registered histogram should survive reset (empty)"
+
 (* ---------------- end-to-end: the ccp enumeration counter ---------------- *)
 
 (* The acceptance contract: on a 20-vertex chain the connected-subgraph
@@ -210,6 +437,22 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "stats_json" `Quick test_stats_json;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "log-linear bucketing" `Quick test_hist_bucketing;
+          Alcotest.test_case "quantile edge cases" `Quick test_hist_quantile_edges;
+          Alcotest.test_case "quantiles vs exact percentiles" `Quick
+            test_hist_vs_exact_property;
+          Alcotest.test_case "merge deterministic across domains" `Quick
+            test_hist_merge_deterministic;
+          Alcotest.test_case "json + prometheus exposition" `Quick test_hist_exposition;
+        ] );
+      ( "namespace",
+        [
+          Alcotest.test_case "cross-kind collisions are errors" `Quick test_name_collisions;
+          Alcotest.test_case "registered histograms in snapshots" `Quick
+            test_registered_histograms;
         ] );
       ( "exporters", [ Alcotest.test_case "chrome trace" `Quick test_write_trace ] );
       ( "integration", [ Alcotest.test_case "ccp chain-20 counter" `Quick test_ccp_counter ] );

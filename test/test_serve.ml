@@ -532,6 +532,157 @@ let test_report_json () =
         | Error _ -> false)
   | _ -> Alcotest.fail "report is not a JSON object"
 
+(* ---------------- introspection: control requests ---------------- *)
+
+let member_of body k =
+  match Obs.Json.of_string (String.trim body) with
+  | Ok j -> Obs.Json.member k j
+  | Error _ -> None
+
+let test_control_requests () =
+  let plain_in = request inst2 ^ request ~header:"request algo=greedy" inst2 in
+  let ctl_in =
+    "#health\n" ^ request inst2 ^ "#stats\n"
+    ^ request ~header:"request algo=greedy" inst2
+    ^ "#hist solve\n" ^ "#hist nope\n"
+  in
+  let plain_out, _ = Serve.serve_string plain_in in
+  let before = Obs.snapshot () in
+  let ctl_out, st = Serve.serve_string ctl_in in
+  let d = Obs.diff before (Obs.snapshot ()) in
+  let stripped, controls = Serve.split_control ctl_out in
+  Alcotest.(check string) "non-control bytes identical to control-free run" plain_out
+    stripped;
+  Alcotest.(check int) "controls are not requests" 2 st.Serve.requests;
+  Alcotest.(check (option int)) "control counter bumped once per control" (Some 4)
+    (List.assoc_opt "serve.control.requests" d);
+  match controls with
+  | [ (h_health, b_health); (h_stats, b_stats); (h_solve, b_solve); (h_err, b_err) ] ->
+      Alcotest.(check string) "health header" "control health status=ok" h_health;
+      Alcotest.(check bool) "health kind" true
+        (member_of b_health "kind" = Some (Obs.Json.Str "qopt-serve-control"));
+      Alcotest.(check bool) "health schema_version" true
+        (member_of b_health "schema_version" = Some (Obs.Json.Int 1));
+      Alcotest.(check bool) "health at stream head: nothing accepted yet" true
+        (member_of b_health "accepted" = Some (Obs.Json.Int 0));
+      Alcotest.(check string) "stats header" "control stats status=ok" h_stats;
+      Alcotest.(check bool) "stats accepted is the reader-side arrival count" true
+        (member_of b_stats "accepted" = Some (Obs.Json.Int 1));
+      Alcotest.(check bool) "stats carries totals" true (member_of b_stats "totals" <> None);
+      Alcotest.(check string) "hist header carries the series name"
+        "control hist status=ok name=solve" h_solve;
+      Alcotest.(check bool) "hist body has buckets" true
+        (match member_of b_solve "hist" with
+        | Some h -> Obs.Json.member "buckets" h <> None
+        | None -> false);
+      Alcotest.(check string) "unknown series is a status=error block"
+        "control hist status=error" h_err;
+      Alcotest.(check bool) "error body names the valid series" true
+        (contains b_err "error: unknown histogram" && contains b_err "solve")
+  | l -> Alcotest.failf "expected 4 control blocks, got %d" (List.length l)
+
+let test_control_byte_identity_concurrent () =
+  let plain_in = request inst2 ^ request (chain_inst 6) ^ request ~header:"request algo=ccp" (chain_inst 5) in
+  let ctl_in =
+    "#stats\n" ^ request inst2 ^ "#health\n"
+    ^ request (chain_inst 6)
+    ^ "#hist latency\n"
+    ^ request ~header:"request algo=ccp" (chain_inst 5)
+  in
+  let plain_out, _ = Serve.serve_string plain_in in
+  List.iter
+    (fun jobs ->
+      let out, st =
+        if jobs <= 1 then Serve.serve_string ctl_in
+        else Pool.with_pool ~jobs (fun pool -> Serve.serve_string ~pool ctl_in)
+      in
+      let stripped, controls = Serve.split_control out in
+      Alcotest.(check string)
+        (Printf.sprintf "stripped bytes identical at jobs=%d" jobs)
+        plain_out stripped;
+      Alcotest.(check int) (Printf.sprintf "3 control blocks at jobs=%d" jobs) 3
+        (List.length controls);
+      Alcotest.(check int) (Printf.sprintf "3 requests at jobs=%d" jobs) 3
+        st.Serve.requests)
+    [ 1; 2 ]
+
+(* ---------------- introspection: latency histograms ---------------- *)
+
+let test_latency_histograms () =
+  let n = 24 in
+  let b = Buffer.create 1024 in
+  for i = 0 to n - 1 do
+    Buffer.add_string b (request (chain_inst (3 + (i mod 4))))
+  done;
+  let config = { Serve.default_config with Serve.record_exact_latencies = true } in
+  let _out, st = Serve.serve_string ~config (Buffer.contents b) in
+  let lat = Obs.Histogram.snap st.Serve.latency in
+  Alcotest.(check int) "one latency sample per request" n lat.Obs.Histogram.count;
+  Alcotest.(check int) "exact store kept when asked" n
+    (List.length st.Serve.exact_latencies_ms);
+  (* the histogram quantile agrees with the exact sorted-array
+     percentile it replaced, within one bucket width *)
+  let sorted = Array.of_list st.Serve.exact_latencies_ms in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      let rank = int_of_float (Float.round (q /. 100. *. float_of_int (n - 1))) in
+      let exact_ms = sorted.(rank) in
+      let width_ms =
+        float_of_int (Obs.Histogram.width_at (int_of_float (exact_ms *. 1e6))) /. 1e6
+      in
+      let hist_ms = Serve.latency_percentile st q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g within one bucket width" q)
+        true
+        (Float.abs (hist_ms -. exact_ms) <= width_ms +. 1e-6))
+    [ 50.; 95.; 99. ];
+  Alcotest.(check (list string)) "stage series names"
+    [ "latency"; "queue_wait"; "prepare"; "cache"; "solve"; "commit" ]
+    (List.map fst (Serve.latency_series st));
+  let count name =
+    (Obs.Histogram.snap (List.assoc name (Serve.latency_series st))).Obs.Histogram.count
+  in
+  Alcotest.(check int) "queue_wait sampled per request" n (count "queue_wait");
+  Alcotest.(check int) "prepare sampled per request" n (count "prepare");
+  Alcotest.(check bool) "solve sampled for non-cached requests" true (count "solve" > 0)
+
+let test_heartbeat () =
+  let _out, st =
+    Serve.serve_string
+      (request inst2 ^ request inst2 ^ "junk\n" ^ request ~header:"request algo=greedy" inst2)
+  in
+  (match Serve.heartbeat_json ~jobs:3 st with
+  | Obs.Json.Obj fields ->
+      let get k = List.assoc_opt k fields in
+      Alcotest.(check bool) "schema_version 1" true
+        (get "schema_version" = Some (Obs.Json.Int 1));
+      Alcotest.(check bool) "kind" true
+        (get "kind" = Some (Obs.Json.Str "qopt-serve-heartbeat"));
+      Alcotest.(check bool) "jobs recorded" true (get "jobs" = Some (Obs.Json.Int 3));
+      (match get "totals" with
+      | Some t ->
+          Alcotest.(check bool) "totals.requests" true
+            (Obs.Json.member "requests" t = Some (Obs.Json.Int 4))
+      | None -> Alcotest.fail "totals missing");
+      (match get "stages" with
+      | Some (Obs.Json.Obj stages) ->
+          Alcotest.(check (list string)) "stage keys"
+            [ "latency"; "queue_wait"; "prepare"; "cache"; "solve"; "commit" ]
+            (List.map fst stages)
+      | _ -> Alcotest.fail "stages missing")
+  | _ -> Alcotest.fail "heartbeat is not a JSON object");
+  let path = Filename.temp_file "qopt_hb" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Serve.write_heartbeat ~jobs:2 ~path st;
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check bool) "heartbeat file is valid JSON" true
+    (match Obs.Json.of_string text with Ok _ -> true | Error _ -> false);
+  Alcotest.(check bool) "no torn tmp file left behind" false
+    (Sys.file_exists (path ^ ".tmp"))
+
 let () =
   Alcotest.run "serve"
     [
@@ -577,5 +728,15 @@ let () =
           Alcotest.test_case "shutdown mid-stream" `Quick test_shutdown_mid_stream;
           Alcotest.test_case "unix socket transport" `Quick test_socket;
           Alcotest.test_case "serving report" `Quick test_report_json;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "control requests answered in-band" `Quick
+            test_control_requests;
+          Alcotest.test_case "controls never perturb responses (jobs 1 vs 2)" `Quick
+            test_control_byte_identity_concurrent;
+          Alcotest.test_case "latency histograms vs exact store" `Quick
+            test_latency_histograms;
+          Alcotest.test_case "heartbeat snapshot" `Quick test_heartbeat;
         ] );
     ]
