@@ -1,0 +1,31 @@
+let () =
+  let open Obs.Histogram in
+  (* round-trip: bucket_of within bucket_bounds for a sweep *)
+  let bad = ref 0 in
+  for e = 0 to 61 do
+    let v = if e = 0 then 1 else (1 lsl e) in
+    List.iter (fun d ->
+      let x = v + d in
+      if x >= 0 then begin
+        let i = bucket_of x in
+        let lo, hi = bucket_bounds i in
+        if not (lo <= x && x <= hi) then (incr bad; Printf.printf "BAD v=%d i=%d lo=%d hi=%d\n" x i lo hi)
+      end) [ -1; 0; 1 ]
+  done;
+  let i = bucket_of max_int in
+  let lo, hi = bucket_bounds i in
+  Printf.printf "max_int bucket=%d lo=%d hi=%d count=%d bad=%d\n" i lo hi bucket_count !bad;
+  (* quantile vs exact on random-ish data *)
+  let h = create () in
+  let n = 10000 in
+  let vals = Array.init n (fun k -> ((k * 7919) mod 9973) * 1000 + (k mod 97)) in
+  Array.iter (record h) vals;
+  let s = snap h in
+  let sorted = Array.copy vals in Array.sort compare sorted;
+  List.iter (fun q ->
+    let rank = int_of_float (Float.round (q /. 100. *. float_of_int (n - 1))) in
+    let exact = sorted.(rank) in
+    let hq = quantile s q in
+    let w = width_at exact in
+    Printf.printf "q=%g exact=%d hist=%d width=%d ok=%b\n" q exact hq w (abs (hq - exact) <= w))
+    [0.; 1.; 50.; 95.; 99.; 99.9; 100.]
