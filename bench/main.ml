@@ -812,6 +812,50 @@ let fuzz_campaign_check ~jobs =
     r.Fuzz.failures;
   (r.Fuzz.fails, r, seconds, throughput)
 
+(* Competitive ratios on the f_N hard family, driven by the solver
+   registry: every heuristic entrant (exact = None) is priced against
+   the lattice DP optimum in bits. A new heuristic lands in this table
+   by registering — no bench edit needed. *)
+let competitive_ratio_check () =
+  Printf.printf "\n== competitive ratios on f_N (bits over optimum; registry heuristics) ==\n";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (fam, omega) ->
+          let r = fn_instance ~n ~omega in
+          let inst = r.Fn.instance in
+          let opt_bits = Logreal.to_log2 (OL.dp inst).OL.cost in
+          List.iter
+            (fun (e : Solver.entry) ->
+              if e.Solver.exact = None then
+                match e.Solver.solve_log with
+                | None -> ()
+                | Some solve ->
+                    let bits = Logreal.to_log2 (solve inst).OL.cost -. opt_bits in
+                    Printf.printf "  %-8s n=%-3d %-7s +%.2f bits (opt 2^%.1f)\n"
+                      e.Solver.name n fam bits opt_bits;
+                    rows := (e.Solver.name, n, fam, bits, opt_bits) :: !rows)
+            Solver.all)
+        [ ("dense", (3 * n) / 4); ("sparse", n / 3) ])
+    [ 12; 16; 20 ];
+  List.rev !rows
+
+let competitive_json rows =
+  let open Obs.Json in
+  Arr
+    (List.map
+       (fun (algo, n, fam, bits, opt_bits) ->
+         Obj
+           [
+             ("algo", Str algo);
+             ("n", Int n);
+             ("family", Str fam);
+             ("ratio_bits", Float bits);
+             ("opt_log2", Float opt_bits);
+           ])
+       rows)
+
 (* Machine-readable mirror of the tables above: schema-versioned, written
    quietly at the repo root so CI can archive it without parsing stdout. *)
 let conv_json (vs_rows, beyond_rows) =
@@ -849,7 +893,7 @@ let conv_json (vs_rows, beyond_rows) =
     ]
 
 let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
-    ~conv_rows ~serve_row ~serve_conc ~latency_store ~fuzz_row =
+    ~conv_rows ~serve_row ~serve_conc ~latency_store ~fuzz_row ~competitive =
   let open Obs.Json in
   let speedup num den = if den > 0.0 then num /. den else Float.nan in
   let report =
@@ -933,6 +977,7 @@ let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_ro
                  Obj [ ("name", Str name); ("time_ns", Float time_ns); ("r_square", Float r2) ])
                kernels) );
         ("conv", conv_json conv_rows);
+        ("competitive_ratio", competitive_json competitive);
         ( "serve",
           (let st, seconds, throughput, byte_identical = serve_row in
            Obj
@@ -1076,6 +1121,7 @@ let () =
   in
   let latency_store_row = latency_store_check () in
   let fuzz_fails, fuzz_r, fuzz_s, fuzz_tput = fuzz_campaign_check ~jobs:(Stdlib.max jobs 2) in
+  let competitive = competitive_ratio_check () in
   let kernels = run_benchmarks () in
   scaling_series ();
   write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
@@ -1083,7 +1129,8 @@ let () =
     ~serve_row:(serve_st, serve_s, serve_tput, serve_ident)
     ~serve_conc:(conc_requests, conc_config, conc_rows)
     ~latency_store:latency_store_row
-    ~fuzz_row:(fuzz_r, fuzz_s, fuzz_tput);
+    ~fuzz_row:(fuzz_r, fuzz_s, fuzz_tput)
+    ~competitive;
   if
     fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 || conv_mismatches > 0
     || serve_mismatches > 0 || conc_mismatches > 0 || fuzz_fails > 0

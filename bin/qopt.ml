@@ -30,22 +30,55 @@ let resolve_jobs jobs = if jobs <= 0 then Pool.recommended_jobs () else jobs
 let with_jobs jobs f =
   if jobs > 1 then Pool.with_pool ~jobs (fun pool -> f (Some pool)) else f None
 
-(* --algo: which exact optimizer backs the run. The lattice DP walks
-   all 2^n subsets; the connected-subgraph DP (dp_connected) only the
-   connected ones; the subset-convolution solver layers the lattice by
-   cardinality (dense graphs) or delegates to the connected DP (sparse
-   graphs past the lattice limit) — all bit-identical plans. *)
-let algo_conv = Arg.enum [ ("lattice", `Lattice); ("ccp", `Ccp); ("conv", `Conv) ]
+(* --algo: the featured solver, straight from the registry. The enum
+   maps every canonical name and alias to the canonical name (safe to
+   compare and print, unlike entry records full of closures); [algo_of]
+   resolves it back to the registry entry after parsing. *)
+let algo_conv =
+  Arg.enum (List.map (fun (s, e) -> (s, e.Solver.name)) Solver.cli_choices)
+
+let algo_of name =
+  match Solver.find name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "unregistered algo %S" name)
 
 let algo_term =
   let doc =
-    "Exact optimizer: $(b,lattice) (subset DP over all $(i,2^n) subsets), $(b,ccp) \
-     (connected-subgraph DP, same plan bit-for-bit, table sized by the number of connected \
-     subsets — use it on sparse graphs past the lattice limit), or $(b,conv) (max-plus \
-     subset convolution: cardinality-layered lattice sweep on dense graphs, connected DP \
-     on sparse ones — same plan bit-for-bit at any admissible $(i,n))."
+    "Featured solver (from the solver registry): "
+    ^ String.concat "; "
+        (List.filter_map
+           (fun (e : Solver.entry) ->
+             if e.Solver.in_cli then
+               Some (Printf.sprintf "$(b,%s) — %s" e.Solver.name e.Solver.doc)
+             else None)
+           Solver.all)
+    ^ "."
   in
-  Arg.(value & opt algo_conv `Lattice & info [ "algo" ] ~docv:"ALGO" ~doc)
+  Arg.(value & opt algo_conv "dp" & info [ "algo" ] ~docv:"ALGO" ~doc)
+
+(* The featured-solver step of the optimize portfolio: preamble, then
+   either the solve (plan line via [show], i.e. [Serve.render_plan]) or
+   a one-line skip when the instance exceeds the entry's interactive
+   cap or cost domain. Byte-identical to the pre-registry hand-written
+   dispatch for every pre-registry algo name. *)
+let skip_line label reason = Printf.printf "%-22s skipped: %s\n" label reason
+
+let featured_rat (e : Solver.entry) ~jobs ~show inst =
+  (match e.Solver.preamble_rat with Some f -> print_string (f inst) | None -> ());
+  match e.Solver.interactive_cap with
+  | Some cap when Qo.Instances.Nl_rat.n inst > cap ->
+      skip_line e.Solver.label
+        (Printf.sprintf "n > %d (try --algo %s)" cap (Solver.hint e))
+  | _ -> with_jobs jobs (fun pool -> show e.Solver.label (e.Solver.solve_rat ?pool inst))
+
+let featured_log (e : Solver.entry) ~jobs ~show inst =
+  (match e.Solver.preamble_log with Some f -> print_string (f inst) | None -> ());
+  match (e.Solver.solve_log, e.Solver.interactive_cap) with
+  | None, _ -> skip_line e.Solver.label "rational domain only"
+  | Some _, Some cap when Qo.Instances.Nl_log.n inst > cap ->
+      skip_line e.Solver.label
+        (Printf.sprintf "n > %d (try --algo %s)" cap (Solver.hint e))
+  | Some solve, _ -> with_jobs jobs (fun pool -> show e.Solver.label (solve ?pool inst))
 
 (* ---------------- observability flags ---------------- *)
 
@@ -242,58 +275,28 @@ let optimize_cmd =
         Printf.eprintf "qopt: %s\n" msg;
         exit 2
     in
-    let dp_skip () =
-      Printf.printf "exact (subset DP)      skipped: n > 22 (try --algo ccp or conv)\n"
-    in
+    let e = algo_of algo in
     match domain with
     | `Rat ->
         let module O = Qo.Instances.Opt_rat in
-        let module CCP = Qo.Instances.Ccp_rat in
         let inst = load Qo.Io.load_rat in
-        let n = Qo.Instances.Nl_rat.n inst in
         let show label (p : O.plan) =
           print_endline
             (Serve.render_plan ~label ~log2_cost:(Qo.Rat_cost.to_log2 p.O.cost) ~seq:p.O.seq)
         in
-        (match algo with
-        | `Lattice ->
-            if n <= 22 then
-              with_jobs jobs (fun pool -> show "exact (subset DP)" (O.dp ?pool inst))
-            else dp_skip ()
-        | `Ccp ->
-            Printf.printf "connected subsets: %d of 2^%d\n" (CCP.csg_count inst) n;
-            with_jobs jobs (fun pool ->
-                show "exact CF (connected DP)" (CCP.dp_connected ?pool inst))
-        | `Conv ->
-            let module CV = Qo.Instances.Conv_rat in
-            with_jobs jobs (fun pool ->
-                show "exact CV (subset convolution)" (CV.solve ?pool inst)));
+        featured_rat e ~jobs ~show inst;
         show "greedy (min cost)" (O.greedy ~mode:O.Min_cost inst);
         show "greedy (min size)" (O.greedy ~mode:O.Min_size inst);
         show "iterative improve" (O.iterative_improvement inst);
         show "simulated anneal" (O.simulated_annealing inst)
     | `Log ->
         let module O = Qo.Instances.Opt_log in
-        let module CCP = Qo.Instances.Ccp_log in
         let inst = load Qo.Io.load_log in
-        let n = Qo.Instances.Nl_log.n inst in
         let show label (p : O.plan) =
           print_endline
             (Serve.render_plan ~label ~log2_cost:(Logreal.to_log2 p.O.cost) ~seq:p.O.seq)
         in
-        (match algo with
-        | `Lattice ->
-            if n <= 22 then
-              with_jobs jobs (fun pool -> show "exact (subset DP)" (O.dp ?pool inst))
-            else dp_skip ()
-        | `Ccp ->
-            Printf.printf "connected subsets: %d of 2^%d\n" (CCP.csg_count inst) n;
-            with_jobs jobs (fun pool ->
-                show "exact CF (connected DP)" (CCP.dp_connected ?pool inst))
-        | `Conv ->
-            let module CV = Qo.Instances.Conv_log in
-            with_jobs jobs (fun pool ->
-                show "exact CV (subset convolution)" (CV.solve ?pool inst)));
+        featured_log e ~jobs ~show inst;
         show "greedy (min cost)" (O.greedy ~mode:O.Min_cost inst);
         show "greedy (min size)" (O.greedy ~mode:O.Min_size inst);
         show "iterative improve" (O.iterative_improvement inst);
@@ -345,19 +348,7 @@ let optimize_cmd =
       print_endline
         (Serve.render_plan ~label:name ~log2_cost:(Logreal.to_log2 p.OL.cost) ~seq:p.OL.seq)
     in
-    (match algo with
-    | `Lattice ->
-        if n <= 22 then
-          with_jobs jobs (fun pool -> show "exact (subset DP)" (OL.dp ?pool inst))
-        else Printf.printf "exact (subset DP)      skipped: n > 22 (try --algo ccp or conv)\n"
-    | `Ccp ->
-        Printf.printf "connected subsets: %d of 2^%d\n" (CCP.csg_count inst) n;
-        with_jobs jobs (fun pool ->
-            show "exact CF (connected DP)" (CCP.dp_connected ?pool inst))
-    | `Conv ->
-        let module CV = Qo.Instances.Conv_log in
-        with_jobs jobs (fun pool ->
-            show "exact CV (subset convolution)" (CV.solve ?pool inst)));
+    featured_log (algo_of algo) ~jobs ~show inst;
     show "greedy (min cost)" (OL.greedy ~mode:OL.Min_cost inst);
     show "greedy (min size)" (OL.greedy ~mode:OL.Min_size inst);
     show "iterative improve" (OL.iterative_improvement inst);
@@ -700,21 +691,14 @@ let explain_cmd =
             exit 2)
       | None -> build_instance n seed shape
     in
-    let label, best =
-      match algo with
-      | `Lattice ->
-          ("exact subset DP", with_jobs jobs (fun pool -> Opt.dp ?pool inst))
-      | `Ccp ->
-          (* cartesian-product-free only: on a disconnected query graph
-             this renders the infeasibility block (and still exits 0) *)
-          ( "exact CF connected DP",
-            with_jobs jobs (fun pool -> CCP.dp_connected ?pool inst) )
-      | `Conv ->
-          let module CV = Qo.Instances.Conv_rat in
-          ( "exact CV subset convolution",
-            with_jobs jobs (fun pool -> CV.solve ?pool inst) )
-    in
-    Printf.printf "Optimal plan (%s):\n\n%s\n" label
+    (* explain is rational-domain (exact arithmetic in the rendered
+       tables), so every registry entry is available here — including
+       rat-only ones. On a disconnected query graph a cartesian-free
+       solver renders the infeasibility block (and still exits 0). *)
+    let e = algo_of algo in
+    let best = with_jobs jobs (fun pool -> e.Solver.solve_rat ?pool inst) in
+    let headline = if e.Solver.exact <> None then "Optimal plan" else "Heuristic plan" in
+    Printf.printf "%s (%s):\n\n%s\n" headline e.Solver.explain_label
       (Qo.Explain.Rat.render inst best.Opt.seq);
     let g = Opt.greedy inst in
     Printf.printf "Greedy plan for comparison:\n\n%s"

@@ -588,7 +588,7 @@ let rat_vs_log (inst : Qo.Instances.Nl_rat.t) =
 let per_domain name fr fl =
   { name; check = (function Rat i -> fr i | Log i -> fl i) }
 
-let oracles =
+let handwritten_oracles =
   [
     per_domain "dp-vs-ccp" CR.dp_vs_ccp CL.dp_vs_ccp;
     per_domain "conv-vs-ccp" CR.conv_vs_ccp CL.conv_vs_ccp;
@@ -608,6 +608,117 @@ let oracles =
     per_domain "scale-monotone" CR.scale_monotone CL.scale_monotone;
     per_domain "heuristic-bound" CR.heuristic_bound CL.heuristic_bound;
   ]
+
+(* Auto-generated from the solver registry: every entrant beyond the
+   seed portfolio (already covered by the handwritten oracles above)
+   gets an oracle for free. An exact entrant must be bit-identical —
+   cost AND sequence — to the dp reference ([Opt.dp] for
+   [Unconstrained] exactness, [Opt.dp_no_cartesian] for
+   [Cartesian_free]) up to the entry's diff cap, in every cost domain
+   it supports; a heuristic entrant must realize its claimed cost with
+   its own sequence and never beat the optimum. *)
+let seed_portfolio = [ "dp"; "ccp"; "conv"; "greedy"; "sa" ]
+
+let registry_oracles =
+  let module NR = Qo.Instances.Nl_rat in
+  let module OR = Qo.Instances.Opt_rat in
+  let module NL = Qo.Instances.Nl_log in
+  let module OL = Qo.Instances.Opt_log in
+  let l2r = Qo.Rat_cost.to_log2 and l2l = Qo.Log_cost.to_log2 in
+  let tol = 1e-6 in
+  List.filter_map
+    (fun (e : Solver.entry) ->
+      if List.mem e.Solver.name seed_portfolio then None
+      else
+        let cap = Stdlib.min exact_cap e.Solver.diff_cap in
+        match e.Solver.exact with
+        | Some ex ->
+            let check_rat (i : NR.t) =
+              if i.NR.n > cap then Skip "n > registry diff cap"
+              else
+                let a = e.Solver.solve_rat i in
+                let r =
+                  match ex with
+                  | Solver.Unconstrained -> OR.dp i
+                  | Solver.Cartesian_free -> OR.dp_no_cartesian i
+                in
+                if not (Qo.Rat_cost.equal a.OR.cost r.OR.cost) then
+                  Fail
+                    (Printf.sprintf "%s 2^%.6g <> dp 2^%.6g" e.Solver.name
+                       (l2r a.OR.cost) (l2r r.OR.cost))
+                else if a.OR.seq <> r.OR.seq then
+                  Fail (Printf.sprintf "%s / dp sequences differ" e.Solver.name)
+                else Pass
+            in
+            let check_log (i : NL.t) =
+              match e.Solver.solve_log with
+              | None -> Skip "rational-domain oracle"
+              | Some solve ->
+                  if i.NL.n > cap then Skip "n > registry diff cap"
+                  else
+                    let a = solve i in
+                    let r =
+                      match ex with
+                      | Solver.Unconstrained -> OL.dp i
+                      | Solver.Cartesian_free -> OL.dp_no_cartesian i
+                    in
+                    if not (Qo.Log_cost.equal a.OL.cost r.OL.cost) then
+                      Fail
+                        (Printf.sprintf "%s 2^%.6g <> dp 2^%.6g" e.Solver.name
+                           (l2l a.OL.cost) (l2l r.OL.cost))
+                    else if a.OL.seq <> r.OL.seq then
+                      Fail (Printf.sprintf "%s / dp sequences differ" e.Solver.name)
+                    else Pass
+            in
+            Some
+              {
+                name = e.Solver.name ^ "-vs-dp";
+                check = (function Rat i -> check_rat i | Log i -> check_log i);
+              }
+        | None ->
+            let check_rat (i : NR.t) =
+              if i.NR.n > cap then Skip "n > registry diff cap"
+              else
+                let module I = Qo.Instances.Nl_rat in
+                let a = e.Solver.solve_rat i in
+                let opt = OR.dp i in
+                if not (Qo.Rat_cost.equal (I.cost i a.OR.seq) a.OR.cost) then
+                  Fail
+                    (Printf.sprintf "%s sequence does not realize its claimed cost"
+                       e.Solver.name)
+                else if Qo.Rat_cost.compare a.OR.cost opt.OR.cost < 0 then
+                  Fail
+                    (Printf.sprintf "%s 2^%.6g beats the optimum 2^%.6g" e.Solver.name
+                       (l2r a.OR.cost) (l2r opt.OR.cost))
+                else Pass
+            in
+            let check_log (i : NL.t) =
+              match e.Solver.solve_log with
+              | None -> Skip "rational-domain oracle"
+              | Some solve ->
+                  if i.NL.n > cap then Skip "n > registry diff cap"
+                  else
+                    let module I = Qo.Instances.Nl_log in
+                    let a = solve i in
+                    let opt = OL.dp i in
+                    if Float.abs (l2l (I.cost i a.OL.seq) -. l2l a.OL.cost) > tol then
+                      Fail
+                        (Printf.sprintf "%s sequence does not realize its claimed cost"
+                           e.Solver.name)
+                    else if l2l opt.OL.cost -. l2l a.OL.cost > tol then
+                      Fail
+                        (Printf.sprintf "%s 2^%.6g beats the optimum 2^%.6g"
+                           e.Solver.name (l2l a.OL.cost) (l2l opt.OL.cost))
+                    else Pass
+            in
+            Some
+              {
+                name = e.Solver.name ^ "-bound";
+                check = (function Rat i -> check_rat i | Log i -> check_log i);
+              })
+    Solver.all
+
+let oracles = handwritten_oracles @ registry_oracles
 
 let oracle ~name check = { name; check }
 

@@ -96,11 +96,19 @@ let random_tree ~seed ~n =
         deg.(!leaf) <- 0;
         deg.(v) <- deg.(v) - 1)
       prufer;
-    (* two remaining degree-1 vertices *)
+    (* Prüfer decoding invariant: after consuming all n-2 labels exactly
+       two vertices still have degree 1. Anything else means [prufer] or
+       [deg] was corrupted — name the witness instead of asserting. *)
     let rest = List.filter (fun v -> deg.(v) = 1) (List.init n (fun v -> v)) in
     (match rest with
     | [ a; b ] -> Ugraph.add_edge g a b
-    | _ -> assert false);
+    | vs ->
+        invalid_arg
+          (Printf.sprintf
+             "Gen.random_tree: Prüfer decode left %d degree-1 vertices [%s] (n=%d seed=%d)"
+             (List.length vs)
+             (String.concat ";" (List.map string_of_int vs))
+             n seed));
     g
   end
 

@@ -237,5 +237,14 @@ let parallel_map t f arr =
   else begin
     let out = Array.make n None in
     parallel_for t ~lo:0 ~hi:(n - 1) (fun i -> out.(i) <- Some (f arr.(i)));
-    Array.map (function Some v -> v | None -> assert false) out
+    Array.mapi
+      (fun i -> function
+        | Some v -> v
+        | None ->
+            (* parallel_for covers [lo,hi] exactly once per index, so a
+               hole means a worker died without raising. Name the index
+               so the scheduling bug is debuggable from the message. *)
+            invalid_arg
+              (Printf.sprintf "Pool.parallel_map: index %d of %d never written" i n))
+      out
   end

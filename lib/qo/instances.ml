@@ -29,6 +29,12 @@ module Conv_log = Conv.Make (Log_cost)
 module Conv_rat = Conv.Make (Rat_cost)
 (** Tropical subset-convolution exact solver over exact rationals. *)
 
+module Simpli_log = Simpli.Make (Log_cost)
+(** Simpli-Squared cardinality-free structural ordering, log domain. *)
+
+module Simpli_rat = Simpli.Make (Rat_cost)
+(** Simpli-Squared cardinality-free structural ordering, rationals. *)
+
 (** Convert an exact-rational instance to the log domain (for
     cross-validation: costs must agree up to float tolerance). *)
 let log_of_rat (inst : Nl_rat.t) : Nl_log.t =

@@ -36,15 +36,8 @@
 
 exception Shutdown
 
-type algo = Dp | Ccp | Conv | Greedy | Sa
 type domain = Rat | Log
 
-let algo_name = function
-  | Dp -> "dp"
-  | Ccp -> "ccp"
-  | Conv -> "conv"
-  | Greedy -> "greedy"
-  | Sa -> "sa"
 let domain_name = function Rat -> "rat" | Log -> "log"
 
 type config = {
@@ -385,10 +378,14 @@ end
 
 type request = {
   rq_id : string;
-  rq_algo : algo;
+  rq_algo : Solver.entry;
   rq_domain : domain;
   rq_budget_ms : float option;
 }
+
+(* Responses, cache keys and stats rows always use the canonical
+   registry name, whatever alias the request arrived under. *)
+let algo_name (e : Solver.entry) = e.Solver.name
 
 (* Best-effort id for error responses to malformed headers, so a
    client can still correlate the failure with its request. *)
@@ -423,15 +420,15 @@ let parse_header ~default_id toks =
               match k with
               | "id" -> if v = "" then fail "empty id" else id := v
               | "algo" -> (
-                  match v with
-                  | "dp" -> algo := Some Dp
-                  | "ccp" -> algo := Some Ccp
-                  | "conv" -> algo := Some Conv
-                  | "greedy" -> algo := Some Greedy
-                  | "sa" -> algo := Some Sa
-                  | _ ->
+                  (* canonical names and registry aliases both resolve;
+                     the expected-list in the error is generated, so it
+                     can never drift from the registry again *)
+                  match Solver.find v with
+                  | Some e -> algo := Some e
+                  | None ->
                       fail
-                        (Printf.sprintf "unknown algo %S (expected dp|ccp|conv|greedy|sa)" v))
+                        (Printf.sprintf "unknown algo %S (expected %s)" v
+                           Solver.expected_names))
               | "domain" -> (
                   match v with
                   | "rat" -> domain := Rat
@@ -445,7 +442,8 @@ let parse_header ~default_id toks =
         kvs;
       match (!err, !algo) with
       | Some msg, _ -> Error msg
-      | None, None -> Error "missing algo=<dp|ccp|conv|greedy|sa>"
+      | None, None ->
+          Error (Printf.sprintf "missing algo=<%s>" Solver.expected_names)
       | None, Some a ->
           Ok { rq_id = !id; rq_algo = a; rq_domain = !domain; rq_budget_ms = !budget })
   | _ -> Error "expected a \"request ...\" header"
@@ -464,7 +462,7 @@ type engine = {
   e_n : int;
   e_canonical : string;  (* domain-prefixed canonical dump: the cache-key basis *)
   e_csg_bounded : limit:int -> int option;
-  e_solve : algo -> string * solved;
+  e_solve : Solver.entry -> string * solved;
   e_fallback : unit -> string * solved;
 }
 
@@ -472,7 +470,6 @@ let rat_engine payload =
   let module N = Qo.Instances.Nl_rat in
   let module O = Qo.Instances.Opt_rat in
   let module CCP = Qo.Instances.Ccp_rat in
-  let module CV = Qo.Instances.Conv_rat in
   let inst = Qo.Io.parse_rat payload in
   let solved (p : O.plan) =
     { log2_cost = Qo.Rat_cost.to_log2 p.O.cost; seq = p.O.seq }
@@ -487,13 +484,9 @@ let rat_engine payload =
     e_n = N.n inst;
     e_canonical = "rat\n" ^ Qo.Io.dump_rat inst;
     e_csg_bounded = (fun ~limit -> CCP.csg_count_bounded ~limit inst);
-    e_solve =
-      (function
-        | Dp -> ("exact (subset DP)", solved (O.dp inst))
-        | Ccp -> ("exact CF (connected DP)", solved (CCP.dp_connected inst))
-        | Conv -> ("exact CV (subset convolution)", solved (CV.solve inst))
-        | Greedy -> ("greedy (min cost)", solved (O.greedy ~mode:O.Min_cost inst))
-        | Sa -> ("simulated anneal", solved (O.simulated_annealing inst)));
+    (* solves are sequential within a request (no pool): with --jobs
+       the parallelism is across requests, not inside the DP *)
+    e_solve = (fun e -> (e.Solver.label, solved (e.Solver.solve_rat inst)));
     e_fallback = fallback;
   }
 
@@ -501,7 +494,6 @@ let log_engine payload =
   let module N = Qo.Instances.Nl_log in
   let module O = Qo.Instances.Opt_log in
   let module CCP = Qo.Instances.Ccp_log in
-  let module CV = Qo.Instances.Conv_log in
   let inst = Qo.Io.parse_log payload in
   let solved (p : O.plan) = { log2_cost = Logreal.to_log2 p.O.cost; seq = p.O.seq } in
   let fallback () =
@@ -515,12 +507,14 @@ let log_engine payload =
     e_canonical = "log\n" ^ Qo.Io.dump_log inst;
     e_csg_bounded = (fun ~limit -> CCP.csg_count_bounded ~limit inst);
     e_solve =
-      (function
-        | Dp -> ("exact (subset DP)", solved (O.dp inst))
-        | Ccp -> ("exact CF (connected DP)", solved (CCP.dp_connected inst))
-        | Conv -> ("exact CV (subset convolution)", solved (CV.solve inst))
-        | Greedy -> ("greedy (min cost)", solved (O.greedy ~mode:O.Min_cost inst))
-        | Sa -> ("simulated anneal", solved (O.simulated_annealing inst)));
+      (fun e ->
+        match e.Solver.solve_log with
+        | Some solve -> (e.Solver.label, solved (solve inst))
+        | None ->
+            (* unreachable: prepare_item rejects rat-only algos on log
+               instances before any solve is attempted *)
+            failwith
+              (Printf.sprintf "algo=%s supports only domain=rat" e.Solver.name));
     e_fallback = fallback;
   }
 
@@ -538,36 +532,32 @@ let over_budget cfg req eng =
   match req.rq_budget_ms with
   | None -> false
   | Some budget_ms -> (
-      match req.rq_algo with
-      | Greedy | Sa -> false
-      | Dp ->
-          let n = float_of_int eng.e_n in
-          let est_ms =
-            n *. Float.pow 2. n *. transition_ns cfg req.rq_domain /. 1e6
-          in
-          est_ms > budget_ms
-      | Conv when eng.e_n <= Qo.Instances.Conv_rat.dense_max_n ->
-          (* Dense regime: same full-lattice transition count as dp. *)
-          let n = float_of_int eng.e_n in
-          let est_ms =
-            n *. Float.pow 2. n *. transition_ns cfg req.rq_domain /. 1e6
-          in
-          est_ms > budget_ms
-      | Ccp | Conv -> (
-          (* Sparse conv delegates to the connected DP, so the csg
-             work model applies to both. *)
-          let per_csg =
-            transition_ns cfg req.rq_domain *. float_of_int (max 1 eng.e_n)
-          in
-          let raw = budget_ms *. 1e6 /. per_csg in
-          let limit =
-            if Float.is_finite raw && raw < 1e9 then max 0 (int_of_float raw)
-            else max_int - 1
-          in
-          match eng.e_csg_bounded ~limit with
-          | None -> true
-          | Some csg ->
-              float_of_int csg *. per_csg /. 1e6 > budget_ms))
+      let lattice_est () =
+        (* Full-lattice regime: n * 2^n transitions. *)
+        let n = float_of_int eng.e_n in
+        n *. Float.pow 2. n *. transition_ns cfg req.rq_domain /. 1e6 > budget_ms
+      in
+      let csg_est () =
+        (* Connected-DP regime: the #csg factor is measured with a
+           bounded enumeration capped by the budget itself. *)
+        let per_csg =
+          transition_ns cfg req.rq_domain *. float_of_int (max 1 eng.e_n)
+        in
+        let raw = budget_ms *. 1e6 /. per_csg in
+        let limit =
+          if Float.is_finite raw && raw < 1e9 then max 0 (int_of_float raw)
+          else max_int - 1
+        in
+        match eng.e_csg_bounded ~limit with
+        | None -> true
+        | Some csg -> float_of_int csg *. per_csg /. 1e6 > budget_ms
+      in
+      match req.rq_algo.Solver.budget with
+      | Solver.B_heuristic -> false
+      | Solver.B_lattice -> lattice_est ()
+      | Solver.B_dense_then_csg dense_max when eng.e_n <= dense_max ->
+          lattice_est ()
+      | Solver.B_csg | Solver.B_dense_then_csg _ -> csg_est ())
 
 (* ---------------- responses (rendered to strings) ---------------- *)
 
@@ -636,16 +626,11 @@ type step =
       shard : Cache.shard;
     }
 
-(* Exhaustive over [algo] on purpose — no or-patterns, no wildcard —
-   so adding a solver variant is a compile error here until its true
-   cap is declared. *)
-let admission_cap algo =
-  match algo with
-  | Dp -> ("Opt.max_dp_n", Qo.Instances.Opt_rat.max_dp_n)
-  | Ccp -> ("Ccp.max_ccp_n", Qo.Instances.Ccp_rat.max_ccp_n)
-  | Conv -> ("Conv.max_conv_n", Qo.Instances.Conv_rat.max_conv_n)
-  | Greedy -> ("Io.max_parse_n", Qo.Io.max_parse_n)
-  | Sa -> ("Io.max_parse_n", Qo.Io.max_parse_n)
+(* The cap travels with the registry entry, so a new solver cannot be
+   served until its entry declares one (the record field is not
+   optional) — the registry-era shape of the old "exhaustive match"
+   compile-time guarantee. *)
+let admission_cap (e : Solver.entry) = (e.Solver.cap_name, e.Solver.cap)
 
 let solver_msg = function
   | Invalid_argument m | Failure m -> m
@@ -670,6 +655,17 @@ let prepare_item cfg ~ord it =
           | None ->
               P_err
                 { id = req.rq_id; code = "bad-request"; msg = "unexpected EOF before \"end\"" }
+          | Some _ when req.rq_domain = Log && req.rq_algo.Solver.solve_log = None ->
+              (* rat-only algo on a log request: reject before even
+                 parsing the payload — no engine could solve it *)
+              P_err
+                {
+                  id = req.rq_id;
+                  code = "bad-request";
+                  msg =
+                    Printf.sprintf "algo=%s supports only domain=rat"
+                      (algo_name req.rq_algo);
+                }
           | Some payload -> (
               match
                 try

@@ -4,7 +4,7 @@
     and line-delimited sockets alike. A request is:
 
     {v
-    request id=<token> algo=<dp|ccp|conv|greedy|sa> [domain=<rat|log>] [budget_ms=<float>]
+    request id=<token> algo=<name> [domain=<rat|log>] [budget_ms=<float>]
     qon 1
     n 2
     size 0 100
@@ -13,7 +13,10 @@
     v}
 
     i.e. a one-line header, the instance payload in the existing
-    [qon 1] format ({!Qo.Io}), and a terminating [end] line. Blank
+    [qon 1] format ({!Qo.Io}), and a terminating [end] line. [algo]
+    accepts every canonical {!Solver} registry name and alias
+    ({!Solver.expected_names}, e.g. [dp] a.k.a. [lattice]); responses,
+    cache keys and stats always carry the canonical name. Blank
     lines and [#] comments between requests are ignored — except the
     three {e control requests} [#stats], [#health] and [#hist NAME],
     which are answered in-band with a schema-versioned one-line JSON
@@ -111,15 +114,14 @@ exception Shutdown
     (graceful drain), then the loop returns its stats with
     [interrupted = true] instead of propagating. *)
 
-type algo = Dp | Ccp | Conv | Greedy | Sa
 type domain = Rat | Log
 
-val admission_cap : algo -> string * int
-(** [(cap_name, cap)] used by admission control for a solver variant —
-    the largest [n] it will serve, and the constant's name as quoted in
-    [too-large] error responses. Exhaustive over [algo] in the
-    implementation, so a new solver variant fails to compile until its
-    true cap is declared. *)
+val admission_cap : Solver.entry -> string * int
+(** [(cap_name, cap)] used by admission control for a solver — the
+    largest [n] it will serve, and the constant's name as quoted in
+    [too-large] error responses. Both travel with the {!Solver.entry},
+    so a new solver cannot be served until its registry entry declares
+    a cap (the record fields are not optional). *)
 
 type config = {
   cache_capacity : int;  (** plan-cache entries before LRU eviction *)

@@ -30,7 +30,14 @@ let solve bs =
       if s = 0 then acc
       else
         match reach.(s) with
-        | None -> assert false
+        | None ->
+            (* [filled.(s)] implies [reach.(s) <- Some _] was stored in
+               the same branch, so a reachable nonzero sum always has a
+               predecessor. Reaching here means the DP tables diverged. *)
+            invalid_arg
+              (Printf.sprintf
+                 "Partition.solve: reachable sum %d has no recorded predecessor (half=%d)"
+                 s half)
         | Some i -> walk (s - arr.(i)) (i :: acc)
     in
     Some (walk half [])

@@ -54,14 +54,18 @@ let test_oracles_clean () =
 
 (* The registry's order and names are part of the report schema. *)
 let test_registry () =
-  check_int "registry size" 14 (List.length Fuzz.oracles);
+  check_int "registry size" 16 (List.length Fuzz.oracles);
+  check "registry size floor" true (List.length Fuzz.oracles >= 15);
   check_str "first oracle" "dp-vs-ccp" (List.hd Fuzz.oracles).Fuzz.name;
   let names = List.map (fun o -> o.Fuzz.name) Fuzz.oracles in
   check "ik-tree registered" true (List.mem "ik-tree" names);
   check "rat-vs-log registered" true (List.mem "rat-vs-log" names);
   check "conv-vs-ccp registered" true (List.mem "conv-vs-ccp" names);
   check "ccp-words registered" true (List.mem "ccp-words" names);
-  check "served-control registered" true (List.mem "served-control" names)
+  check "served-control registered" true (List.mem "served-control" names);
+  (* solver-registry entrants are auto-covered *)
+  check "milp-vs-dp registered" true (List.mem "milp-vs-dp" names);
+  check "simpli-bound registered" true (List.mem "simpli-bound" names)
 
 (* [?only] restricts the oracle set without disturbing the seeded case
    stream, and rejects unknown names. *)

@@ -187,21 +187,89 @@ let test_admission () =
    the underlying solver enforces — so admission can never admit an
    instance the solver then rejects, or refuse one it could solve. *)
 let test_admission_caps_truthful () =
+  let entry name =
+    match Solver.find name with
+    | Some e -> e
+    | None -> Alcotest.failf "algo %s not registered" name
+  in
   let check_cap algo name cap =
-    let got_name, got_cap = Serve.admission_cap algo in
+    let got_name, got_cap = Serve.admission_cap (entry algo) in
     Alcotest.(check string) (name ^ " cap name") name got_name;
     Alcotest.(check int) (name ^ " cap value") cap got_cap
   in
-  check_cap Serve.Dp "Opt.max_dp_n" O.max_dp_n;
-  check_cap Serve.Ccp "Ccp.max_ccp_n" CCP.max_ccp_n;
-  check_cap Serve.Conv "Conv.max_conv_n" Qo.Instances.Conv_rat.max_conv_n;
-  check_cap Serve.Greedy "Io.max_parse_n" Qo.Io.max_parse_n;
-  check_cap Serve.Sa "Io.max_parse_n" Qo.Io.max_parse_n;
+  check_cap "dp" "Opt.max_dp_n" O.max_dp_n;
+  check_cap "ccp" "Ccp.max_ccp_n" CCP.max_ccp_n;
+  check_cap "conv" "Conv.max_conv_n" Qo.Instances.Conv_rat.max_conv_n;
+  check_cap "greedy" "Io.max_parse_n" Qo.Io.max_parse_n;
+  check_cap "sa" "Io.max_parse_n" Qo.Io.max_parse_n;
+  check_cap "simpli" "Io.max_parse_n" Qo.Io.max_parse_n;
+  check_cap "milp" "Milp.max_milp_n" Milp.max_milp_n;
   (* The serve-layer cap for conv matches the solver's own guard: n at
      the cap is admitted, n past it is exactly what Conv.solve refuses. *)
-  let _, conv_cap = Serve.admission_cap Serve.Conv in
+  let _, conv_cap = Serve.admission_cap (entry "conv") in
   Alcotest.(check int) "conv cap = Ccp cap (sparse regime delegates)"
-    CCP.max_ccp_n conv_cap
+    CCP.max_ccp_n conv_cap;
+  (* every registry entry is serveable: its declared cap is positive
+     and admission answers for it without any per-algo wiring *)
+  List.iter
+    (fun (e : Solver.entry) ->
+      let got_name, got_cap = Serve.admission_cap e in
+      Alcotest.(check string) (e.Solver.name ^ " cap name") e.Solver.cap_name got_name;
+      Alcotest.(check bool) (e.Solver.name ^ " cap positive") true (got_cap > 0))
+    Solver.all
+
+(* Registry aliases resolve at the parser and canonicalize in the
+   response: algo=lattice is served exactly like algo=dp — same plan
+   bytes, same cache key (the alias request hits the dp entry), and
+   the response header says algo=dp. *)
+let test_algo_alias_lattice () =
+  let input =
+    request ~header:"request id=canon algo=dp" inst2
+    ^ request ~header:"request id=alias algo=lattice" inst2
+  in
+  let out, st = Serve.serve_string input in
+  let body hdr_frag =
+    match List.find_opt (fun b -> contains (List.hd b) hdr_frag) (blocks out) with
+    | Some (_ :: body) -> body
+    | _ -> Alcotest.failf "no response %s in %s" hdr_frag out
+  in
+  Alcotest.(check block_testable) "alias serves the dp plan bytes"
+    (body "id=canon") (body "id=alias");
+  Alcotest.(check bool) "alias response is canonicalized" true
+    (contains out "response id=alias status=ok algo=dp");
+  Alcotest.(check int) "alias request hits the dp cache entry" 1 st.Serve.cache_hits
+
+(* The two registry entrants serve without any serve-side wiring:
+   milp's plan line is byte-identical to dp's (it is exact), simpli
+   answers as a heuristic, and milp on a log-domain instance is a
+   structured error, not a dead process. *)
+let test_registry_entrants_served () =
+  let input =
+    request ~header:"request id=m algo=milp" inst2
+    ^ request ~header:"request id=d algo=dp" inst2
+    ^ request ~header:"request id=s algo=simpli" inst2
+    ^ request ~header:"request id=l algo=milp domain=log" inst2
+  in
+  let out, st = Serve.serve_string input in
+  let plan hdr_frag =
+    match List.find_opt (fun b -> contains (List.hd b) hdr_frag) (blocks out) with
+    | Some [ _; line ] -> line
+    | _ -> Alcotest.failf "no single-line response %s in %s" hdr_frag out
+  in
+  (* the plan label occupies the %-22s field; past it the cost and
+     sequence must be byte-identical to dp's (milp is exact) *)
+  let past_label l = String.sub l 22 (String.length l - 22) in
+  Alcotest.(check bool) "milp ok" true (contains out "response id=m status=ok algo=milp");
+  Alcotest.(check string) "milp plan = dp plan modulo the label"
+    (past_label (plan "id=d"))
+    (past_label (plan "id=m"));
+  Alcotest.(check bool) "simpli ok" true
+    (contains out "response id=s status=ok algo=simpli");
+  Alcotest.(check bool) "milp on log domain is a bad request" true
+    (contains out "response id=l status=error code=bad-request");
+  Alcotest.(check bool) "with the rat-only message" true
+    (contains out "error: algo=milp supports only domain=rat");
+  Alcotest.(check int) "three requests served ok" 3 st.Serve.ok
 
 (* Oversized declared n is stopped by the parser's own cap, long before
    Array.make: the serve loop reports it as a parse error and lives. *)
@@ -701,6 +769,9 @@ let () =
       ( "admission + budget",
         [
           Alcotest.test_case "admission control caps" `Quick test_admission;
+          Alcotest.test_case "lattice alias = dp" `Quick test_algo_alias_lattice;
+          Alcotest.test_case "registry entrants served" `Quick
+            test_registry_entrants_served;
           Alcotest.test_case "per-algo caps are truthful" `Quick
             test_admission_caps_truthful;
           Alcotest.test_case "budget fallback" `Quick test_budget_fallback;
