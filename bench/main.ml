@@ -812,6 +812,73 @@ let fuzz_campaign_check ~jobs =
     r.Fuzz.failures;
   (r.Fuzz.fails, r, seconds, throughput)
 
+(* Cache realism of the trace generator: replaying the same synthetic
+   workload at increasing Zipf skew must raise the plan-cache hit rate
+   monotonically — the headline signal that generated traffic is
+   cache-realistic rather than uniform noise. The default pool (512
+   base instances) exceeds the default cache capacity (256), so the
+   replays run under eviction pressure and the curve has room to move;
+   any non-increase across adjacent skews fails the bench. *)
+let trace_skew_check () =
+  Printf.printf "\n== trace replay: cache hit rate vs Zipf skew (20k requests each) ==\n";
+  let rows =
+    List.map
+      (fun skew ->
+        let p = { Trace.default_params with Trace.requests = 20_000; seed = 21; skew } in
+        let t = Trace.generate p in
+        let _out, st, seconds = Trace.replay ~probe_every:1000 t in
+        Printf.printf
+          "  skew %.1f: %5d hits / %5d misses (%.4f hit rate), %d coalesced, %d \
+           evicted, %d resident, %.2fs (%.0f req/s)\n"
+          skew st.Serve.cache_hits st.Serve.cache_misses (Serve.hit_rate st)
+          st.Serve.coalesced st.Serve.evictions st.Serve.cache_entries seconds
+          (float_of_int st.Serve.requests /. seconds);
+        (skew, st, seconds))
+      [ 0.2; 0.8; 1.4 ]
+  in
+  let violations = ref 0 in
+  let rec check = function
+    | (s1, st1, _) :: ((s2, st2, _) :: _ as rest) ->
+        if Serve.hit_rate st2 <= Serve.hit_rate st1 then begin
+          incr violations;
+          Printf.printf "  VIOLATION: hit rate fell %.4f (s=%.1f) -> %.4f (s=%.1f)\n"
+            (Serve.hit_rate st1) s1 (Serve.hit_rate st2) s2
+        end;
+        check rest
+    | _ -> ()
+  in
+  check rows;
+  (!violations, rows)
+
+let trace_json rows =
+  let open Obs.Json in
+  Arr
+    (List.map
+       (fun (skew, st, seconds) ->
+         Obj
+           [
+             ("skew", Float skew);
+             ("requests", Int st.Serve.requests);
+             ("cache_hits", Int st.Serve.cache_hits);
+             ("cache_misses", Int st.Serve.cache_misses);
+             ("coalesced", Int st.Serve.coalesced);
+             ("evictions", Int st.Serve.evictions);
+             ("cache_entries", Int st.Serve.cache_entries);
+             ("cache_hit_rate", Float (Serve.hit_rate st));
+             ("errors", Int st.Serve.errors);
+             ("fallbacks", Int st.Serve.fallbacks);
+             ("seconds", Float seconds);
+             ("requests_per_s", Float (float_of_int st.Serve.requests /. seconds));
+             ( "latency_ms",
+               Obj
+                 [
+                   ("p50", Float (Serve.latency_percentile st 50.));
+                   ("p95", Float (Serve.latency_percentile st 95.));
+                   ("p99", Float (Serve.latency_percentile st 99.));
+                 ] );
+           ])
+       rows)
+
 (* Competitive ratios on the f_N hard family, driven by the solver
    registry: every heuristic entrant (exact = None) is priced against
    the lattice DP optimum in bits. A new heuristic lands in this table
@@ -893,7 +960,7 @@ let conv_json (vs_rows, beyond_rows) =
     ]
 
 let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_rows ~kernels
-    ~conv_rows ~serve_row ~serve_conc ~latency_store ~fuzz_row ~competitive =
+    ~conv_rows ~serve_row ~serve_conc ~latency_store ~fuzz_row ~competitive ~trace_rows =
   let open Obs.Json in
   let speedup num den = if den > 0.0 then num /. den else Float.nan in
   let report =
@@ -997,6 +1064,7 @@ let write_report ~jobs ~elapsed ~runs ~total ~fails ~dp_rows ~vs_rows ~beyond_ro
         ( "serve_concurrent",
           (let requests, config, rows = serve_conc in
            serve_concurrent_json ~requests ~config rows) );
+        ("trace", trace_json trace_rows);
         ("latency_store", latency_store);
         ( "fuzz",
           (let r, seconds, throughput = fuzz_row in
@@ -1120,6 +1188,7 @@ let () =
     serve_concurrent_check ~requests:conc_requests ~jobs_list:[ 1; 2; 4 ]
   in
   let latency_store_row = latency_store_check () in
+  let trace_violations, trace_rows = trace_skew_check () in
   let fuzz_fails, fuzz_r, fuzz_s, fuzz_tput = fuzz_campaign_check ~jobs:(Stdlib.max jobs 2) in
   let competitive = competitive_ratio_check () in
   let kernels = run_benchmarks () in
@@ -1130,8 +1199,9 @@ let () =
     ~serve_conc:(conc_requests, conc_config, conc_rows)
     ~latency_store:latency_store_row
     ~fuzz_row:(fuzz_r, fuzz_s, fuzz_tput)
-    ~competitive;
+    ~competitive ~trace_rows;
   if
     fails <> [] || dp_mismatches > 0 || ccp_mismatches > 0 || conv_mismatches > 0
     || serve_mismatches > 0 || conc_mismatches > 0 || fuzz_fails > 0
+    || trace_violations > 0
   then exit 1

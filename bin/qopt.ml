@@ -712,23 +712,256 @@ let explain_cmd =
 
 (* ---------------- gen ---------------- *)
 
+let shape_name = function
+  | `Random -> "random"
+  | `Tree -> "tree"
+  | `Chain -> "chain"
+  | `Star -> "star"
+  | `Cycle -> "cycle"
+  | `Grid -> "grid"
+  | `Clique -> "clique"
+
 let gen_cmd =
   let n = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of relations.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
   let shape = Arg.(value & opt shape_conv `Random & info [ "shape" ] ~doc:"Graph shape.") in
   let out = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file (stdout otherwise).") in
-  let run n seed shape out =
-    let inst = build_instance n seed shape in
-    let text = Qo.Io.dump_rat inst in
-    (match out with
-    | None -> print_string text
-    | Some path ->
-        Qo.Io.save_rat path inst;
-        Printf.printf "wrote %s (%d relations, %d predicates)\n" path n
-          (Graphlib.Ugraph.edge_count inst.Qo.Instances.Nl_rat.graph));
-    0
+  let trace_mode =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Generate a serve workload trace instead of a single instance: a seeded \
+             stream of $(b,--requests) line-delimited requests mixing Zipf-skewed \
+             repetition over a base-instance pool, template families with drifting \
+             scalars, arrival bursts, and a hostile tail — replayable with $(b,qopt \
+             replay). Trace bytes depend only on the seed and shape parameters, never \
+             on $(b,--jobs).")
   in
-  Cmd.v (Cmd.info "gen" ~doc:"Generate a QO_N instance file") Term.(const run $ n $ seed $ shape $ out)
+  let requests =
+    Arg.(
+      value
+      & opt int Trace.default_params.Trace.requests
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests in the trace (with --trace).")
+  in
+  let skew =
+    Arg.(
+      value
+      & opt float Trace.default_params.Trace.skew
+      & info [ "skew" ] ~docv:"S"
+          ~doc:
+            "Zipf exponent over the base-instance pool (with --trace): 0 is uniform, \
+             larger is hotter-headed traffic.")
+  in
+  let pool_size =
+    Arg.(
+      value
+      & opt int Trace.default_params.Trace.pool_size
+      & info [ "pool" ] ~docv:"N"
+          ~doc:
+            "Distinct base instances (with --trace). The default exceeds serve's \
+             default cache capacity, so replays run under cache pressure.")
+  in
+  let templates =
+    Arg.(
+      value
+      & opt int Trace.default_params.Trace.templates
+      & info [ "templates" ] ~docv:"N"
+          ~doc:
+            "Template families (with --trace): same query shape, scalars drifting \
+             every $(b,--drift) requests — canonical-hash near-misses. 0 disables.")
+  in
+  let drift =
+    Arg.(
+      value
+      & opt int Trace.default_params.Trace.drift_every
+      & info [ "drift" ] ~docv:"N" ~doc:"Requests between template drifts (with --trace).")
+  in
+  let burst =
+    Arg.(
+      value
+      & opt int Trace.default_params.Trace.burst
+      & info [ "burst" ] ~docv:"N"
+          ~doc:"Max arrival-burst length (with --trace): 1 disables bursts.")
+  in
+  let hostile =
+    Arg.(
+      value
+      & opt int Trace.default_params.Trace.hostile_pct
+      & info [ "hostile" ] ~docv:"PCT"
+          ~doc:
+            "Hostile-tail percentage (with --trace): junk lines, payload parse errors, \
+             admission-cap violations, rat-only algos on domain=log, budget-starved \
+             paper-hard f_N instances, and disconnected graphs under cartesian-free \
+             solvers.")
+  in
+  let run n seed shape out trace_mode requests skew pool_size templates drift burst
+      hostile jobs =
+    (* --jobs is accepted (and ignored) to make the invariance
+       contract executable: the same command at any jobs writes the
+       same bytes, which CI diffs *)
+    ignore (resolve_jobs jobs);
+    if trace_mode then begin
+      let params =
+        {
+          Trace.requests;
+          seed;
+          skew;
+          pool_size;
+          templates;
+          drift_every = drift;
+          burst;
+          hostile_pct = hostile;
+        }
+      in
+      match out with
+      | None ->
+          Trace.emit params print_string;
+          0
+      | Some path ->
+          Trace.write ~path params;
+          Printf.printf "wrote %s (%d requests, seed %d, skew %g, pool %d)\n" path
+            requests seed skew pool_size;
+          0
+    end
+    else begin
+      let inst = build_instance n seed shape in
+      (* provenance comment: the parser ignores # lines, so generated
+         files replay/load unchanged while recording how to re-make
+         them *)
+      let header = Printf.sprintf "# seed=%d shape=%s n=%d\n" seed (shape_name shape) n in
+      let text = header ^ Qo.Io.dump_rat inst in
+      (match out with
+      | None -> print_string text
+      | Some path ->
+          Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text);
+          Printf.printf "wrote %s (%d relations, %d predicates)\n" path n
+            (Graphlib.Ugraph.edge_count inst.Qo.Instances.Nl_rat.graph));
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a QO_N instance file or (with --trace) a serve workload trace")
+    Term.(const run $ n $ seed $ shape $ out $ trace_mode $ requests $ skew $ pool_size
+          $ templates $ drift $ burst $ hostile $ jobs_term)
+
+(* ---------------- replay ---------------- *)
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file produced by $(b,qopt gen --trace).")
+  in
+  let cache_size =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.cache_capacity
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Plan-cache capacity in entries before LRU eviction; 0 disables caching.")
+  in
+  let queue_size =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.queue_capacity
+      & info [ "queue-size" ] ~docv:"N" ~doc:"Bounded request-queue depth (in batches).")
+  in
+  let batch_size =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.batch_size
+      & info [ "batch-size" ] ~docv:"N" ~doc:"Requests handed to a worker at a time.")
+  in
+  let probe_every =
+    Arg.(
+      value
+      & opt int 500
+      & info [ "probe-every" ] ~docv:"N"
+          ~doc:
+            "Interleave an in-band control probe (alternating #stats and #hist solve) \
+             before every $(docv)-th request, plus one final #stats. 0 disables probes. \
+             Control responses never perturb normal response bytes.")
+  in
+  let report_term =
+    let doc =
+      "Write the schema-versioned qopt-trace-report JSON (totals with coalescing and \
+       cache occupancy, hit rate, throughput, per-stage p50/p95/p99, hostile-tail \
+       errors-by-code, trace provenance) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let check_identity =
+    Arg.(
+      value & flag
+      & info [ "check-identity" ]
+          ~doc:
+            "Also replay at the complementary jobs setting (1 when $(b,--jobs) > 1, \
+             else 2) and verify the non-control response bytes and integer totals are \
+             identical; exit 1 on divergence. The verdict lands in the report's \
+             identity_jobs_invariant field.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ]
+          ~doc:"Suppress the response transcript on stdout (summary and report remain).")
+  in
+  let run file cache_size queue_size batch_size probe_every report check_id quiet jobs
+      stats trace =
+    let jobs = resolve_jobs jobs in
+    setup_obs stats trace;
+    let config =
+      {
+        Serve.default_config with
+        Serve.cache_capacity = cache_size;
+        queue_capacity = max 1 queue_size;
+        batch_size = max 1 batch_size;
+      }
+    in
+    let trace_text = In_channel.with_open_bin file In_channel.input_all in
+    let replay_at jobs =
+      if jobs > 1 then
+        Pool.with_pool ~jobs (fun pool -> Trace.replay ~pool ~config ~probe_every trace_text)
+      else Trace.replay ~config ~probe_every trace_text
+    in
+    let out, st, seconds = replay_at jobs in
+    let identity =
+      if not check_id then None
+      else begin
+        let other = if jobs > 1 then 1 else 2 in
+        let out2, st2, _ = replay_at other in
+        let b1, _ = Serve.split_control out and b2, _ = Serve.split_control out2 in
+        let same = b1 = b2 && Trace.stats_key st = Trace.stats_key st2 in
+        if not same then
+          Printf.eprintf
+            "qopt replay: DIVERGENCE between jobs=%d and jobs=%d (%d vs %d non-control \
+             bytes)\n"
+            jobs other (String.length b1) (String.length b2)
+        else Printf.eprintf "qopt replay: jobs=%d and jobs=%d byte-identical\n" jobs other;
+        Some same
+      end
+    in
+    if not quiet then print_string out;
+    Printf.eprintf "%s\n" (Trace.summary ~jobs ~seconds st);
+    (match report with
+    | Some path ->
+        Obs.Json.write_file path
+          (Trace.report_json ~jobs ~trace:trace_text ~out ~seconds ?identity st)
+    | None -> ());
+    finish_obs stats trace;
+    if identity = Some false then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a generated workload trace through the serve pipeline at a given \
+          --jobs, interleaving in-band control probes, and emit a qopt-trace-report \
+          (hit rate, coalescing, throughput, per-stage latency percentiles, \
+          hostile-tail error accounting). Non-control responses are byte-identical at \
+          every --jobs (--check-identity verifies).")
+    Term.(const run $ file $ cache_size $ queue_size $ batch_size $ probe_every
+          $ report_term $ check_identity $ quiet $ jobs_term $ stats_term $ trace_term)
 
 (* ---------------- chain ---------------- *)
 
@@ -791,4 +1024,4 @@ let appendix_cmd =
 let () =
   let doc = "Executable reproduction of 'On the Complexity of Approximate Query Optimization'" in
   let info = Cmd.info "qopt" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; solve_cmd; optimize_cmd; serve_cmd; fuzz_cmd; explain_cmd; gen_cmd; chain_cmd; appendix_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ experiment_cmd; solve_cmd; optimize_cmd; serve_cmd; replay_cmd; fuzz_cmd; explain_cmd; gen_cmd; chain_cmd; appendix_cmd ]))

@@ -718,7 +718,53 @@ let registry_oracles =
               })
     Solver.all
 
-let oracles = handwritten_oracles @ registry_oracles
+(* End-to-end determinism of the trace subsystem: same params must
+   yield byte-identical generated traces, and replaying the same trace
+   twice must yield byte-identical non-control responses plus equal
+   masked reports. The fuzz case seeds the trace generator (via a hash
+   of its dump), so the campaign sweeps many generator seeds for free;
+   control-probe responses and report timing fields are excluded from
+   the comparison because wall-clock legitimately differs. Sampled
+   1-in-4 by instance size — each invocation replays a small trace
+   twice, which is orders costlier than a solver oracle. *)
+let trace_replay_det =
+  let check c =
+    if case_n c mod 4 <> 0 then Skip "sampled 1-in-4 by n"
+    else begin
+      let text =
+        match c with Rat i -> Qo.Io.dump_rat i | Log i -> Qo.Io.dump_log i
+      in
+      let seed = 1 + (Hashtbl.hash text land 0x3fff) in
+      let p =
+        {
+          Trace.requests = 80;
+          seed;
+          skew = 0.9;
+          pool_size = 24;
+          templates = 2;
+          drift_every = 20;
+          burst = 3;
+          hostile_pct = 10;
+        }
+      in
+      let t1 = Trace.generate p and t2 = Trace.generate p in
+      if t1 <> t2 then Fail "trace generation is not deterministic per params"
+      else begin
+        let out1, st1, s1 = Trace.replay ~probe_every:25 t1 in
+        let out2, st2, s2 = Trace.replay ~probe_every:25 t1 in
+        let b1, _ = Serve.split_control out1 and b2, _ = Serve.split_control out2 in
+        if b1 <> b2 then Fail "replay responses differ across identical runs"
+        else
+          let r1 = Trace.report_json_masked ~jobs:1 ~trace:t1 ~out:out1 ~seconds:s1 st1 in
+          let r2 = Trace.report_json_masked ~jobs:1 ~trace:t1 ~out:out2 ~seconds:s2 st2 in
+          if r1 <> r2 then Fail "masked replay reports differ across identical runs"
+          else Pass
+      end
+    end
+  in
+  { name = "trace-replay-det"; check }
+
+let oracles = handwritten_oracles @ registry_oracles @ [ trace_replay_det ]
 
 let oracle ~name check = { name; check }
 

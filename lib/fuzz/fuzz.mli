@@ -60,7 +60,13 @@ val oracles : oracle list
     dump byte-identity), [scale-monotone] (optimum does not decrease
     when all sizes and access costs scale up), [heuristic-bound]
     (greedy/II/SA plans are valid permutations, report their true cost,
-    and never beat the exact optimum). *)
+    and never beat the exact optimum). Registry entrants beyond the
+    seed portfolio get auto-generated [<name>-vs-dp] / [<name>-bound]
+    oracles. The registry closes with [trace-replay-det]: the case
+    seeds a small {!Trace} workload, which must generate byte-identically
+    per params and replay byte-identically (non-control responses and
+    masked report) across runs — sampled 1-in-4 by instance size to
+    bound campaign cost. *)
 
 val oracle : name:string -> (case -> outcome) -> oracle
 (** Build a custom oracle — the registry extension point, also how

@@ -81,6 +81,8 @@ type stats = {
   mutable rejected : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable coalesced : int;
+  mutable cache_entries : int;
   mutable evictions : int;
   mutable fallbacks : int;
   mutable seconds : float;
@@ -98,6 +100,8 @@ let fresh_stats () =
     rejected = 0;
     cache_hits = 0;
     cache_misses = 0;
+    coalesced = 0;
+    cache_entries = 0;
     evictions = 0;
     fallbacks = 0;
     seconds = 0.;
@@ -143,6 +147,7 @@ let c_rejected = Obs.counter "serve.admission.rejected"
 let c_hits = Obs.counter "serve.cache.hits"
 let c_misses = Obs.counter "serve.cache.misses"
 let c_evictions = Obs.counter "serve.cache.evictions"
+let c_coalesced = Obs.counter "serve.cache.coalesced"
 let c_fallbacks = Obs.counter "serve.fallbacks"
 let c_queue_full = Obs.counter "serve.queue.full"
 let c_control = Obs.counter "serve.control.requests"
@@ -704,12 +709,23 @@ type tally = {
   mutable t_rej : int;
   mutable t_hit : int;
   mutable t_miss : int;
+  mutable t_coal : int;
   mutable t_evict : int;
   mutable t_fb : int;
 }
 
 let fresh_tally () =
-  { t_req = 0; t_ok = 0; t_err = 0; t_rej = 0; t_hit = 0; t_miss = 0; t_evict = 0; t_fb = 0 }
+  {
+    t_req = 0;
+    t_ok = 0;
+    t_err = 0;
+    t_rej = 0;
+    t_hit = 0;
+    t_miss = 0;
+    t_coal = 0;
+    t_evict = 0;
+    t_fb = 0;
+  }
 
 type pipeline = {
   cfg : config;
@@ -812,8 +828,10 @@ let apply_tally p (t : tally) =
   st.rejected <- st.rejected + t.t_rej;
   st.cache_hits <- st.cache_hits + t.t_hit;
   st.cache_misses <- st.cache_misses + t.t_miss;
+  st.coalesced <- st.coalesced + t.t_coal;
   st.evictions <- st.evictions + t.t_evict;
   st.fallbacks <- st.fallbacks + t.t_fb;
+  st.cache_entries <- Cache.length p.cache;
   Mutex.unlock p.st_m;
   Obs.add c_requests t.t_req;
   Obs.add c_ok t.t_ok;
@@ -822,6 +840,7 @@ let apply_tally p (t : tally) =
   Obs.add c_hits t.t_hit;
   Obs.add c_misses t.t_miss;
   Obs.add c_evictions t.t_evict;
+  Obs.add c_coalesced t.t_coal;
   Obs.add c_fallbacks t.t_fb
 
 let run_solve eng ~approximate req =
@@ -894,6 +913,7 @@ let process_batch p b =
                       S_done (ok_block req ~cache_hit:true ~approximate:entry_approx body)
                   | Cache.Hit_pending (entry, shard) ->
                       tally.t_hit <- tally.t_hit + 1;
+                      tally.t_coal <- tally.t_coal + 1;
                       S_await { req; eng; approximate; entry; shard }
                   | Cache.Claimed (entry, shard, evicted) ->
                       tally.t_miss <- tally.t_miss + 1;
@@ -1062,6 +1082,8 @@ let totals_json st =
       ("rejected", Int st.rejected);
       ("cache_hits", Int st.cache_hits);
       ("cache_misses", Int st.cache_misses);
+      ("coalesced", Int st.coalesced);
+      ("cache_entries", Int st.cache_entries);
       ("evictions", Int st.evictions);
       ("fallbacks", Int st.fallbacks);
       ("cache_hit_rate", Float (hit_rate st));
@@ -1381,9 +1403,9 @@ let latency_percentile st q =
 let summary st =
   Printf.sprintf
     "qopt serve: %d request(s) — %d ok, %d error(s), %d rejected; cache %d hit / %d miss \
-     / %d evicted (%.0f%% hit rate); %d fallback(s); %.3fs%s"
+     / %d evicted / %d coalesced, %d resident (%.0f%% hit rate); %d fallback(s); %.3fs%s"
     st.requests st.ok st.errors st.rejected st.cache_hits st.cache_misses st.evictions
-    (100. *. hit_rate st) st.fallbacks st.seconds
+    st.coalesced st.cache_entries (100. *. hit_rate st) st.fallbacks st.seconds
     (if st.interrupted then " (interrupted)" else "")
 
 let stages_json st =
@@ -1407,6 +1429,8 @@ let report_json ~jobs st =
               ("rejected", Int st.rejected);
               ("cache_hits", Int st.cache_hits);
               ("cache_misses", Int st.cache_misses);
+              ("coalesced", Int st.coalesced);
+              ("cache_entries", Int st.cache_entries);
               ("evictions", Int st.evictions);
               ("fallbacks", Int st.fallbacks);
               ("cache_hit_rate", Float (hit_rate st));
@@ -1427,10 +1451,14 @@ let report_json ~jobs st =
     ()
 
 (* The wall-clock fields a deterministic report comparison must mask;
-   shared with tests/CI so the masking stays declarative. *)
+   shared with tests/CI so the masking stays declarative. [coalesced]
+   is masked too: at jobs > 1 whether a duplicate lands on a
+   still-Pending entry (coalesced) or an already-Ready one (plain hit)
+   depends on solve/arrival interleaving, so the split — though the
+   hit total is invariant — is scheduling-dependent. *)
 let timing_fields =
   [ "seconds"; "latency_ms"; "stages"; "histograms"; "start_s"; "dur_s"; "minor_words";
-    "major_words" ]
+    "major_words"; "coalesced" ]
 
 let report_json_masked ~jobs st = Obs.Json.mask_fields timing_fields (report_json ~jobs st)
 

@@ -169,6 +169,14 @@ type stats = {
   mutable rejected : int;  (** admission-control rejections (code=too-large) *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable coalesced : int;
+      (** the subset of [cache_hits] that landed on a still-Pending
+          entry and waited for the claimant's fill. The total hit count
+          is jobs-invariant; this split is scheduling-dependent at
+          [jobs > 1] (hence masked by {!timing_fields}), deterministic
+          at [jobs = 1]. *)
+  mutable cache_entries : int;
+      (** cache occupancy ({!Cache.length}) at the last batch commit *)
   mutable evictions : int;
   mutable fallbacks : int;  (** budget-driven exact-to-approximate downgrades *)
   mutable seconds : float;
@@ -293,10 +301,11 @@ val report_json : jobs:int -> stats -> Obs.Json.t
     process-wide counter/histogram snapshot and span forest. *)
 
 val timing_fields : string list
-(** The wall-clock-derived report fields ([seconds], [latency_ms],
-    [stages], [histograms], span timings, GC words) that a
-    deterministic comparison must mask — the list
-    {!report_json_masked} feeds to {!Obs.Json.mask_fields}. *)
+(** The scheduling-dependent report fields a deterministic comparison
+    must mask — wall-clock ([seconds], [latency_ms], [stages],
+    [histograms], span timings, GC words) plus [coalesced] (the
+    hit/coalesce split depends on solve interleaving at [jobs > 1]) —
+    the list {!report_json_masked} feeds to {!Obs.Json.mask_fields}. *)
 
 val report_json_masked : jobs:int -> stats -> Obs.Json.t
 (** {!report_json} with {!timing_fields} masked to [null]: two runs

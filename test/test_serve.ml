@@ -649,6 +649,58 @@ let test_control_requests () =
         (contains b_err "error: unknown histogram" && contains b_err "solve")
   | l -> Alcotest.failf "expected 4 control blocks, got %d" (List.length l)
 
+(* Satellite: the #stats totals key list is a pinned schema. Scrapers
+   and the replay harness key on these exact field names in this exact
+   order, so adding, renaming or reordering a field must be a
+   conscious choice that updates this list (and the docs). *)
+let test_stats_schema_pinned () =
+  let out, _ = Serve.serve_string (request inst2 ^ "#stats\n") in
+  let _, controls = Serve.split_control out in
+  let stats_body =
+    match List.find_opt (fun (h, _) -> h = "control stats status=ok") controls with
+    | Some (_, b) -> b
+    | None -> Alcotest.fail "no stats control block"
+  in
+  match member_of stats_body "totals" with
+  | Some (Obs.Json.Obj kvs) ->
+      Alcotest.(check (list string))
+        "totals key list pinned"
+        [
+          "requests";
+          "ok";
+          "errors";
+          "rejected";
+          "cache_hits";
+          "cache_misses";
+          "coalesced";
+          "cache_entries";
+          "evictions";
+          "fallbacks";
+          "cache_hit_rate";
+          "latency_ms";
+        ]
+        (List.map fst kvs);
+      Alcotest.(check bool) "occupancy counts the cached plan" true
+        (List.assoc "cache_entries" kvs = Obs.Json.Int 1)
+  | _ -> Alcotest.fail "stats control block has no totals object"
+
+(* Coalescing is observable deterministically even sequentially: with
+   a batch of identical requests, the turnstile claims the entry once
+   (miss) and every later duplicate in the batch lands on the
+   still-Pending entry (hit + coalesce). At batch_size=1 the previous
+   batch has always committed first, so coalesced stays 0. *)
+let test_coalesce_deterministic () =
+  let dup = request ~header:"request algo=dp" (chain_inst 7) in
+  let stream = String.concat "" (List.init 4 (fun _ -> dup)) in
+  let config = { Serve.default_config with Serve.batch_size = 4 } in
+  let _out, st = Serve.serve_string ~config stream in
+  Alcotest.(check int) "one miss" 1 st.Serve.cache_misses;
+  Alcotest.(check int) "three hits" 3 st.Serve.cache_hits;
+  Alcotest.(check int) "all three coalesced" 3 st.Serve.coalesced;
+  let _out, st1 = Serve.serve_string stream in
+  Alcotest.(check int) "batch_size=1 never coalesces" 0 st1.Serve.coalesced;
+  Alcotest.(check int) "hit total unchanged" 3 st1.Serve.cache_hits
+
 let test_control_byte_identity_concurrent () =
   let plain_in = request inst2 ^ request (chain_inst 6) ^ request ~header:"request algo=ccp" (chain_inst 5) in
   let ctl_in =
@@ -804,6 +856,10 @@ let () =
         [
           Alcotest.test_case "control requests answered in-band" `Quick
             test_control_requests;
+          Alcotest.test_case "#stats totals schema pinned" `Quick
+            test_stats_schema_pinned;
+          Alcotest.test_case "deterministic coalescing" `Quick
+            test_coalesce_deterministic;
           Alcotest.test_case "controls never perturb responses (jobs 1 vs 2)" `Quick
             test_control_byte_identity_concurrent;
           Alcotest.test_case "latency histograms vs exact store" `Quick
